@@ -1,0 +1,1 @@
+"""Benchmark harnesses: one experiment per paper figure/claim (see DESIGN.md)."""

@@ -1,0 +1,45 @@
+"""Shared benchmark harness: table formatting and result capture.
+
+Every experiment prints the table the paper's figure/claim implies and
+writes it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
+be cross-checked against a real run (pytest captures stdout, the files
+survive).
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(experiment: str, title: str, headers: list[str], rows: list[list]) -> str:
+    """Print the table and persist it under benchmarks/results/."""
+    table = format_table(title, headers, rows)
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as fh:
+        fh.write(table + "\n")
+    return table
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}ms"

@@ -1,0 +1,87 @@
+"""A1 — ablation: Siena's covering optimisation on vs off.
+
+DESIGN.md calls out covering relations as the mechanism behind E4's broker
+load flattening.  This ablation deploys the same subscription workload —
+many narrow per-user filters alongside broad service filters that cover
+them — and counts the subscription state and control traffic the broker
+network carries with the optimisation enabled and disabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.broker import SienaClient, build_broker_tree
+from repro.events.filters import Filter, eq, gt, type_is
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.simulation import Simulator
+from benchmarks._harness import emit
+
+BROKERS = 13
+CLIENTS = 120
+
+
+def run_workload(covering: bool) -> dict:
+    sim = Simulator(seed=131)
+    network = Network(sim, latency=FixedLatency(0.01))
+    brokers = build_broker_tree(sim, network, BROKERS, covering_enabled=covering)
+    clients = [
+        SienaClient(sim, network, Position(1.0 + i * 0.01, 1.0), brokers[i % BROKERS])
+        for i in range(CLIENTS)
+    ]
+    # A handful of broad service filters...
+    for index, client in enumerate(clients[:5]):
+        client.subscribe(Filter(type_is("user-location")))
+    sim.run_for(5.0)
+    # ...then a long tail of narrow ones, each covered by the broad ones.
+    for index, client in enumerate(clients[5:]):
+        client.subscribe(
+            Filter(type_is("user-location"), eq("subject", f"user{index}"))
+        )
+        client.subscribe(
+            Filter(type_is("user-location"), eq("subject", f"user{index}"),
+                   gt("accuracy_m", float(index % 7)))
+        )
+    sim.run_for(20.0)
+    forwarded_state = sum(
+        len(filters) for b in brokers for filters in b.forwarded.values()
+    )
+    control_messages = network.stats.messages_sent
+    # Sanity: a matching publication still reaches the narrow subscriber.
+    target = clients[5]
+    publisher = clients[-1]
+    publisher.publish(
+        make_event("user-location", subject="user0", accuracy_m=9.0, lat=1.0, lon=1.0)
+    )
+    sim.run_for(5.0)
+    return {
+        "covering": covering,
+        "forwarded_state": forwarded_state,
+        "control_messages": control_messages,
+        "delivered_ok": len(target.received) > 0,
+    }
+
+
+@pytest.mark.benchmark(group="a1")
+def test_a1_covering_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_workload(False), run_workload(True)], rounds=1, iterations=1
+    )
+    off, on = rows
+    emit(
+        "a1_covering_ablation",
+        f"A1: covering optimisation, {CLIENTS} clients / {BROKERS} brokers",
+        ["covering", "forwarded filters held", "control msgs", "delivery intact"],
+        [
+            ["off", off["forwarded_state"], off["control_messages"],
+             "yes" if off["delivered_ok"] else "NO"],
+            ["on", on["forwarded_state"], on["control_messages"],
+             "yes" if on["delivered_ok"] else "NO"],
+        ],
+    )
+    # Covering must not break delivery...
+    assert on["delivered_ok"] and off["delivered_ok"]
+    # ...while slashing both broker state and control traffic.
+    assert on["forwarded_state"] < off["forwarded_state"] / 3
+    assert on["control_messages"] < off["control_messages"]

@@ -1,0 +1,108 @@
+"""A2 — ablation: knowledge-guided join enumeration on vs off.
+
+The matching engine prunes join candidates using fact patterns that link
+event subjects through the knowledge base ("bob knows anna").  Without the
+guidance, the engine enumerates per-entity pools under a combination
+budget and the needle drowns once the flood outgrows the budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.model import make_event
+from repro.knowledge import Fact, KnowledgeBase
+from repro.matching import MatchingEngine
+from repro.sensors import make_st_andrews
+from repro.services import IceCreamMeetupService
+from repro.simulation import Simulator
+from benchmarks._harness import emit
+
+AFTERNOON = 15.0 * 3600.0
+
+
+def run_flood(guided: bool, strangers: int) -> dict:
+    sim = Simulator(seed=132)
+    sim.schedule(AFTERNOON, lambda: None)
+    sim.run()
+    kb = KnowledgeBase()
+    kb.add(Fact("bob", "likes", "ice-cream"))
+    kb.add(Fact("bob", "knows", "anna"))
+    kb.add(Fact("bob", "nationality", "scottish"))
+    kb.add(Fact("bob", "on-holiday", True))
+    service = IceCreamMeetupService(make_st_andrews())
+    engine = MatchingEngine(
+        sim, kb, service.build_rules({}), kb_guided_joins=guided
+    )
+    rng = sim.rng_for("flood")
+    out = []
+    out.extend(
+        engine.ingest(
+            make_event("weather", time=sim.now, area="st-andrews",
+                       lat=56.34, lon=-2.79, temperature_c=20.5)
+        )
+    )
+    out.extend(
+        engine.ingest(
+            make_event("user-location", time=sim.now, subject="bob",
+                       lat=56.3412, lon=-2.7952, mode="foot")
+        )
+    )
+    # The flood of strangers arrives between bob's fix and anna's.
+    for index in range(strangers):
+        out.extend(
+            engine.ingest(
+                make_event("user-location", time=sim.now,
+                           subject=f"stranger{index}",
+                           lat=rng.uniform(56.33, 56.35),
+                           lon=rng.uniform(-2.82, -2.77), mode="foot")
+            )
+        )
+        sim.run_for(0.05)
+    out.extend(
+        engine.ingest(
+            make_event("user-location", time=sim.now, subject="anna",
+                       lat=56.3397, lon=-2.80753, mode="foot")
+        )
+    )
+    relevant = [e for e in out if {e["user"], e["friend"]} == {"bob", "anna"}]
+    return {
+        "guided": guided,
+        "strangers": strangers,
+        "found": len(relevant) >= 2,
+        "candidate_joins": engine.stats.candidate_joins,
+    }
+
+
+@pytest.mark.benchmark(group="a2")
+def test_a2_kb_guided_join_ablation(benchmark):
+    floods = [50, 500]
+
+    def sweep():
+        rows = []
+        for strangers in floods:
+            rows.append(run_flood(False, strangers))
+            rows.append(run_flood(True, strangers))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "a2_join_guidance",
+        "A2: KB-guided join enumeration vs budgeted cross product",
+        ["guided", "strangers", "correlation found", "candidate joins"],
+        [
+            ["yes" if r["guided"] else "no", r["strangers"],
+             "yes" if r["found"] else "NO", r["candidate_joins"]]
+            for r in rows
+        ],
+    )
+    by_key = {(r["guided"], r["strangers"]): r for r in rows}
+    # Guided joins always find the pair and do strictly less work.
+    for strangers in floods:
+        assert by_key[(True, strangers)]["found"]
+        assert (
+            by_key[(True, strangers)]["candidate_joins"]
+            <= by_key[(False, strangers)]["candidate_joins"]
+        )
+    # The unguided engine loses the needle once the flood exceeds budget.
+    assert not by_key[(False, floods[-1])]["found"]

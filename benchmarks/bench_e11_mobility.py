@@ -1,0 +1,100 @@
+"""E11 — C9: Mobikit-style proxies vs plain disconnection.
+
+"[Mobikit] provides static proxies for mobile entities, which subscribe on
+behalf of the mobile entity when the mobile entity is disconnected" (§3).
+A mobile client roams through disconnect/reconnect cycles across brokers
+while a publisher streams; we compare delivery with the proxy protocol
+against a plain client that simply drops off the network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.broker import SienaClient, build_broker_tree
+from repro.events.filters import Filter, type_is
+from repro.events.mobility import MobileClient
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.simulation import Simulator
+from benchmarks._harness import emit, fmt
+
+BROKERS = 5
+CYCLES = 4
+EVENTS_PER_PHASE = 10
+
+
+def run_roaming(use_proxy: bool) -> dict:
+    sim = Simulator(seed=111)
+    network = Network(sim, latency=FixedLatency(0.01))
+    brokers = build_broker_tree(sim, network, BROKERS)
+    publisher = SienaClient(sim, network, Position(0, 0), brokers[0])
+    if use_proxy:
+        mobile = MobileClient(sim, network, Position(10, 10), brokers[1])
+    else:
+        mobile = SienaClient(sim, network, Position(10, 10), brokers[1])
+    mobile.subscribe(Filter(type_is("mail")))
+    sim.run_for(2.0)
+
+    sequence = 0
+
+    def publish_phase():
+        nonlocal sequence
+        for _ in range(EVENTS_PER_PHASE):
+            publisher.publish(make_event("mail", n=sequence))
+            sequence += 1
+        sim.run_for(5.0)
+
+    publish_phase()  # connected baseline
+    for cycle in range(CYCLES):
+        if use_proxy:
+            mobile.move_out()
+        else:
+            mobile.crash()
+        sim.run_for(1.0)
+        publish_phase()  # published while dark
+        target = brokers[(2 + cycle) % BROKERS]
+        if use_proxy:
+            mobile.move_in(target)
+        else:
+            mobile.recover()
+            # a plain client re-subscribes at the new broker by hand
+            mobile.broker_addr = target.addr
+            target.attach_client(mobile.addr)
+            mobile.subscribe(Filter(type_is("mail")))
+        sim.run_for(5.0)
+        publish_phase()  # connected again
+
+    received = sorted(e["n"] for _, e in mobile.received)
+    expected = sequence
+    missing = expected - len(set(received))
+    return {
+        "proxy": use_proxy,
+        "published": expected,
+        "received": len(set(received)),
+        "missing": missing,
+        "duplicates": len(received) - len(set(received)),
+    }
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_mobility_proxy_vs_plain(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_roaming(False), run_roaming(True)], rounds=1, iterations=1
+    )
+    plain, proxied = rows
+    emit(
+        "e11_mobility",
+        f"E11/C9: {CYCLES} roam cycles across {BROKERS} brokers",
+        ["client", "published", "received", "missing", "duplicates"],
+        [
+            ["plain (crash/rejoin)", plain["published"], plain["received"],
+             plain["missing"], plain["duplicates"]],
+            ["mobikit proxy", proxied["published"], proxied["received"],
+             proxied["missing"], proxied["duplicates"]],
+        ],
+    )
+    # The plain client loses everything published while it was dark.
+    assert plain["missing"] >= CYCLES * EVENTS_PER_PHASE
+    # The proxy buffers and hands over: nothing is lost.
+    assert proxied["missing"] == 0

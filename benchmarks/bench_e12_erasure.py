@@ -1,0 +1,131 @@
+"""E12 — §3: erasure codes vs whole-object replication.
+
+"The schemes for storing replicated copies of data vary from simple block
+copying to erasure-codes which permit data to be reconstituted from a
+subset of the servers on which it is stored."  We compare 3x replication
+against a 3-of-6 Reed-Solomon code (2x overhead) under increasing node
+loss, measuring retrievability.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import FixedLatency, Network
+from repro.overlay import fast_build
+from repro.simulation import Simulator
+from repro.storage import StorageConfig, StorageService, attach_storage
+from benchmarks._harness import emit, fmt
+
+NODES = 40
+OBJECTS = 10
+DATA = b"the knowledge payload " * 30
+
+
+def build_world(seed: int):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.01))
+    nodes = fast_build(sim, network, NODES)
+    # Healing off: we are measuring the raw redundancy scheme.
+    services = attach_storage(
+        nodes, StorageConfig(replicas=3, audit_interval=1e9)
+    )
+    return sim, nodes, services
+
+
+def settle(sim, future):
+    done = []
+    future.add_callback(lambda f: done.append(f))
+    while not done:
+        sim.run_for(1.0)
+    if done[0].exception is not None:
+        raise done[0].exception
+    return done[0].result()
+
+
+def try_get(sim, service, getter) -> bool:
+    done = []
+    getter().add_callback(lambda f: done.append(f.exception is None))
+    deadline = sim.now + 60.0
+    while not done and sim.now < deadline:
+        sim.run_for(1.0)
+    return bool(done and done[0])
+
+
+def run_scheme(erasure: bool, kill_fraction: float) -> dict:
+    sim, nodes, services = build_world(seed=121 + int(kill_fraction * 100))
+    guids = []
+    for index in range(OBJECTS):
+        payload = DATA + str(index).encode()
+        if erasure:
+            guids.append(settle(sim, services[index % 5].put_erasure(payload, k=3, n=6)))
+        else:
+            guids.append(settle(sim, services[index % 5].put(payload)))
+    sim.run_for(10.0)
+
+    rng = sim.rng_for("killer")
+    victims = rng.sample(nodes, int(NODES * kill_fraction))
+    for victim in victims:
+        victim.crash()
+    sim.run_for(5.0)
+
+    alive = [s for s in services if s.node.alive]
+    reader = alive[0]
+    recovered = 0
+    for guid in guids:
+        if erasure:
+            ok = try_get(sim, reader, lambda g=guid: reader.get_erasure(g, n=6))
+        else:
+            ok = try_get(sim, reader, lambda g=guid: reader.get(g))
+        recovered += ok
+    # Storage overhead: replication keeps 3 full copies; 3-of-6 RS keeps
+    # six half-size fragments = 2 copies' worth of bytes.
+    overhead = 3.0 if not erasure else 2.0
+    return {
+        "scheme": "3x replication" if not erasure else "RS 3-of-6",
+        "kill_fraction": kill_fraction,
+        "recovered": recovered,
+        "overhead_x": overhead,
+    }
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_erasure_vs_replication(benchmark):
+    fractions = [0.1, 0.25, 0.4]
+
+    def sweep():
+        rows = []
+        for fraction in fractions:
+            rows.append(run_scheme(False, fraction))
+            rows.append(run_scheme(True, fraction))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "e12_erasure",
+        f"E12/§3: retrievability of {OBJECTS} objects under node loss",
+        ["scheme", "storage overhead", "nodes killed", "objects recovered"],
+        [
+            [
+                r["scheme"],
+                f"{r['overhead_x']:.1f}x",
+                f"{int(r['kill_fraction'] * 100)}%",
+                f"{r['recovered']}/{OBJECTS}",
+            ]
+            for r in rows
+        ],
+    )
+    # At modest loss both schemes hold; erasure does so with less storage.
+    low_loss = [r for r in rows if r["kill_fraction"] == fractions[0]]
+    for row in low_loss:
+        assert row["recovered"] >= OBJECTS - 1
+    # Erasure should never be dramatically worse than replication despite
+    # its lower overhead (the parity trade-off of §3).
+    by_fraction = {}
+    for row in rows:
+        by_fraction.setdefault(row["kill_fraction"], {})[row["scheme"]] = row
+    for fraction, schemes in by_fraction.items():
+        assert (
+            schemes["RS 3-of-6"]["recovered"]
+            >= schemes["3x replication"]["recovered"] - 2
+        )

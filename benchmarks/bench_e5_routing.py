@@ -1,0 +1,124 @@
+"""E5 — C2: deterministic Plaxton routing vs non-deterministic Freenet.
+
+"Some systems ... rely exclusively on non-deterministic algorithms.  This
+means that data cannot always be found, rendering them unsuitable as a base
+technology for this work" (§3).  We measure (a) Pastry's hop counts scaling
+as log16(N) with 100% delivery, and (b) the Freenet baseline's retrieval
+success rate falling with network size at fixed effort.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ids import guid_from_content, random_guid
+from repro.net import FixedLatency, Network
+from repro.overlay import OverlayApplication, build_freenet, fast_build
+from repro.simulation import Simulator
+from benchmarks._harness import emit, fmt
+
+PROBES = 60
+
+
+class _Collector(OverlayApplication):
+    def __init__(self):
+        self.deliveries = []
+
+    def on_deliver(self, key, payload, ctx):
+        self.deliveries.append((key, ctx.hops))
+
+
+def pastry_stats(count: int) -> dict:
+    sim = Simulator(seed=51)
+    network = Network(sim, latency=FixedLatency(0.005))
+    nodes = fast_build(sim, network, count)
+    collectors = {}
+    for node in nodes:
+        app = _Collector()
+        node.register_app("probe", app)
+        collectors[node.addr] = app
+    rng = sim.rng_for("probes")
+    for _ in range(PROBES):
+        key = random_guid(rng)
+        nodes[rng.randrange(count)].route(key, "x", "probe")
+    sim.run_for(30.0)
+    hops = [h for app in collectors.values() for _, h in app.deliveries]
+    return {
+        "nodes": count,
+        "delivered": len(hops),
+        "mean_hops": sum(hops) / len(hops) if hops else float("nan"),
+        "max_hops": max(hops) if hops else 0,
+    }
+
+
+def freenet_stats(count: int, htl: int = 8) -> dict:
+    sim = Simulator(seed=52)
+    network = Network(sim, latency=FixedLatency(0.005))
+    nodes = build_freenet(sim, network, count, degree=4)
+    rng = sim.rng_for("probes")
+    outcomes = []
+    for index in range(PROBES):
+        data = f"object-{index}".encode()
+        key = guid_from_content(data)
+        nodes[rng.randrange(count)].put(data, key, htl=htl)
+        sim.run_for(10.0)
+        future = nodes[rng.randrange(count)].get(key, htl=htl)
+        future.add_callback(lambda f: outcomes.append(f.exception is None))
+        sim.run_for(20.0)
+    return {
+        "nodes": count,
+        "attempted": PROBES,
+        "succeeded": sum(outcomes),
+        "success_rate": sum(outcomes) / len(outcomes) if outcomes else 0.0,
+    }
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_pastry_hops_scale_logarithmically(benchmark):
+    sizes = [16, 64, 256]
+    rows = benchmark.pedantic(
+        lambda: [pastry_stats(n) for n in sizes], rounds=1, iterations=1
+    )
+    emit(
+        "e5_pastry_routing",
+        f"E5/C2a: Pastry routing, {PROBES} probes per size",
+        ["nodes", "delivered", "mean hops", "max hops", "log16(N)"],
+        [
+            [
+                r["nodes"],
+                r["delivered"],
+                fmt(r["mean_hops"], 2),
+                r["max_hops"],
+                fmt(math.log(r["nodes"], 16), 2),
+            ]
+            for r in rows
+        ],
+    )
+    for row in rows:
+        # Deterministic: every probe is delivered somewhere authoritative.
+        assert row["delivered"] == PROBES
+        # Hop counts in the log16 regime (generous constant).
+        assert row["mean_hops"] <= 2.5 * math.log(row["nodes"], 16) + 1.5
+    assert rows[-1]["mean_hops"] < rows[-1]["nodes"] / 8  # far sublinear
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_freenet_retrieval_degrades(benchmark):
+    sizes = [32, 128, 512]
+    rows = benchmark.pedantic(
+        lambda: [freenet_stats(n) for n in sizes], rounds=1, iterations=1
+    )
+    emit(
+        "e5_freenet_routing",
+        f"E5/C2b: Freenet-style retrieval at fixed HTL, {PROBES} probes per size",
+        ["nodes", "attempted", "succeeded", "success rate"],
+        [
+            [r["nodes"], r["attempted"], r["succeeded"], fmt(r["success_rate"], 2)]
+            for r in rows
+        ],
+    )
+    # Non-deterministic: success is partial and degrades with scale.
+    assert rows[0]["success_rate"] > rows[-1]["success_rate"]
+    assert rows[-1]["success_rate"] < 1.0

@@ -1,0 +1,98 @@
+"""E6 — C3/C4: promiscuous caching is crucial to read performance.
+
+"The more sophisticated P2P systems support promiscuous caching where data
+is free to be cached anywhere at any time ... crucial to the performance of
+the system if the fetching of remote data at every access is to be avoided"
+(§3).  A hot knowledge item is read repeatedly across the network with
+caching enabled and disabled; we compare read latency and the load on the
+item's root replicas.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import GeographicLatency, Network
+from repro.overlay import fast_build
+from repro.simulation import Simulator
+from repro.storage import StorageConfig, attach_storage
+from benchmarks._harness import emit, fmt_ms
+
+NODES = 40
+READ_ROUNDS = 3
+
+
+def run_workload(caching: bool) -> dict:
+    sim = Simulator(seed=61)
+    network = Network(sim, latency=GeographicLatency())
+    nodes = fast_build(sim, network, NODES)
+    config = StorageConfig(
+        replicas=3,
+        cache_capacity_bytes=256 * 1024 if caching else 0,
+        cache_on_path=caching,
+    )
+    services = attach_storage(nodes, config)
+
+    done = []
+    services[0].put(b"hot knowledge item" * 20).add_callback(
+        lambda f: done.append(f.result())
+    )
+    while not done:
+        sim.run_for(1.0)
+    guid = done[0]
+    sim.run_for(5.0)
+
+    readers = [s for s in services if guid not in s.primary][:25]
+    for _ in range(READ_ROUNDS):
+        for reader in readers:
+            reader.get(guid)
+        sim.run_for(30.0)
+
+    latencies = [lat for r in readers for lat in r.stats.get_latencies]
+    latencies.sort()
+    root_answers = sum(s.stats.root_answers for s in services)
+    cache_answers = sum(s.stats.cache_answers for s in services)
+    local_hits = sum(s.stats.local_hits for s in readers)
+    return {
+        "caching": caching,
+        "reads": len(latencies),
+        "mean_ms": 1000 * sum(latencies) / len(latencies),
+        "p95_ms": 1000 * latencies[int(0.95 * len(latencies))],
+        "replica_answers": root_answers,
+        "cache_answers": cache_answers,
+        "local_hits": local_hits,
+    }
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_promiscuous_caching(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_workload(caching) for caching in (False, True)],
+        rounds=1,
+        iterations=1,
+    )
+    off, on = rows
+    emit(
+        "e6_caching",
+        f"E6/C3: {READ_ROUNDS} read rounds x 25 readers, hot item, {NODES} nodes",
+        ["caching", "reads", "mean read", "p95 read",
+         "replica answers", "cache hits (local+en-route)"],
+        [
+            [
+                "off" if not r["caching"] else "on",
+                r["reads"],
+                fmt_ms(r["mean_ms"] / 1000),
+                fmt_ms(r["p95_ms"] / 1000),
+                r["replica_answers"],
+                r["local_hits"] + r["cache_answers"],
+            ]
+            for r in rows
+        ],
+    )
+    # With caching, repeat reads are absorbed by caches (the reader's own
+    # copy or one met en route) instead of fetching remote data every time.
+    assert on["local_hits"] + on["cache_answers"] > 0
+    assert off["local_hits"] + off["cache_answers"] == 0
+    assert on["mean_ms"] < off["mean_ms"] * 0.7
+    # Replica (origin) load drops when caches absorb the traffic.
+    assert on["replica_answers"] < off["replica_answers"]

@@ -1,0 +1,90 @@
+"""E7 — C5: RAID-style self-healing of the storage layer under churn.
+
+"A rule might create 5 copies of some data for resilience, but over time
+some of these might become unavailable — in which case further copies
+should be made.  An obvious analogy is with RAID systems, which self-heal
+in response to individual component failure" (§4.6).  We kill a fraction of
+the nodes and track the replica-count trajectory back to the target k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import FixedLatency, Network
+from repro.overlay import fast_build
+from repro.simulation import Simulator
+from repro.storage import StorageConfig, attach_storage, count_replicas
+from benchmarks._harness import emit, fmt
+
+NODES = 30
+OBJECTS = 15
+REPLICAS = 3
+
+
+def run_selfheal() -> dict:
+    sim = Simulator(seed=71)
+    network = Network(sim, latency=FixedLatency(0.01))
+    nodes = fast_build(sim, network, NODES)
+    config = StorageConfig(replicas=REPLICAS, audit_interval=10.0)
+    services = attach_storage(nodes, config)
+
+    guids = []
+    for index in range(OBJECTS):
+        done = []
+        services[index % NODES].put(f"object-{index}".encode() * 10).add_callback(
+            lambda f: done.append(f.result())
+        )
+        while not done:
+            sim.run_for(1.0)
+        guids.append(done[0])
+    sim.run_for(30.0)
+
+    def census():
+        return [count_replicas(services, g) for g in guids]
+
+    before = census()
+    # Kill 30% of the nodes without warning.
+    victims = nodes[:: max(1, NODES // 9)]
+    for victim in victims:
+        victim.crash()
+    at_kill = census()
+
+    trajectory = []
+    healed_at = None
+    for step in range(30):
+        sim.run_for(10.0)
+        counts = census()
+        trajectory.append((sim.now, min(counts), sum(counts) / len(counts)))
+        if min(counts) >= REPLICAS and healed_at is None:
+            healed_at = sim.now
+            break
+    return {
+        "killed": len(victims),
+        "min_before": min(before),
+        "min_at_kill": min(at_kill),
+        "healed_at": healed_at,
+        "trajectory": trajectory,
+        "lost_objects": sum(1 for c in census() if c == 0),
+    }
+
+
+@pytest.mark.benchmark(group="e7")
+def test_e7_storage_selfheal(benchmark):
+    result = benchmark.pedantic(run_selfheal, rounds=1, iterations=1)
+    rows = [
+        [fmt(t, 0), minimum, fmt(mean, 2)]
+        for t, minimum, mean in result["trajectory"]
+    ]
+    emit(
+        "e7_selfheal",
+        f"E7/C5: {OBJECTS} objects x{REPLICAS} replicas, "
+        f"{result['killed']}/{NODES} nodes killed; replica trajectory",
+        ["sim time (s)", "min replicas", "mean replicas"],
+        rows,
+    )
+    assert result["min_before"] == REPLICAS  # steady state before failure
+    assert result["min_at_kill"] < REPLICAS  # damage actually happened
+    assert result["lost_objects"] == 0  # nothing was lost
+    assert result["healed_at"] is not None  # ...and it healed
+    assert result["healed_at"] < 300.0  # within a few audit rounds

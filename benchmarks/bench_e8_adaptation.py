@@ -1,0 +1,150 @@
+"""E8 — §4.6: adapting data placement to observed usage patterns.
+
+Two policies from the paper are measured:
+
+* latency-reduction — "replicate progressively more of a user's personal
+  data at storage units geographically close to the user's current
+  location, the longer that the user remained at that location";
+* diurnal prefetch — "the system might observe diurnal patterns in data
+  access ... and modify the caching and replication of data as is
+  appropriate": day 1 accesses teach the policy, day 2 reads hit prefetched
+  copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events.model import make_event
+from repro.evolution.advertisement import region_of
+from repro.evolution.policies import DiurnalPrefetchPolicy, LatencyReductionPolicy
+from repro.net import GeographicLatency, Network
+from repro.overlay import fast_build
+from repro.simulation import Simulator
+from repro.storage import StorageConfig, attach_storage
+from benchmarks._harness import emit, fmt_ms
+
+NODES = 30
+
+
+def build_world(seed: int):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=GeographicLatency())
+    nodes = fast_build(sim, network, NODES)
+    services = attach_storage(nodes, StorageConfig(replicas=3))
+    by_region: dict = {}
+    for service in services:
+        by_region.setdefault(region_of(service.node.position), []).append(service)
+    return sim, services, by_region
+
+
+def put_blocking(sim, service, data: bytes):
+    done = []
+    service.put(data).add_callback(lambda f: done.append(f.result()))
+    while not done:
+        sim.run_for(1.0)
+    return done[0]
+
+
+def read_latency(sim, service, guid) -> float:
+    before = len(service.stats.get_latencies)
+    service.get(guid)
+    while len(service.stats.get_latencies) == before:
+        sim.run_for(1.0)
+    return service.stats.get_latencies[-1]
+
+
+def run_latency_reduction() -> dict:
+    sim, services, by_region = build_world(seed=81)
+    scotland_writer = by_region["scotland"][0]
+    guids = [
+        put_blocking(sim, scotland_writer, f"bob-data-{i}".encode() * 8)
+        for i in range(5)
+    ]
+    sim.run_for(10.0)
+    australia_readers = by_region["australia"]
+
+    # Bob lands in Sydney: first reads go to the other side of the planet.
+    cold = [read_latency(sim, australia_readers[0], g) for g in guids]
+
+    policy = LatencyReductionPolicy(sim, by_region, dwell_threshold_s=300.0)
+    policy.register_user_data("bob", guids)
+    sydney_fix = make_event("user-location", subject="bob", lat=-33.87, lon=151.21)
+    policy.on_event(sydney_fix)
+    sim.run_for(400.0)
+    policy.on_event(sydney_fix)  # dwell exceeded -> seeding
+    sim.run_for(60.0)
+
+    # Reads from *another* Australian node now hit in-region copies.
+    warm = [read_latency(sim, australia_readers[1], g) for g in guids]
+    return {
+        "cold_mean": sum(cold) / len(cold),
+        "warm_mean": sum(warm) / len(warm),
+        "seed_actions": len(policy.actions),
+    }
+
+
+def run_diurnal() -> dict:
+    sim, services, by_region = build_world(seed=82)
+    writer = by_region["scotland"][0]
+    guids = [
+        put_blocking(sim, writer, f"morning-news-{i}".encode() * 8) for i in range(6)
+    ]
+    policy = DiurnalPrefetchPolicy(sim, by_region, lead_time_s=600.0)
+    reader = by_region["north-america"][0]
+
+    def read_at_hour(hour_s: float) -> float:
+        if sim.now < hour_s:
+            sim.run_for(hour_s - sim.now)
+        latencies = []
+        for guid in guids:
+            latencies.append(read_latency(sim, reader, guid))
+            policy.record_access(guid, "north-america")
+        return sum(latencies) / len(latencies)
+
+    day = 86400.0
+    day1 = read_at_hour(9 * 3600.0)
+    # Reader's own cache would also hide the effect; clear it between days.
+    sim.run_for(day + 8 * 3600.0 - sim.now)
+    for guid in guids:
+        reader.cache.invalidate(guid)
+    day2 = read_at_hour(day + 9 * 3600.0)
+    return {
+        "day1_mean": day1,
+        "day2_mean": day2,
+        "prefetches": len(policy.prefetches),
+    }
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_latency_reduction_policy(benchmark):
+    result = benchmark.pedantic(run_latency_reduction, rounds=1, iterations=1)
+    emit(
+        "e8_latency_reduction",
+        "E8a/§4.6: dwell-driven replication toward the user",
+        ["metric", "value"],
+        [
+            ["cold read (cross-planet)", fmt_ms(result["cold_mean"])],
+            ["warm read (in-region)", fmt_ms(result["warm_mean"])],
+            ["seed actions", result["seed_actions"]],
+        ],
+    )
+    assert result["seed_actions"] == 5
+    assert result["warm_mean"] < result["cold_mean"] * 0.5
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_diurnal_prefetch_policy(benchmark):
+    result = benchmark.pedantic(run_diurnal, rounds=1, iterations=1)
+    emit(
+        "e8_diurnal",
+        "E8b/§4.6: diurnal access pattern learned on day 1, prefetched day 2",
+        ["metric", "value"],
+        [
+            ["day-1 9:00 mean read", fmt_ms(result["day1_mean"])],
+            ["day-2 9:00 mean read", fmt_ms(result["day2_mean"])],
+            ["prefetches issued", result["prefetches"]],
+        ],
+    )
+    assert result["prefetches"] >= 6
+    assert result["day2_mean"] < result["day1_mean"]

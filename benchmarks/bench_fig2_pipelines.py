@@ -1,0 +1,143 @@
+"""E2 — Figure 2: distributed XML pipelines, intra- vs inter-node cost.
+
+The same four-stage pipeline spec is deployed (a) on one node, (b) split
+over two nodes in the same country, (c) spread over four nodes on three
+continents.  Placement is orthogonal to the pipeline definition (§4.2:
+"the interconnection topology is orthogonal to the service definition and
+its deployment"); what changes is the latency events pay crossing node
+boundaries as XML messages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cingal import ThinServer
+from repro.events.model import make_event
+from repro.net import GeographicLatency, Network, Position
+from repro.pipelines import (
+    ComponentSpec,
+    DeploymentAgent,
+    EdgeSpec,
+    PipelineSpec,
+    deploy_pipeline,
+)
+from repro.simulation import Simulator
+from benchmarks._harness import emit, fmt_ms
+
+KEY = "fig2-key"
+EVENTS = 200
+
+POSITIONS = {
+    "st-andrews": Position(56.34, -2.79),
+    "edinburgh": Position(55.95, -3.19),
+    "new-york": Position(40.71, -74.0),
+    "sydney": Position(-33.87, 151.21),
+}
+
+
+def build_spec() -> PipelineSpec:
+    return PipelineSpec(
+        name="fig2",
+        components=(
+            ComponentSpec.make("entry", "source"),
+            ComponentSpec.make("dedup", "filter.dedup", params={"window": "0.5"}),
+            ComponentSpec.make(
+                "limiter",
+                "filter.ratelimit",
+                params={"max_events": "100000", "period": "1"},
+            ),
+            ComponentSpec.make("sink", "probe"),
+        ),
+        edges=(
+            EdgeSpec("entry", "dedup"),
+            EdgeSpec("dedup", "limiter"),
+            EdgeSpec("limiter", "sink"),
+        ),
+    )
+
+
+def run_placement(split: str) -> dict:
+    sim = Simulator(seed=17)
+    network = Network(sim, latency=GeographicLatency())
+    servers = {
+        name: ThinServer(sim, network, pos, KEY) for name, pos in POSITIONS.items()
+    }
+    agent = DeploymentAgent(sim, network, POSITIONS["st-andrews"])
+    placements = {
+        "one-node": dict.fromkeys(
+            ("entry", "dedup", "limiter", "sink"), servers["st-andrews"]
+        ),
+        "two-nodes-country": {
+            "entry": servers["st-andrews"],
+            "dedup": servers["st-andrews"],
+            "limiter": servers["edinburgh"],
+            "sink": servers["edinburgh"],
+        },
+        "four-nodes-global": {
+            "entry": servers["st-andrews"],
+            "dedup": servers["edinburgh"],
+            "limiter": servers["new-york"],
+            "sink": servers["sydney"],
+        },
+    }
+    placement = placements[split]
+    process = deploy_pipeline(sim, agent, build_spec(), placement, KEY)
+    while not process.done:
+        sim.run_for(1.0)
+
+    # Timestamp arrivals at the sink: latency = sink clock - injection time.
+    latencies: list[float] = []
+    sink = placement["sink"].components["sink"]
+    original_on_event = sink.on_event
+
+    def timestamping(event):
+        latencies.append(sim.now - float(event["time"]))
+        return original_on_event(event)
+
+    sink.on_event = timestamping
+    entry = placement["entry"].components["entry"]
+    for index in range(EVENTS):
+        entry.put(make_event("tick", time=sim.now, subject=f"e{index}", n=index))
+        sim.run_for(1.0)
+    sim.run_for(30.0)
+    return {
+        "split": split,
+        "delivered": len(latencies),
+        "mean_latency_s": sum(latencies) / len(latencies) if latencies else 0.0,
+        "max_latency_s": max(latencies) if latencies else 0.0,
+    }
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_pipeline_placement_latency(benchmark):
+    def sweep():
+        return [
+            run_placement(split)
+            for split in ("one-node", "two-nodes-country", "four-nodes-global")
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "fig2_pipelines",
+        f"E2/Fig2: one pipeline spec, three placements ({EVENTS} events)",
+        ["placement", "delivered", "mean latency", "max latency"],
+        [
+            [
+                r["split"],
+                r["delivered"],
+                fmt_ms(r["mean_latency_s"]),
+                fmt_ms(r["max_latency_s"]),
+            ]
+            for r in rows
+        ],
+    )
+    one, country, global_ = rows
+    # No event loss under any placement.
+    assert one["delivered"] == EVENTS
+    assert country["delivered"] == EVENTS
+    assert global_["delivered"] == EVENTS
+    # Intra-node is effectively free; each node boundary adds real latency.
+    assert one["mean_latency_s"] < 0.001
+    assert country["mean_latency_s"] > one["mean_latency_s"]
+    assert global_["mean_latency_s"] > country["mean_latency_s"] * 5

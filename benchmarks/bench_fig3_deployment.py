@@ -1,0 +1,140 @@
+"""E3 — Figure 3 + C6: the pipeline deployment infrastructure.
+
+Measures (a) time to assemble a pipeline of k components from signed code
+bundles pushed to thin servers, and (b) live evolution: replacing a running
+component (hot swap) without losing events — "it will be impossible to shut
+it down and restart it for maintenance" (§1.2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cingal import ThinServer
+from repro.cingal.bundle import make_bundle
+from repro.events.model import make_event
+from repro.net import GeographicLatency, Network, Position
+from repro.pipelines import (
+    ComponentSpec,
+    DeploymentAgent,
+    EdgeSpec,
+    PipelineSpec,
+    deploy_pipeline,
+)
+from repro.simulation import Simulator
+from benchmarks._harness import emit, fmt
+
+KEY = "fig3-key"
+
+
+def chain_spec(k: int) -> PipelineSpec:
+    components = [ComponentSpec.make("entry", "source")]
+    edges = []
+    previous = "entry"
+    for index in range(k - 2):
+        name = f"stage{index}"
+        components.append(
+            ComponentSpec.make(name, "filter.dedup", params={"window": "0.01"})
+        )
+        edges.append(EdgeSpec(previous, name))
+        previous = name
+    components.append(ComponentSpec.make("sink", "probe"))
+    edges.append(EdgeSpec(previous, "sink"))
+    return PipelineSpec(name=f"chain-{k}", components=tuple(components), edges=tuple(edges))
+
+
+def deploy_time_for(k: int, servers_count: int = 4) -> dict:
+    sim = Simulator(seed=11)
+    network = Network(sim, latency=GeographicLatency())
+    servers = [
+        ThinServer(sim, network, Position(50.0 + i, -3.0 + i), KEY)
+        for i in range(servers_count)
+    ]
+    agent = DeploymentAgent(sim, network, Position(50.0, -3.0))
+    spec = chain_spec(k)
+    placement = {
+        component.name: servers[index % servers_count]
+        for index, component in enumerate(spec.components)
+    }
+    started = sim.now
+    process = deploy_pipeline(sim, agent, spec, placement, KEY)
+    while not process.done:
+        sim.run_for(0.5)
+    bundles_deployed = sum(s.deploy_count for s in servers)
+    return {
+        "components": k,
+        "deploy_time_s": sim.now - started,
+        "bundles": bundles_deployed,
+    }
+
+
+def hot_swap_run() -> dict:
+    """Stream events through a pipeline while re-deploying its middle stage."""
+    sim = Simulator(seed=12)
+    network = Network(sim, latency=GeographicLatency())
+    server = ThinServer(sim, network, Position(56.34, -2.79), KEY)
+    agent = DeploymentAgent(sim, network, Position(56.34, -2.79))
+    spec = chain_spec(3)
+    placement = dict.fromkeys(("entry", "stage0", "sink"), server)
+    process = deploy_pipeline(sim, agent, spec, placement, KEY)
+    while not process.done:
+        sim.run_for(0.5)
+    entry = server.components["entry"]
+    total = 300
+    swapped_at = None
+    for index in range(total):
+        entry.put(make_event("tick", time=sim.now, subject=f"s{index}", n=index))
+        if index == total // 2:
+            # Live evolution: push a replacement bundle for the middle stage.
+            server.deploy(
+                make_bundle(
+                    "stage0", "filter.dedup", params={"window": "0.01"}, key=KEY
+                )
+            )
+            swapped_at = index
+        sim.run_for(0.05)
+    sim.run_for(5.0)
+    sink = server.components["sink"]
+    return {
+        "events_fed": total,
+        "events_delivered": len(sink.events),
+        "swapped_at": swapped_at,
+        "redeploys": server.deploy_count - 3,
+    }
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_deployment_scaling(benchmark):
+    ks = [3, 5, 8, 12]
+    rows = benchmark.pedantic(
+        lambda: [deploy_time_for(k) for k in ks], rounds=1, iterations=1
+    )
+    emit(
+        "fig3_deployment",
+        "E3/Fig3: pipeline assembly from pushed code bundles",
+        ["components", "bundles fired", "deploy time (sim s)"],
+        [[r["components"], r["bundles"], fmt(r["deploy_time_s"], 2)] for r in rows],
+    )
+    # All bundles land; deployment time grows roughly linearly, not worse.
+    for row, k in zip(rows, ks):
+        assert row["bundles"] == k
+    t_small, t_large = rows[0]["deploy_time_s"], rows[-1]["deploy_time_s"]
+    assert t_large < t_small * (ks[-1] / ks[0]) * 3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_live_evolution_no_event_loss(benchmark):
+    result = benchmark.pedantic(hot_swap_run, rounds=1, iterations=1)
+    emit(
+        "fig3_hot_swap",
+        "E3/C6: component hot swap under live traffic",
+        ["metric", "value"],
+        [
+            ["events fed", result["events_fed"]],
+            ["events delivered", result["events_delivered"]],
+            ["swap at event #", result["swapped_at"]],
+            ["redeployments", result["redeploys"]],
+        ],
+    )
+    assert result["redeploys"] == 1
+    assert result["events_delivered"] == result["events_fed"]  # nothing lost

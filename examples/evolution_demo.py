@@ -1,0 +1,71 @@
+"""Constraint-driven deployment and self-healing (§4.4, §4.6).
+
+Installs the paper's own example constraint — "at least 5 pipeline
+components providing a data replication service must be deployed in
+parallel within a given geographical region" — then kills nodes and watches
+the monitoring + evolution engines repair the deployment, RAID-style.
+
+Run:  python examples/evolution_demo.py
+"""
+
+from repro import ActiveArchitecture, ArchitectureConfig
+from repro.evolution.constraints import MinComponentsInRegion
+from repro.evolution.engine import BundleTemplate
+
+
+def main() -> None:
+    # 15 brokers/thin servers across 5 world regions: three per region, so
+    # a region can lose a node and still have a spare to heal onto.
+    arch = ActiveArchitecture(
+        ArchitectureConfig(seed=5, overlay_nodes=12, brokers=15, suspect_after_s=60.0)
+    )
+
+    # Which regions did the thin servers land in?
+    by_region: dict[str, list[int]] = {}
+    from repro.evolution.advertisement import region_of
+
+    for index, server in enumerate(arch.servers):
+        by_region.setdefault(region_of(server.position), []).append(index)
+    region, indices = max(by_region.items(), key=lambda kv: len(kv[1]))
+    print(f"targeting region {region!r} with servers {indices}")
+
+    want = len(indices) - 1  # leave one spare node for the repair
+    arch.evolution.register_template(
+        "replication-service", BundleTemplate(component="probe")
+    )
+    arch.run(60.0)  # let advertisements flow
+    arch.evolution.add_constraint(
+        MinComponentsInRegion("replication-service", region, want)
+    )
+    arch.run(120.0)
+    live = arch.evolution.state.live("replication-service", region)
+    print(f"t={arch.sim.now:7.1f}s  deployed {len(live)}/{want}: "
+          f"{sorted(d.node_id for d in live)}")
+
+    victim = live[0]
+    victim_index = int(victim.node_id.split("-")[1])
+    print(f"t={arch.sim.now:7.1f}s  CRASH {victim.node_id}")
+    arch.servers[victim_index].crash()
+    arch.advertisers[victim_index].stop()
+
+    for _ in range(10):
+        arch.run(60.0)
+        live = arch.evolution.state.live("replication-service", region)
+        satisfied = arch.evolution.satisfied()
+        print(
+            f"t={arch.sim.now:7.1f}s  live={len(live)}/{want}  "
+            f"constraint {'satisfied' if satisfied else 'VIOLATED'}"
+        )
+        if satisfied and all(d.node_id != victim.node_id for d in live):
+            break
+
+    print("\nrepair log:")
+    for action in arch.evolution.actions:
+        print(
+            f"  t={action.time:7.1f}s  {action.instance_name} -> "
+            f"{action.node_id} ({action.cause})"
+        )
+
+
+if __name__ == "__main__":
+    main()

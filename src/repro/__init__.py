@@ -1,0 +1,36 @@
+"""repro: a full reproduction of "Active Architecture for Pervasive
+Contextual Services" (Kirby, Dearle, Morrison, Dunlop, Connor, Nixon —
+MPAC 2003).
+
+The package assembles several peer-to-peer systems into a global
+contextual matching engine: a Pastry-style overlay carrying a PAST-style
+storage architecture with promiscuous caching; a Siena-style content-based
+event service; Cingal-style code push onto thin servers; XML pipelines
+hosting matchlets; and a constraint-driven evolution engine keeping the
+deployment healthy under churn.
+
+Quickstart::
+
+    from repro import ActiveArchitecture, ArchitectureConfig
+
+    arch = ActiveArchitecture(ArchitectureConfig(seed=1))
+
+See README.md for the architecture overview and examples/ for runnable
+scenarios (the paper's Bob-and-Anna ice-cream correlation among them).
+"""
+
+from repro.core import ActiveArchitecture, ArchitectureConfig
+from repro.ids import Guid, guid_from_content, guid_from_name
+from repro.simulation import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveArchitecture",
+    "ArchitectureConfig",
+    "Guid",
+    "Simulator",
+    "guid_from_content",
+    "guid_from_name",
+    "__version__",
+]

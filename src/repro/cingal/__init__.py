@@ -1,0 +1,46 @@
+"""Cingal-style code push (§3, §4.3).
+
+"Bundles of code and data wrapped in XML packets [are] deployed and run on a
+thin server.  On arrival at a thin server, and subject to verification and
+security checks, the code may be executed within a security domain.  Each
+thin server provides the necessary infrastructure for code deployment,
+authentication of bundles, a capability-based protection system and an
+object store."  All four pieces are implemented here.
+"""
+
+from repro.cingal.bundle import Bundle, BundleError, sign_bundle, verify_bundle
+from repro.cingal.capabilities import (
+    ALL_CAPABILITIES,
+    CAP_DEPLOY,
+    CAP_EMIT,
+    CAP_SPAWN,
+    CAP_STORE_READ,
+    CAP_STORE_WRITE,
+    CapabilityError,
+)
+from repro.cingal.object_store import ObjectStore, QuotaExceeded
+from repro.cingal.registry import ComponentRegistry, default_registry, register_component
+from repro.cingal.thin_server import BundleContext, DeployAck, Fire, ThinServer
+
+__all__ = [
+    "ALL_CAPABILITIES",
+    "Bundle",
+    "BundleContext",
+    "BundleError",
+    "CAP_DEPLOY",
+    "CAP_EMIT",
+    "CAP_SPAWN",
+    "CAP_STORE_READ",
+    "CAP_STORE_WRITE",
+    "CapabilityError",
+    "ComponentRegistry",
+    "DeployAck",
+    "Fire",
+    "ObjectStore",
+    "QuotaExceeded",
+    "ThinServer",
+    "default_registry",
+    "register_component",
+    "sign_bundle",
+    "verify_bundle",
+]

@@ -1,0 +1,24 @@
+"""Capability-based protection for code running on thin servers."""
+
+from __future__ import annotations
+
+CAP_STORE_READ = "store.read"
+CAP_STORE_WRITE = "store.write"
+CAP_EMIT = "events.emit"
+CAP_SPAWN = "component.spawn"
+CAP_DEPLOY = "deploy"
+
+ALL_CAPABILITIES = frozenset(
+    {CAP_STORE_READ, CAP_STORE_WRITE, CAP_EMIT, CAP_SPAWN, CAP_DEPLOY}
+)
+
+
+class CapabilityError(PermissionError):
+    """A bundle attempted an operation its capability set does not allow."""
+
+
+def validate_capabilities(caps: frozenset[str]) -> frozenset[str]:
+    unknown = caps - ALL_CAPABILITIES
+    if unknown:
+        raise ValueError(f"unknown capabilities: {sorted(unknown)}")
+    return caps

@@ -1,0 +1,54 @@
+"""Wire messages of the deployment infrastructure.
+
+Kept separate from :mod:`thin_server` so the pipeline assembly layer can
+speak the protocol without importing the server (and its pipeline
+dependencies) — breaking the package cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cingal.bundle import Bundle
+from repro.net.network import Address
+
+
+@dataclass
+class Fire:
+    """Deploy-and-run a bundle (Cingal's fire operation)."""
+
+    bundle: Bundle
+
+
+@dataclass
+class DeployAck:
+    bundle_name: str
+    ok: bool
+    error: str = ""
+
+
+@dataclass
+class Undeploy:
+    component_name: str
+
+
+@dataclass
+class ConnectLocal:
+    src_component: str
+    dst_component: str
+    req_id: int = 0
+
+
+@dataclass
+class ConnectRemote:
+    src_component: str
+    dst_addr: Address
+    dst_component: str
+    req_id: int = 0
+
+
+@dataclass
+class ConnectAck:
+    ok: bool
+    error: str = ""
+    req_id: int = 0

@@ -1,0 +1,49 @@
+"""Per-thin-server object store with quota enforcement."""
+
+from __future__ import annotations
+
+
+class QuotaExceeded(Exception):
+    pass
+
+
+class ObjectStore:
+    """Named byte objects, bounded by a byte quota."""
+
+    def __init__(self, quota_bytes: int = 1 << 20):
+        if quota_bytes <= 0:
+            raise ValueError("quota must be positive")
+        self.quota_bytes = quota_bytes
+        self._objects: dict[str, bytes] = {}
+
+    @property
+    def bytes_used(self) -> int:
+        return sum(len(v) for v in self._objects.values())
+
+    def put(self, name: str, data: bytes) -> None:
+        if not isinstance(data, bytes):
+            raise TypeError("object store holds bytes")
+        projected = self.bytes_used - len(self._objects.get(name, b"")) + len(data)
+        if projected > self.quota_bytes:
+            raise QuotaExceeded(
+                f"storing {name!r} ({len(data)} B) would exceed quota "
+                f"({projected} > {self.quota_bytes})"
+            )
+        self._objects[name] = data
+
+    def get(self, name: str) -> bytes:
+        if name not in self._objects:
+            raise KeyError(name)
+        return self._objects[name]
+
+    def delete(self, name: str) -> bool:
+        return self._objects.pop(name, None) is not None
+
+    def names(self) -> list[str]:
+        return sorted(self._objects)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,52 @@
+"""The code registry: component names -> factories.
+
+Bundles reference components by registry name (the common, safe case) or
+carry inline Python source for the restricted interpreter (the fully
+dynamic case, off by default).  A thin server resolves the reference at
+deployment time, so new component types become available everywhere the
+registry update has been pushed — the paper's incremental evolution story.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class ComponentRegistry:
+    """A mapping of component names to factory callables."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable) -> None:
+        if name in self._factories:
+            raise ValueError(f"component already registered: {name}")
+        self._factories[name] = factory
+
+    def replace(self, name: str, factory: Callable) -> None:
+        """Hot-swap a component implementation (incremental evolution)."""
+        self._factories[name] = factory
+
+    def resolve(self, name: str) -> Callable:
+        if name not in self._factories:
+            raise KeyError(f"unknown component: {name}")
+        return self._factories[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+
+default_registry = ComponentRegistry()
+
+
+def register_component(name: str, registry: ComponentRegistry | None = None):
+    """Decorator: ``@register_component("filter.threshold")``."""
+
+    def decorator(factory: Callable) -> Callable:
+        (registry or default_registry).register(name, factory)
+        return factory
+
+    return decorator

@@ -1,0 +1,15 @@
+"""The public facade: the assembled active architecture.
+
+"The overall system architecture consists of several P2P systems overlaid on
+each other in order to implement and support the global matching engine"
+(§5).  :class:`ActiveArchitecture` builds and wires them all: the simulated
+WAN, the Pastry overlay with the storage architecture, the Siena broker
+network, thin servers with resource advertisement, the monitoring and
+evolution engines, the distributed knowledge base, and the contextual
+services on top.
+"""
+
+from repro.core.config import ArchitectureConfig
+from repro.core.architecture import ActiveArchitecture
+
+__all__ = ["ActiveArchitecture", "ArchitectureConfig"]

@@ -1,0 +1,29 @@
+"""Configuration for an assembled architecture."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.service import StorageConfig
+
+
+@dataclass
+class ArchitectureConfig:
+    """Sizing and policy knobs; defaults give a laptop-friendly world."""
+
+    seed: int = 42
+    overlay_nodes: int = 24
+    brokers: int = 7
+    broker_branching: int = 3
+    deploy_key: str = "gloss-deploy-key"
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    loss_rate: float = 0.0
+    advertise_period_s: float = 30.0
+    suspect_after_s: float = 90.0
+    gps_period_s: float = 30.0
+    weather_period_s: float = 300.0
+    population_step_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.overlay_nodes < 1 or self.brokers < 1:
+            raise ValueError("need at least one overlay node and one broker")

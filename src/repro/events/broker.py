@@ -1,0 +1,367 @@
+"""Siena-style content-based broker network (acyclic peer-to-peer topology).
+
+Subscriptions propagate through the broker graph with covering-based
+pruning; notifications follow the reverse paths of the subscriptions they
+match.  No broker sees traffic its subtree did not ask for — the property
+that lets the per-broker load stay flat as the population grows (E4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.events.covering import filter_covers
+from repro.events.filters import Filter
+from repro.events.model import Notification
+from repro.events.subscriptions import Subscription
+from repro.net.geo import WORLD_REGIONS, Position
+from repro.net.host import Host
+from repro.net.network import Address, Network
+from repro.simulation import Simulator
+
+
+# -- wire messages ------------------------------------------------------
+@dataclass
+class Subscribe:
+    filter: Filter
+
+
+@dataclass
+class Unsubscribe:
+    filter: Filter
+
+
+@dataclass
+class Advertise:
+    """A producer declares the notifications it will publish (§3)."""
+
+    filter: Filter
+
+
+@dataclass
+class Unadvertise:
+    filter: Filter
+
+
+@dataclass
+class Publish:
+    notification: Notification
+
+
+@dataclass
+class Notify:
+    notification: Notification
+
+
+@dataclass
+class MoveOut:
+    """Client announces disconnection; broker must proxy for it (Mobikit)."""
+
+
+@dataclass
+class MoveIn:
+    """Client reappears at a (possibly different) broker."""
+
+    client: Address
+    old_broker: Address | None
+    filters: tuple
+
+
+@dataclass
+class TransferRequest:
+    client: Address
+    new_broker: Address
+
+
+@dataclass
+class Transfer:
+    client: Address
+    buffered: tuple
+    filters: tuple
+
+
+class BrokerNode(Host):
+    """One broker in the acyclic overlay.
+
+    ``covering_enabled`` switches Siena's covering optimisation; disabling
+    it (exact-duplicate suppression only) is the ablation baseline measured
+    in benchmark A1.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        position: Position,
+        covering_enabled: bool = True,
+    ):
+        super().__init__(sim, network, position)
+        self.covering_enabled = covering_enabled
+        self.neighbours: set[Address] = set()
+        self.client_addrs: set[Address] = set()
+        # Subscriptions by immediate source (neighbour broker or client).
+        self.subs_by_source: dict[Address, list[Subscription]] = {}
+        # Filters we have already pushed toward each neighbour.
+        self.forwarded: dict[Address, list[Filter]] = {}
+        # Advertisements by immediate source; queryable by management and
+        # discovery tooling ("who produces weather events?").
+        self.adverts_by_source: dict[Address, list[Filter]] = {}
+        self.adverts_forwarded: dict[Address, list[Filter]] = {}
+        # Mobikit proxies: disconnected client -> buffered notifications.
+        self.proxies: dict[Address, list[Notification]] = {}
+        self.notifications_processed = 0
+        self.notifications_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def connect(self, other: "BrokerNode") -> None:
+        self.neighbours.add(other.addr)
+        other.neighbours.add(self.addr)
+        self.forwarded.setdefault(other.addr, [])
+        other.forwarded.setdefault(self.addr, [])
+
+    def attach_client(self, client_addr: Address) -> None:
+        self.client_addrs.add(client_addr)
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def _store_subscription(self, source: Address, filter: Filter) -> None:
+        subs = self.subs_by_source.setdefault(source, [])
+        if any(s.filter == filter for s in subs):
+            return
+        subs.append(Subscription.fresh(filter, source))
+        self._propagate_subscription(source, filter)
+
+    def _propagate_subscription(self, source: Address, filter: Filter) -> None:
+        for neighbour in self.neighbours:
+            if neighbour == source:
+                continue
+            already = self.forwarded.setdefault(neighbour, [])
+            if self.covering_enabled:
+                if any(filter_covers(existing, filter) for existing in already):
+                    continue  # covering: the neighbour already gets a superset
+            elif filter in already:
+                continue  # ablation baseline: only exact duplicates pruned
+            already.append(filter)
+            self.send(neighbour, Subscribe(filter), size_bytes=128)
+
+    def _remove_subscription(self, source: Address, filter: Filter) -> None:
+        subs = self.subs_by_source.get(source, [])
+        self.subs_by_source[source] = [s for s in subs if s.filter != filter]
+        if not self.subs_by_source[source]:
+            del self.subs_by_source[source]
+        for neighbour in self.neighbours:
+            if neighbour == source:
+                continue
+            remaining = [
+                s.filter
+                for src, subs in self.subs_by_source.items()
+                if src != neighbour
+                for s in subs
+            ]
+            already = self.forwarded.setdefault(neighbour, [])
+            if filter in already and not any(f == filter for f in remaining):
+                already.remove(filter)
+                self.send(neighbour, Unsubscribe(filter), size_bytes=128)
+                # Re-forward anything the removed filter was masking.
+                for f in remaining:
+                    if not any(filter_covers(existing, f) for existing in already):
+                        already.append(f)
+                        self.send(neighbour, Subscribe(f), size_bytes=128)
+
+    # ------------------------------------------------------------------
+    # Advertisements
+    # ------------------------------------------------------------------
+    def _store_advertisement(self, source: Address, filter: Filter) -> None:
+        adverts = self.adverts_by_source.setdefault(source, [])
+        if filter in adverts:
+            return
+        adverts.append(filter)
+        for neighbour in self.neighbours:
+            if neighbour == source:
+                continue
+            already = self.adverts_forwarded.setdefault(neighbour, [])
+            if self.covering_enabled and any(
+                filter_covers(existing, filter) for existing in already
+            ):
+                continue
+            if filter in already:
+                continue
+            already.append(filter)
+            self.send(neighbour, Advertise(filter), size_bytes=128)
+
+    def _remove_advertisement(self, source: Address, filter: Filter) -> None:
+        adverts = self.adverts_by_source.get(source, [])
+        if filter in adverts:
+            adverts.remove(filter)
+        for neighbour in self.neighbours:
+            if neighbour == source:
+                continue
+            remaining = [
+                f
+                for src, filters in self.adverts_by_source.items()
+                if src != neighbour
+                for f in filters
+            ]
+            already = self.adverts_forwarded.setdefault(neighbour, [])
+            if filter in already and filter not in remaining:
+                already.remove(filter)
+                self.send(neighbour, Unadvertise(filter), size_bytes=128)
+
+    def advertisements(self) -> list[Filter]:
+        """Every advertisement this broker knows about (all sources)."""
+        return [f for filters in self.adverts_by_source.values() for f in filters]
+
+    def advertised(self, notification: Notification) -> bool:
+        """Would this notification fall under some known advertisement?"""
+        return any(f.matches(notification) for f in self.advertisements())
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def _process_publication(self, source: Address, notification: Notification) -> None:
+        self.notifications_processed += 1
+        size = notification.size_bytes()
+        for dest, subs in list(self.subs_by_source.items()):
+            if dest == source:
+                continue
+            if not any(s.filter.matches(notification) for s in subs):
+                continue
+            if dest in self.proxies:
+                self.proxies[dest].append(notification)  # buffer for the mobile client
+            elif dest in self.client_addrs:
+                self.notifications_delivered += 1
+                self.send(dest, Notify(notification), size_bytes=size)
+            elif dest in self.neighbours:
+                self.send(dest, Publish(notification), size_bytes=size)
+
+    # ------------------------------------------------------------------
+    # Mobility (Mobikit §3: static proxies for mobile entities)
+    # ------------------------------------------------------------------
+    def _handle_move_out(self, client: Address) -> None:
+        if client in self.client_addrs:
+            self.proxies.setdefault(client, [])
+
+    def _handle_move_in(self, msg: MoveIn) -> None:
+        self.attach_client(msg.client)
+        for filter in msg.filters:
+            self._store_subscription(msg.client, filter)
+        if msg.old_broker is not None and msg.old_broker != self.addr:
+            self.send(msg.old_broker, TransferRequest(msg.client, self.addr))
+        elif msg.client in self.proxies:
+            self._flush_proxy(msg.client)
+
+    def _handle_transfer_request(self, msg: TransferRequest) -> None:
+        buffered = tuple(self.proxies.pop(msg.client, ()))
+        filters = tuple(
+            s.filter for s in self.subs_by_source.get(msg.client, [])
+        )
+        self.client_addrs.discard(msg.client)
+        for filter in filters:
+            self._remove_subscription(msg.client, filter)
+        self.send(msg.new_broker, Transfer(msg.client, buffered, filters), size_bytes=512)
+
+    def _handle_transfer(self, msg: Transfer) -> None:
+        for notification in msg.buffered:
+            self.notifications_delivered += 1
+            self.send(msg.client, Notify(notification), size_bytes=notification.size_bytes())
+
+    def _flush_proxy(self, client: Address) -> None:
+        for notification in self.proxies.pop(client, []):
+            self.notifications_delivered += 1
+            self.send(client, Notify(notification), size_bytes=notification.size_bytes())
+
+    # ------------------------------------------------------------------
+    def handle_message(self, src: Address, payload) -> None:
+        if isinstance(payload, Subscribe):
+            self._store_subscription(src, payload.filter)
+        elif isinstance(payload, Unsubscribe):
+            self._remove_subscription(src, payload.filter)
+        elif isinstance(payload, Advertise):
+            self._store_advertisement(src, payload.filter)
+        elif isinstance(payload, Unadvertise):
+            self._remove_advertisement(src, payload.filter)
+        elif isinstance(payload, Publish):
+            self._process_publication(src, payload.notification)
+        elif isinstance(payload, MoveOut):
+            self._handle_move_out(src)
+        elif isinstance(payload, MoveIn):
+            self._handle_move_in(payload)
+        elif isinstance(payload, TransferRequest):
+            self._handle_transfer_request(payload)
+        elif isinstance(payload, Transfer):
+            self._handle_transfer(payload)
+        else:
+            raise TypeError(f"unknown broker message: {payload!r}")
+
+
+class SienaClient(Host):
+    """An event producer/consumer attached to one broker."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        position: Position,
+        broker: BrokerNode,
+    ):
+        super().__init__(sim, network, position)
+        self.broker_addr = broker.addr
+        broker.attach_client(self.addr)
+        self.filters: list[Filter] = []
+        self.received: list[tuple[float, Notification]] = []
+        self.handlers: list[Callable[[Notification], None]] = []
+
+    def subscribe(self, filter: Filter) -> None:
+        self.filters.append(filter)
+        self.send(self.broker_addr, Subscribe(filter), size_bytes=128)
+
+    def unsubscribe(self, filter: Filter) -> None:
+        if filter in self.filters:
+            self.filters.remove(filter)
+        self.send(self.broker_addr, Unsubscribe(filter), size_bytes=128)
+
+    def advertise(self, filter: Filter) -> None:
+        """Declare what this client will publish (§3's advertisements)."""
+        self.send(self.broker_addr, Advertise(filter), size_bytes=128)
+
+    def unadvertise(self, filter: Filter) -> None:
+        self.send(self.broker_addr, Unadvertise(filter), size_bytes=128)
+
+    def publish(self, notification: Notification) -> None:
+        self.send(
+            self.broker_addr, Publish(notification), size_bytes=notification.size_bytes()
+        )
+
+    def handle_message(self, src: Address, payload) -> None:
+        if isinstance(payload, Notify):
+            self.received.append((self.sim.now, payload.notification))
+            for handler in list(self.handlers):
+                handler(payload.notification)
+
+
+def build_broker_tree(
+    sim: Simulator,
+    network: Network,
+    count: int,
+    branching: int = 3,
+    covering_enabled: bool = True,
+) -> list[BrokerNode]:
+    """A tree-shaped (hence acyclic) broker overlay spread across regions."""
+    rng = sim.rng_for("broker-build")
+    brokers = [
+        BrokerNode(
+            sim,
+            network,
+            WORLD_REGIONS[i % len(WORLD_REGIONS)].random_position(rng),
+            covering_enabled=covering_enabled,
+        )
+        for i in range(count)
+    ]
+    for index in range(1, count):
+        parent = brokers[(index - 1) // branching]
+        brokers[index].connect(parent)
+    return brokers

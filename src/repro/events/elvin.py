@@ -1,0 +1,101 @@
+"""Elvin-style centralised publish/subscribe baseline.
+
+"It uses a client-server architecture, limiting its scalability" (§3).
+Every subscription and every publication flows through one server, which
+matches every notification against every client's filters — experiment E4
+measures that central load against the Siena broker network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.events.filters import Filter
+from repro.events.model import Notification
+from repro.net.geo import Position
+from repro.net.host import Host
+from repro.net.network import Address, Network
+from repro.simulation import Simulator
+
+
+@dataclass
+class ElvinSubscribe:
+    filter: Filter
+
+
+@dataclass
+class ElvinUnsubscribe:
+    filter: Filter
+
+
+@dataclass
+class ElvinPublish:
+    notification: Notification
+
+
+@dataclass
+class ElvinNotify:
+    notification: Notification
+
+
+class ElvinServer(Host):
+    """The single server every client talks to."""
+
+    def __init__(self, sim: Simulator, network: Network, position: Position):
+        super().__init__(sim, network, position)
+        self.subscriptions: dict[Address, list[Filter]] = {}
+        self.notifications_processed = 0
+        self.notifications_delivered = 0
+        self.match_operations = 0
+
+    def handle_message(self, src: Address, payload) -> None:
+        if isinstance(payload, ElvinSubscribe):
+            self.subscriptions.setdefault(src, []).append(payload.filter)
+        elif isinstance(payload, ElvinUnsubscribe):
+            filters = self.subscriptions.get(src, [])
+            if payload.filter in filters:
+                filters.remove(payload.filter)
+        elif isinstance(payload, ElvinPublish):
+            self.notifications_processed += 1
+            size = payload.notification.size_bytes()
+            for client, filters in self.subscriptions.items():
+                self.match_operations += len(filters)
+                if any(f.matches(payload.notification) for f in filters):
+                    self.notifications_delivered += 1
+                    self.send(client, ElvinNotify(payload.notification), size_bytes=size)
+        else:
+            raise TypeError(f"unknown elvin message: {payload!r}")
+
+
+class ElvinClient(Host):
+    """A producer/consumer of the centralised service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        position: Position,
+        server: ElvinServer,
+    ):
+        super().__init__(sim, network, position)
+        self.server_addr = server.addr
+        self.received: list[tuple[float, Notification]] = []
+        self.handlers: list[Callable[[Notification], None]] = []
+
+    def subscribe(self, filter: Filter) -> None:
+        self.send(self.server_addr, ElvinSubscribe(filter), size_bytes=128)
+
+    def unsubscribe(self, filter: Filter) -> None:
+        self.send(self.server_addr, ElvinUnsubscribe(filter), size_bytes=128)
+
+    def publish(self, notification: Notification) -> None:
+        self.send(
+            self.server_addr, ElvinPublish(notification), size_bytes=notification.size_bytes()
+        )
+
+    def handle_message(self, src: Address, payload) -> None:
+        if isinstance(payload, ElvinNotify):
+            self.received.append((self.sim.now, payload.notification))
+            for handler in list(self.handlers):
+                handler(payload.notification)

@@ -1,0 +1,161 @@
+"""Siena's subscription language: attribute constraints and filters."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.events.model import AttributeValue, Notification
+
+
+class Op(enum.Enum):
+    """Comparison operators of the subscription language."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PREFIX = "prefix"
+    SUFFIX = "suffix"
+    CONTAINS = "contains"
+    EXISTS = "exists"
+
+
+_NUMERIC_OPS = {Op.LT, Op.LE, Op.GT, Op.GE}
+_STRING_OPS = {Op.PREFIX, Op.SUFFIX, Op.CONTAINS}
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One (attribute, operator, value) predicate."""
+
+    name: str
+    op: Op
+    value: AttributeValue | None = None
+
+    def __post_init__(self) -> None:
+        if self.op is Op.EXISTS:
+            if self.value is not None:
+                raise ValueError("EXISTS takes no value")
+        elif self.value is None:
+            raise ValueError(f"{self.op.value} requires a value")
+        if self.op in _STRING_OPS and not isinstance(self.value, str):
+            raise ValueError(f"{self.op.value} requires a string value")
+
+    def matches(self, notification: Notification) -> bool:
+        if self.name not in notification:
+            return False
+        actual = notification[self.name]
+        if self.op is Op.EXISTS:
+            return True
+        if self.op in _STRING_OPS:
+            if not isinstance(actual, str):
+                return False
+            if self.op is Op.PREFIX:
+                return actual.startswith(self.value)
+            if self.op is Op.SUFFIX:
+                return actual.endswith(self.value)
+            return self.value in actual
+        if not _comparable(actual, self.value):
+            return False
+        if self.op is Op.EQ:
+            return actual == self.value
+        if self.op is Op.NE:
+            return actual != self.value
+        if self.op is Op.LT:
+            return actual < self.value
+        if self.op is Op.LE:
+            return actual <= self.value
+        if self.op is Op.GT:
+            return actual > self.value
+        return actual >= self.value  # GE
+
+    def __repr__(self) -> str:
+        if self.op is Op.EXISTS:
+            return f"[{self.name} exists]"
+        return f"[{self.name} {self.op.value} {self.value!r}]"
+
+
+def _comparable(a: Any, b: Any) -> bool:
+    """Siena compares within a type family: numbers with numbers, etc."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return True
+    return isinstance(a, str) and isinstance(b, str)
+
+
+class Filter:
+    """A conjunction of constraints; matches when every constraint does."""
+
+    __slots__ = ("constraints",)
+
+    def __init__(self, *constraints: Constraint):
+        if not constraints:
+            raise ValueError("a filter needs at least one constraint")
+        self.constraints = tuple(constraints)
+
+    def matches(self, notification: Notification) -> bool:
+        return all(c.matches(notification) for c in self.constraints)
+
+    def attribute_names(self) -> set[str]:
+        return {c.name for c in self.constraints}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Filter) and set(self.constraints) == set(other.constraints)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.constraints))
+
+    def __repr__(self) -> str:
+        return "Filter(" + " & ".join(repr(c) for c in self.constraints) + ")"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors mirroring the subscription language's syntax.
+# ----------------------------------------------------------------------
+def eq(name: str, value: AttributeValue) -> Constraint:
+    return Constraint(name, Op.EQ, value)
+
+
+def ne(name: str, value: AttributeValue) -> Constraint:
+    return Constraint(name, Op.NE, value)
+
+
+def lt(name: str, value: AttributeValue) -> Constraint:
+    return Constraint(name, Op.LT, value)
+
+
+def le(name: str, value: AttributeValue) -> Constraint:
+    return Constraint(name, Op.LE, value)
+
+
+def gt(name: str, value: AttributeValue) -> Constraint:
+    return Constraint(name, Op.GT, value)
+
+
+def ge(name: str, value: AttributeValue) -> Constraint:
+    return Constraint(name, Op.GE, value)
+
+
+def prefix(name: str, value: str) -> Constraint:
+    return Constraint(name, Op.PREFIX, value)
+
+
+def suffix(name: str, value: str) -> Constraint:
+    return Constraint(name, Op.SUFFIX, value)
+
+
+def contains(name: str, value: str) -> Constraint:
+    return Constraint(name, Op.CONTAINS, value)
+
+
+def exists(name: str) -> Constraint:
+    return Constraint(name, Op.EXISTS)
+
+
+def type_is(event_type: str) -> Constraint:
+    return eq("type", event_type)

@@ -1,0 +1,49 @@
+"""Mobikit-style mobility support for publish/subscribe clients (§3).
+
+"The system provides static proxies for mobile entities, which subscribe on
+behalf of the mobile entity when the mobile entity is disconnected from the
+pub/sub system."  A :class:`MobileClient` performs a move-out before going
+dark; its broker buffers matching notifications in a proxy and hands them
+over (move-in) wherever the client reappears.
+"""
+
+from __future__ import annotations
+
+from repro.events.broker import BrokerNode, MoveIn, MoveOut, SienaClient
+from repro.net.network import Address
+
+
+class MobileClient(SienaClient):
+    """A roaming client that survives disconnection without losing events."""
+
+    def __init__(self, sim, network, position, broker: BrokerNode):
+        super().__init__(sim, network, position, broker)
+        self.connected = True
+
+    def move_out(self) -> None:
+        """Announce disconnection, then drop off the network."""
+        if not self.connected:
+            return
+        self.send(self.broker_addr, MoveOut(), size_bytes=64)
+        self.connected = False
+        # Going dark must happen after the MoveOut is on the wire; crash on
+        # the next scheduler slot so the send is not suppressed.
+        self.sim.schedule(0.0, self.crash)
+
+    def move_in(self, new_broker: BrokerNode) -> None:
+        """Reappear at ``new_broker``; buffered notifications follow."""
+        if self.connected:
+            return
+        old_broker = self.broker_addr
+        self.recover()
+        self.position = new_broker.position  # roamed to the new locale
+        self.broker_addr = new_broker.addr
+        self.connected = True
+        self.send(
+            new_broker.addr,
+            MoveIn(self.addr, old_broker, tuple(self.filters)),
+            size_bytes=256,
+        )
+
+    def handle_message(self, src: Address, payload) -> None:
+        super().handle_message(src, payload)

@@ -1,0 +1,90 @@
+"""Siena's event model: notifications as sets of typed attributes.
+
+The paper (§3): "Events are represented as 3-tuples of a name, type and
+value."  A :class:`Notification` is a frozen mapping from attribute names to
+values whose Python types (str, bool, int, float) play the role of the tuple
+type; the event's semantic kind lives in the conventional ``type`` attribute
+and its occurrence time in ``time``.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Any, Iterator, Mapping
+
+AttributeValue = str | int | float | bool
+
+_ALLOWED_TYPES = (str, bool, int, float)
+
+
+class Notification(Mapping[str, AttributeValue]):
+    """An immutable set of named, typed attribute values."""
+
+    __slots__ = ("_attributes",)
+
+    def __init__(self, attributes: Mapping[str, AttributeValue]):
+        checked = {}
+        for name, value in attributes.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"attribute names must be non-empty strings: {name!r}")
+            if not isinstance(value, _ALLOWED_TYPES):
+                raise TypeError(
+                    f"attribute {name!r} has unsupported type {type(value).__name__}"
+                )
+            checked[name] = value
+        object.__setattr__(self, "_attributes", MappingProxyType(checked))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Notification is immutable")
+
+    # Mapping protocol ---------------------------------------------------
+    def __getitem__(self, name: str) -> AttributeValue:
+        return self._attributes[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    # Conveniences --------------------------------------------------------
+    @property
+    def event_type(self) -> str:
+        """The conventional ``type`` attribute, or '' when untyped."""
+        value = self._attributes.get("type", "")
+        return value if isinstance(value, str) else ""
+
+    @property
+    def time(self) -> float:
+        """The conventional ``time`` attribute, or 0.0 when untimed."""
+        value = self._attributes.get("time", 0.0)
+        return float(value) if isinstance(value, (int, float)) else 0.0
+
+    def with_attrs(self, **extra: AttributeValue) -> "Notification":
+        merged = dict(self._attributes)
+        merged.update(extra)
+        return Notification(merged)
+
+    def size_bytes(self) -> int:
+        """Rough wire size used by the network cost model."""
+        return 64 + sum(len(k) + 16 for k in self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Notification) and dict(self._attributes) == dict(
+            other._attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._attributes.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._attributes.items()))
+        return f"Notification({inner})"
+
+
+def make_event(event_type: str, time: float | None = None, **attrs: AttributeValue) -> Notification:
+    """Build a notification with the conventional ``type``/``time`` attributes."""
+    merged: dict[str, AttributeValue] = {"type": event_type, **attrs}
+    if time is not None:
+        merged["time"] = time
+    return Notification(merged)

@@ -1,0 +1,41 @@
+"""Subscription and advertisement records kept by brokers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.events.filters import Filter
+
+_sub_counter = itertools.count(1)
+_adv_counter = itertools.count(1)
+
+
+def next_subscription_id() -> int:
+    return next(_sub_counter)
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A filter registered by a client or a neighbouring broker."""
+
+    sub_id: int
+    filter: Filter
+    subscriber: object  # client address or broker address
+
+    @classmethod
+    def fresh(cls, filter: Filter, subscriber: object) -> "Subscription":
+        return cls(next_subscription_id(), filter, subscriber)
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """A producer's declaration of the notifications it will publish (§3)."""
+
+    adv_id: int
+    filter: Filter
+    advertiser: object
+
+    @classmethod
+    def fresh(cls, filter: Filter, advertiser: object) -> "Advertisement":
+        return cls(next(_adv_counter), filter, advertiser)

@@ -1,0 +1,37 @@
+"""The evolution engine: constraint-driven, self-healing deployment (§4.4-4.6).
+
+Nodes advertise resources over the event system; a monitoring engine turns
+missing heartbeats into failure events; the evolution engine re-plans
+deployments whenever a placement constraint is violated — "as events arise
+that cause a given constraint to be violated (such as the sudden
+unavailability of a particular node), it is the role of the monitoring
+engine to make appropriate adjustments to satisfy the constraint again."
+"""
+
+from repro.evolution.advertisement import ResourceAdvertiser
+from repro.evolution.monitor import HeartbeatMonitor
+from repro.evolution.constraints import (
+    DeploymentState,
+    MinComponentsGlobal,
+    MinComponentsInRegion,
+    Violation,
+)
+from repro.evolution.engine import EvolutionEngine
+from repro.evolution.policies import (
+    BackupPolicy,
+    DiurnalPrefetchPolicy,
+    LatencyReductionPolicy,
+)
+
+__all__ = [
+    "BackupPolicy",
+    "DeploymentState",
+    "DiurnalPrefetchPolicy",
+    "EvolutionEngine",
+    "HeartbeatMonitor",
+    "LatencyReductionPolicy",
+    "MinComponentsGlobal",
+    "MinComponentsInRegion",
+    "ResourceAdvertiser",
+    "Violation",
+]

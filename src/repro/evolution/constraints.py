@@ -1,0 +1,103 @@
+"""Placement constraints over component deployments (§4.4).
+
+Policies are "constraints over the placement of processing steps.  For
+example, a constraint might specify that at least 5 pipeline components
+providing a data replication service must be deployed in parallel within a
+given geographical region" — that example is :class:`MinComponentsInRegion`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Deployment:
+    """One live component instance as the evolution engine tracks it."""
+
+    component_type: str
+    instance_name: str
+    node_id: str
+    addr: int
+    region: str
+    alive: bool = True
+
+
+class DeploymentState:
+    """The evolution engine's view of what runs where."""
+
+    def __init__(self) -> None:
+        self._deployments: dict[str, Deployment] = {}
+
+    def record(self, deployment: Deployment) -> None:
+        self._deployments[deployment.instance_name] = deployment
+
+    def mark_node_dead(self, node_id: str) -> list[Deployment]:
+        victims = []
+        for deployment in self._deployments.values():
+            if deployment.node_id == node_id and deployment.alive:
+                deployment.alive = False
+                victims.append(deployment)
+        return victims
+
+    def live(
+        self, component_type: str | None = None, region: str | None = None
+    ) -> list[Deployment]:
+        return [
+            d
+            for d in self._deployments.values()
+            if d.alive
+            and (component_type is None or d.component_type == component_type)
+            and (region is None or d.region == region)
+        ]
+
+    def all(self) -> list[Deployment]:
+        return list(self._deployments.values())
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A constraint found unsatisfied: deploy ``missing`` more instances."""
+
+    constraint: "PlacementConstraint"
+    component_type: str
+    region: str | None
+    missing: int
+
+
+class PlacementConstraint:
+    """Base class; subclasses define :meth:`evaluate`."""
+
+    def evaluate(self, state: DeploymentState) -> list[Violation]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MinComponentsInRegion(PlacementConstraint):
+    """At least ``min_count`` live instances of a component in a region."""
+
+    component_type: str
+    region: str
+    min_count: int
+
+    def evaluate(self, state: DeploymentState) -> list[Violation]:
+        live = len(state.live(self.component_type, self.region))
+        if live >= self.min_count:
+            return []
+        return [
+            Violation(self, self.component_type, self.region, self.min_count - live)
+        ]
+
+
+@dataclass(frozen=True)
+class MinComponentsGlobal(PlacementConstraint):
+    """At least ``min_count`` live instances anywhere."""
+
+    component_type: str
+    min_count: int
+
+    def evaluate(self, state: DeploymentState) -> list[Violation]:
+        live = len(state.live(self.component_type))
+        if live >= self.min_count:
+            return []
+        return [Violation(self, self.component_type, None, self.min_count - live)]

@@ -1,0 +1,177 @@
+"""The evolution engine: turns constraint violations into deployments.
+
+"All constraints will feed into an evolution engine ... that will
+dynamically evolve the contextual matching engine by manipulating the
+pipelines" (§4.4).  The engine consumes the monitoring engine's view,
+evaluates constraints, picks the least-loaded live candidate nodes in the
+right region, and pushes signed component bundles to them via Cingal.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cingal.bundle import make_bundle
+from repro.evolution.constraints import (
+    Deployment,
+    DeploymentState,
+    PlacementConstraint,
+    Violation,
+)
+from repro.evolution.monitor import HeartbeatMonitor
+from repro.events.model import Notification
+from repro.pipelines.assembly import DeploymentAgent
+from repro.simulation import PeriodicTask, Simulator
+
+
+@dataclass
+class BundleTemplate:
+    """How to build a deployable bundle for a component type."""
+
+    component: str  # registry name
+    params: dict = field(default_factory=dict)
+    capabilities: frozenset = frozenset()
+
+
+@dataclass
+class RepairAction:
+    time: float
+    component_type: str
+    instance_name: str
+    node_id: str
+    region: str
+    cause: str
+
+
+class EvolutionEngine:
+    """Closes the monitor -> constraints -> deploy loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        agent: DeploymentAgent,
+        monitor: HeartbeatMonitor,
+        deploy_key: str,
+        constraints: list[PlacementConstraint] | None = None,
+        templates: dict[str, BundleTemplate] | None = None,
+        evaluate_interval_s: float = 30.0,
+    ):
+        self.sim = sim
+        self.agent = agent
+        self.monitor = monitor
+        self.deploy_key = deploy_key
+        self.constraints: list[PlacementConstraint] = list(constraints or ())
+        self.templates: dict[str, BundleTemplate] = dict(templates or {})
+        self.state = DeploymentState()
+        self.actions: list[RepairAction] = []
+        self.unsatisfiable: list[tuple[float, Violation]] = []
+        self._instance_counter = itertools.count(1)
+        self._in_flight: set[str] = set()
+        self._task = PeriodicTask(sim, evaluate_interval_s, self.evaluate_now)
+
+    # ------------------------------------------------------------------
+    # Event intake (wire this to the control event bus)
+    # ------------------------------------------------------------------
+    def on_event(self, event: Notification) -> None:
+        if event.event_type == "node-failed":
+            node_id = str(event["node"])
+            self.state.mark_node_dead(node_id)
+            self.evaluate_now(cause=f"node-failed:{node_id}")
+        elif event.event_type == "resource":
+            # New capacity appeared; pending violations may now be fixable.
+            if self.unsatisfiable:
+                self.evaluate_now(cause="new-resource")
+
+    # ------------------------------------------------------------------
+    # Constraint evaluation and repair
+    # ------------------------------------------------------------------
+    def add_constraint(self, constraint: PlacementConstraint) -> None:
+        self.constraints.append(constraint)
+        self.evaluate_now(cause="new-constraint")
+
+    def register_template(self, component_type: str, template: BundleTemplate) -> None:
+        self.templates[component_type] = template
+
+    def evaluate_now(self, cause: str = "periodic") -> list[Violation]:
+        violations: list[Violation] = []
+        for constraint in self.constraints:
+            violations.extend(constraint.evaluate(self.state))
+        for violation in violations:
+            self._repair(violation, cause)
+        return violations
+
+    def _candidates(self, region: str | None, component_type: str) -> list:
+        occupied = {
+            d.node_id for d in self.state.live(component_type)
+        } | {  # also avoid double-deploying while an ack is in flight
+            name.rsplit("@", 1)[-1] for name in self._in_flight
+        }
+        nodes = [
+            v
+            for v in self.monitor.live_nodes()
+            if (region is None or v.region == region) and v.node_id not in occupied
+        ]
+        nodes.sort(key=lambda v: (v.load, v.node_id))
+        return nodes
+
+    def _repair(self, violation: Violation, cause: str) -> None:
+        template = self.templates.get(violation.component_type)
+        if template is None:
+            self.unsatisfiable.append((self.sim.now, violation))
+            return
+        candidates = self._candidates(violation.region, violation.component_type)
+        if len(candidates) < violation.missing:
+            self.unsatisfiable.append((self.sim.now, violation))
+        for node in candidates[: violation.missing]:
+            instance = (
+                f"{violation.component_type}-{next(self._instance_counter)}"
+                f"@{node.node_id}"
+            )
+            bundle = make_bundle(
+                name=instance,
+                component=template.component,
+                params=template.params,
+                capabilities=template.capabilities,
+                key=self.deploy_key,
+            )
+            self._in_flight.add(instance)
+            future = self.agent.fire(node.addr, bundle)
+            future.add_callback(
+                lambda fut, inst=instance, n=node, v=violation, c=cause: self._on_deployed(
+                    fut, inst, n, v, c
+                )
+            )
+
+    def _on_deployed(self, fut, instance: str, node, violation: Violation, cause: str) -> None:
+        self._in_flight.discard(instance)
+        if fut.exception is not None or not fut.result().ok:
+            self.unsatisfiable.append((self.sim.now, violation))
+            return
+        self.state.record(
+            Deployment(
+                component_type=violation.component_type,
+                instance_name=instance,
+                node_id=node.node_id,
+                addr=node.addr,
+                region=node.region,
+                alive=True,
+            )
+        )
+        self.actions.append(
+            RepairAction(
+                time=self.sim.now,
+                component_type=violation.component_type,
+                instance_name=instance,
+                node_id=node.node_id,
+                region=node.region,
+                cause=cause,
+            )
+        )
+
+    def satisfied(self) -> bool:
+        return not any(c.evaluate(self.state) for c in self.constraints)
+
+    def stop(self) -> None:
+        self._task.stop()

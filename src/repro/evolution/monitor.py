@@ -1,0 +1,92 @@
+"""The monitoring engine: heartbeat tracking and failure detection (§4.4).
+
+Nodes that stop advertising are suspected after ``suspect_after_s`` and a
+``node-failed`` event is published on their behalf: "the loss may eventually
+be detected by other monitoring components, which will publish events on
+their behalf."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.events.model import Notification, make_event
+from repro.simulation import PeriodicTask, Simulator
+
+
+@dataclass
+class NodeView:
+    node_id: str
+    addr: int
+    region: str
+    load: float
+    last_seen: float
+    alive: bool = True
+
+
+class HeartbeatMonitor:
+    """Consumes resource events, emits failure events."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        publish: Callable[[Notification], None],
+        suspect_after_s: float = 90.0,
+        check_interval_s: float = 15.0,
+    ):
+        self.sim = sim
+        self.publish = publish
+        self.suspect_after_s = suspect_after_s
+        self.nodes: dict[str, NodeView] = {}
+        self.failures_detected: list[tuple[float, str]] = []
+        self._task = PeriodicTask(sim, check_interval_s, self._check)
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: Notification) -> None:
+        """Feed with resource / node-leaving notifications."""
+        if event.event_type == "resource":
+            node_id = str(event["node"])
+            self.nodes[node_id] = NodeView(
+                node_id=node_id,
+                addr=int(event["addr"]),
+                region=str(event["region"]),
+                load=float(event["load"]),
+                last_seen=self.sim.now,
+            )
+        elif event.event_type == "node-leaving":
+            node_id = str(event["node"])
+            view = self.nodes.get(node_id)
+            if view is not None and view.alive:
+                view.alive = False
+                self.publish(
+                    make_event(
+                        "node-failed",
+                        time=self.sim.now,
+                        node=node_id,
+                        addr=view.addr,
+                        reason="graceful",
+                    )
+                )
+
+    def _check(self) -> None:
+        cutoff = self.sim.now - self.suspect_after_s
+        for view in self.nodes.values():
+            if view.alive and view.last_seen < cutoff:
+                view.alive = False
+                self.failures_detected.append((self.sim.now, view.node_id))
+                self.publish(
+                    make_event(
+                        "node-failed",
+                        time=self.sim.now,
+                        node=view.node_id,
+                        addr=view.addr,
+                        reason="suspected",
+                    )
+                )
+
+    def live_nodes(self) -> list[NodeView]:
+        return [v for v in self.nodes.values() if v.alive]
+
+    def stop(self) -> None:
+        self._task.stop()

@@ -1,0 +1,22 @@
+"""GIS substrate: spatial indexing, places, logical locations (§1.1).
+
+The matching examples need "the detection of spatial, temporal and logical
+relationships" — places with opening hours, coordinate-to-street mapping,
+walking-time estimates.  This package is the "relatively static information
+such as spatial data from GIS" the knowledge base draws on.
+"""
+
+from repro.gis.geometry import travel_time_s, walking_speed_kmh
+from repro.gis.index import GridIndex
+from repro.gis.places import OpeningHours, Place
+from repro.gis.logical import LogicalLocation, StreetMap
+
+__all__ = [
+    "GridIndex",
+    "LogicalLocation",
+    "OpeningHours",
+    "Place",
+    "StreetMap",
+    "travel_time_s",
+    "walking_speed_kmh",
+]

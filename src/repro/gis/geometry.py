@@ -1,0 +1,27 @@
+"""Travel-time estimates over great-circle distances."""
+
+from __future__ import annotations
+
+from repro.net.geo import Position, haversine_km
+
+walking_speed_kmh = 4.8
+cycling_speed_kmh = 15.0
+driving_speed_kmh = 40.0
+
+_SPEEDS = {
+    "foot": walking_speed_kmh,
+    "bicycle": cycling_speed_kmh,
+    "car": driving_speed_kmh,
+}
+
+
+def travel_time_s(a: Position, b: Position, mode: str = "foot") -> float:
+    """Estimated seconds to get from ``a`` to ``b`` by ``mode``.
+
+    Street networks are not straight lines; a fixed detour factor of 1.3
+    over the great circle is the standard planning approximation.
+    """
+    if mode not in _SPEEDS:
+        raise ValueError(f"unknown travel mode: {mode!r}")
+    distance_km = haversine_km(a, b) * 1.3
+    return distance_km / _SPEEDS[mode] * 3600.0

@@ -1,0 +1,63 @@
+"""Logical locations: mapping coordinates to streets and areas.
+
+Contextual information includes "location (both coordinate and logical
+location)" (§1.1) — Bob is at 56.3397,-2.8075 *and* "in North Street".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gis.index import GridIndex
+from repro.net.geo import Position
+
+
+@dataclass(frozen=True)
+class LogicalLocation:
+    """A named location with a hierarchy: street < area < city."""
+
+    street: str
+    area: str
+    city: str
+
+    def contains_level(self, other: "LogicalLocation") -> str | None:
+        """The finest level at which the two locations coincide."""
+        if self.street and self.street == other.street:
+            return "street"
+        if self.area and self.area == other.area:
+            return "area"
+        if self.city and self.city == other.city:
+            return "city"
+        return None
+
+
+@dataclass(frozen=True)
+class _Segment:
+    centre: Position
+    location: LogicalLocation
+
+
+class StreetMap:
+    """Resolve coordinates to logical locations via labelled segments.
+
+    Streets are registered as centre points with a capture radius; the
+    nearest registered segment within the radius names the street.
+    """
+
+    def __init__(self, city: str, capture_radius_km: float = 0.25):
+        self.city = city
+        self.capture_radius_km = capture_radius_km
+        self._index = GridIndex(cell_deg=0.005)
+
+    def add_street(self, name: str, centre: Position, area: str = "") -> None:
+        location = LogicalLocation(street=name, area=area or name, city=self.city)
+        self._index.insert(centre, _Segment(centre, location))
+
+    def locate(self, pos: Position) -> LogicalLocation:
+        """The logical location of ``pos`` (city-level when off-street)."""
+        hit = self._index.nearest(pos, max_radius_km=self.capture_radius_km * 4)
+        if hit is not None:
+            distance, segment = hit
+            if distance <= self.capture_radius_km:
+                return segment.location
+        return LogicalLocation(street="", area="", city=self.city)

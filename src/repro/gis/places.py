@@ -1,0 +1,53 @@
+"""Places: named points of interest with kinds and opening hours."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.geo import Position
+
+
+@dataclass(frozen=True)
+class OpeningHours:
+    """Daily opening interval in seconds-since-midnight (simulation time
+    convention: day = t // 86400, time-of-day = t % 86400)."""
+
+    opens_s: float
+    closes_s: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.opens_s < 86400 or not 0 < self.closes_s <= 86400:
+            raise ValueError("opening hours must fall within one day")
+        if self.closes_s <= self.opens_s:
+            raise ValueError("closing time must follow opening time")
+
+    def is_open_at(self, sim_time: float) -> bool:
+        time_of_day = sim_time % 86400.0
+        return self.opens_s <= time_of_day < self.closes_s
+
+    def seconds_until_close(self, sim_time: float) -> float:
+        """Seconds of opening remaining at ``sim_time`` (0 when closed)."""
+        if not self.is_open_at(sim_time):
+            return 0.0
+        return self.closes_s - (sim_time % 86400.0)
+
+    @classmethod
+    def from_hours(cls, opens_h: float, closes_h: float) -> "OpeningHours":
+        return cls(opens_h * 3600.0, closes_h * 3600.0)
+
+
+ALWAYS_OPEN = OpeningHours(0.0, 86400.0)
+
+
+@dataclass(frozen=True)
+class Place:
+    """A point of interest: Janetta's in Market Street sells ice cream..."""
+
+    name: str
+    position: Position
+    kind: str  # "ice-cream-shop", "restaurant", ...
+    hours: OpeningHours = ALWAYS_OPEN
+    street: str = ""
+
+    def is_open_at(self, sim_time: float) -> bool:
+        return self.hours.is_open_at(sim_time)

@@ -1,0 +1,14 @@
+"""The global knowledge base (§1.1, §1.2).
+
+Facts — "Bob likes ice cream", "Bob knows Anna", "Janetta's sells
+ice cream" — live in an indexed store with optional validity intervals.
+:mod:`distributed` shards the facts over the P2P storage architecture with
+local caching, which is how the matching engine sees "a global knowledge
+base comprising elements such as GIS, web-based systems, databases".
+"""
+
+from repro.knowledge.facts import Fact
+from repro.knowledge.base import KnowledgeBase
+from repro.knowledge.distributed import DistributedKnowledgeBase
+
+__all__ = ["DistributedKnowledgeBase", "Fact", "KnowledgeBase"]

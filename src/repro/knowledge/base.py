@@ -1,0 +1,99 @@
+"""In-memory knowledge base with subject/predicate indexes."""
+
+from __future__ import annotations
+
+from repro.knowledge.facts import AttributeValue, Fact
+
+
+class KnowledgeBase:
+    """An indexed set of facts supporting pattern queries.
+
+    Queries use ``None`` as a wildcard:
+    ``kb.query(subject="bob", predicate=None)`` returns everything known
+    about Bob (valid at the query time, when one is given).
+    """
+
+    def __init__(self) -> None:
+        self._facts: set[Fact] = set()
+        self._by_subject: dict[str, set[Fact]] = {}
+        self._by_predicate: dict[str, set[Fact]] = {}
+
+    def add(self, fact: Fact) -> bool:
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        self._by_subject.setdefault(fact.subject, set()).add(fact)
+        self._by_predicate.setdefault(fact.predicate, set()).add(fact)
+        return True
+
+    def remove(self, fact: Fact) -> bool:
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        self._by_subject.get(fact.subject, set()).discard(fact)
+        self._by_predicate.get(fact.predicate, set()).discard(fact)
+        return True
+
+    def retract(self, subject: str, predicate: str) -> int:
+        """Remove every fact with the given subject and predicate."""
+        victims = [f for f in self._by_subject.get(subject, ()) if f.predicate == predicate]
+        for fact in victims:
+            self.remove(fact)
+        return len(victims)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        object: AttributeValue | None = None,
+        at_time: float | None = None,
+    ) -> list[Fact]:
+        """All facts matching the non-None fields, valid at ``at_time``."""
+        if subject is not None and predicate is not None:
+            candidates = self._by_subject.get(subject, set()) & self._by_predicate.get(
+                predicate, set()
+            )
+        elif subject is not None:
+            candidates = self._by_subject.get(subject, set())
+        elif predicate is not None:
+            candidates = self._by_predicate.get(predicate, set())
+        else:
+            candidates = self._facts
+        out = []
+        for fact in candidates:
+            if object is not None and fact.object != object:
+                continue
+            if at_time is not None and not fact.valid_at(at_time):
+                continue
+            out.append(fact)
+        out.sort(key=lambda f: (f.subject, f.predicate, str(f.object)))
+        return out
+
+    def value(
+        self,
+        subject: str,
+        predicate: str,
+        default: AttributeValue | None = None,
+        at_time: float | None = None,
+    ) -> AttributeValue | None:
+        """The single object for (subject, predicate), or ``default``."""
+        matches = self.query(subject=subject, predicate=predicate, at_time=at_time)
+        return matches[0].object if matches else default
+
+    def holds(
+        self,
+        subject: str,
+        predicate: str,
+        object: AttributeValue = True,
+        at_time: float | None = None,
+    ) -> bool:
+        return bool(
+            self.query(subject=subject, predicate=predicate, object=object, at_time=at_time)
+        )

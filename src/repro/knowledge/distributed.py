@@ -1,0 +1,134 @@
+"""The knowledge base sharded over the P2P storage architecture.
+
+Facts are grouped into shards keyed by (subject, predicate); each shard is
+one content item in :mod:`repro.storage`, so it inherits replication,
+promiscuous caching and self-healing.  Writers may also publish ``kb-update``
+notifications so matchlets holding local replicas learn of new knowledge
+without polling — the paper's requirement that "both the events and the
+knowledge base must be delivered to the locations at which the matching
+computation occurs" (§1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ids import guid_from_name
+from repro.knowledge.base import KnowledgeBase
+from repro.knowledge.facts import Fact
+from repro.simulation import Future
+from repro.storage.service import StorageService
+
+SHARD_PREFIX = "kb-shard:"
+
+
+def shard_guid(subject: str, predicate: str):
+    return guid_from_name(f"{SHARD_PREFIX}{subject}|{predicate}")
+
+
+class DistributedKnowledgeBase:
+    """One node's handle onto the global fact store."""
+
+    def __init__(
+        self,
+        storage: StorageService,
+        publish_update: Callable[[Fact], None] | None = None,
+    ):
+        self.storage = storage
+        self.publish_update = publish_update
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def store_facts(self, facts: list[Fact]) -> Future:
+        """Merge ``facts`` into their shards; resolves when all are stored."""
+        shards: dict[str, list[Fact]] = {}
+        for fact in facts:
+            shards.setdefault(fact.key(), []).append(fact)
+        done = Future()
+        remaining = [len(shards)]
+
+        def one_finished(fut: Future) -> None:
+            if done.done:
+                return
+            if fut.exception is not None:
+                done.set_exception(fut.exception)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.set_result(len(facts))
+
+        for key, shard_facts in shards.items():
+            self._merge_shard(key, shard_facts).add_callback(one_finished)
+        if not shards:
+            done.set_result(0)
+        if self.publish_update is not None:
+            for fact in facts:
+                self.publish_update(fact)
+        return done
+
+    def _merge_shard(self, key: str, new_facts: list[Fact]) -> Future:
+        guid = guid_from_name(SHARD_PREFIX + key)
+        merged = Future()
+
+        def write(existing: list[Fact]) -> None:
+            all_facts = {f for f in existing} | set(new_facts)
+            payload = "\n".join(sorted(f.to_line() for f in all_facts)).encode()
+            self.storage.put_named(guid, payload).add_callback(
+                lambda fut: merged.set_exception(fut.exception)
+                if fut.exception
+                else merged.set_result(len(all_facts))
+            )
+
+        def on_read(fut: Future) -> None:
+            if fut.exception is not None:
+                write([])  # first write for this shard
+            else:
+                write(_decode(fut.result()))
+
+        self.storage.get(guid).add_callback(on_read)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def lookup(self, subject: str, predicate: str) -> Future:
+        """Resolves to the (possibly empty) list of facts in the shard."""
+        guid = shard_guid(subject, predicate)
+        out = Future()
+
+        def on_read(fut: Future) -> None:
+            if fut.exception is not None:
+                out.set_result([])
+            else:
+                out.set_result(_decode(fut.result()))
+
+        self.storage.get(guid).add_callback(on_read)
+        return out
+
+    def hydrate(self, kb: KnowledgeBase, keys: list[tuple[str, str]]) -> Future:
+        """Pull the listed (subject, predicate) shards into a local KB."""
+        done = Future()
+        remaining = [len(keys)]
+        if not keys:
+            done.set_result(0)
+            return done
+        loaded = [0]
+
+        def on_shard(fut: Future) -> None:
+            if fut.exception is None:
+                for fact in fut.result():
+                    kb.add(fact)
+                    loaded[0] += 1
+            remaining[0] -= 1
+            if remaining[0] == 0 and not done.done:
+                done.set_result(loaded[0])
+
+        for subject, predicate in keys:
+            self.lookup(subject, predicate).add_callback(on_shard)
+        return done
+
+
+def _decode(payload: bytes) -> list[Fact]:
+    text = payload.decode()
+    return [Fact.from_line(line) for line in text.splitlines() if line.strip()]

@@ -1,0 +1,69 @@
+"""Facts: subject-predicate-object triples with validity intervals."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+AttributeValue = str | int | float | bool
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One item of knowledge, optionally time-bounded.
+
+    "Bob is on holiday from 20/6 to 27/6" is
+    ``Fact("bob", "on-holiday", True, valid_from=..., valid_to=...)``.
+    """
+
+    subject: str
+    predicate: str
+    object: AttributeValue
+    valid_from: float = -math.inf
+    valid_to: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.subject or not self.predicate:
+            raise ValueError("facts need a subject and a predicate")
+        if self.valid_from > self.valid_to:
+            raise ValueError("validity interval is empty")
+
+    def valid_at(self, time: float) -> bool:
+        return self.valid_from <= time <= self.valid_to
+
+    def key(self) -> str:
+        """The shard key under which the distributed KB stores this fact."""
+        return f"{self.subject}|{self.predicate}"
+
+    def to_line(self) -> str:
+        """Serialise for storage (tab-separated; values keep their type tag)."""
+        type_tag = type(self.object).__name__
+        return "\t".join(
+            [
+                self.subject,
+                self.predicate,
+                type_tag,
+                str(self.object),
+                repr(self.valid_from),
+                repr(self.valid_to),
+            ]
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "Fact":
+        subject, predicate, type_tag, raw, valid_from, valid_to = line.split("\t")
+        readers = {
+            "str": str,
+            "bool": lambda s: s == "True",
+            "int": int,
+            "float": float,
+        }
+        if type_tag not in readers:
+            raise ValueError(f"unknown fact value type: {type_tag}")
+        return cls(
+            subject,
+            predicate,
+            readers[type_tag](raw),
+            float(valid_from),
+            float(valid_to),
+        )

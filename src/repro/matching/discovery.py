@@ -1,0 +1,88 @@
+"""Discovery matchlets: handling event types unknown at deployment (§5).
+
+"In order to deal with unknown events, a mechanism is needed within the
+event distribution mechanism for routing unknown event types to discovery
+matchlets.  These look for code capable of matching these new events in the
+storage architecture and deploy this code onto the network."
+
+Matchlet code for event type T is stored in the P2P storage under
+``guid_from_name("matchlet-code:" + T)`` as a signed bundle in XML form.
+"""
+
+from __future__ import annotations
+
+from repro.cingal.bundle import Bundle, BundleError
+from repro.cingal.thin_server import ThinServer
+from repro.events.model import Notification
+from repro.ids import Guid, guid_from_name
+from repro.pipelines.component import PipelineComponent
+from repro.storage.service import StorageService
+from repro.xmlkit.parser import parse
+
+
+def matchlet_code_guid(event_type: str) -> Guid:
+    return guid_from_name(f"matchlet-code:{event_type}")
+
+
+class DiscoveryMatchlet(PipelineComponent):
+    """Watches the bus for unknown event types and deploys their handlers.
+
+    On deployment the fetched component is subscribed to the thin server's
+    local bus and the triggering event is replayed into it, so even the
+    first-ever event of a new type gets processed.
+    """
+
+    def __init__(
+        self,
+        server: ThinServer,
+        storage: StorageService,
+        known_types: set[str] | None = None,
+        negative_ttl_s: float = 300.0,
+        name: str = "discovery-matchlet",
+    ):
+        super().__init__(name)
+        self.server = server
+        self.storage = storage
+        self.known_types = set(known_types or ())
+        self.negative_ttl_s = negative_ttl_s
+        self._fetching: set[str] = set()
+        self._no_code_until: dict[str, float] = {}
+        self.deployed: list[str] = []
+        self.failures: list[tuple[str, str]] = []
+
+    def on_event(self, event: Notification):
+        event_type = event.event_type
+        if not event_type or event_type in self.known_types:
+            return None
+        if event_type in self._fetching:
+            return None
+        lockout = self._no_code_until.get(event_type, 0.0)
+        if self.server.sim.now < lockout:
+            return None
+        self._fetching.add(event_type)
+        self.storage.get(matchlet_code_guid(event_type)).add_callback(
+            lambda fut: self._on_code(event_type, event, fut)
+        )
+        return None
+
+    def _on_code(self, event_type: str, trigger: Notification, fut) -> None:
+        self._fetching.discard(event_type)
+        if fut.exception is not None:
+            self._no_code_until[event_type] = (
+                self.server.sim.now + self.negative_ttl_s
+            )
+            self.failures.append((event_type, "no code in storage"))
+            return
+        try:
+            bundle = Bundle.from_xml(parse(fut.result().decode()))
+            component = self.server.deploy(bundle)
+        except (BundleError, Exception) as err:
+            self._no_code_until[event_type] = (
+                self.server.sim.now + self.negative_ttl_s
+            )
+            self.failures.append((event_type, str(err)))
+            return
+        self.known_types.add(event_type)
+        self.deployed.append(event_type)
+        self.server.local_bus.subscribe(component)
+        component.put(trigger)  # replay the event that triggered discovery

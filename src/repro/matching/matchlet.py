@@ -1,0 +1,116 @@
+"""Matchlets: the matching engine packaged as a pipeline component (§5).
+
+"Matchlets are structured as pipeline code that accepts events from the
+event distribution mechanism and performs matching on them.  Each matchlet
+writes its results onto the event bus.  Thus the primary API offered by the
+host to matchlets is an event delivery source and an event sink."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cingal.registry import register_component
+from repro.events.model import Notification
+from repro.knowledge.base import KnowledgeBase
+from repro.matching.engine import MatchingEngine
+from repro.matching.rules import Rule
+from repro.pipelines.component import PipelineComponent
+from repro.simulation import Simulator
+
+
+class Matchlet(PipelineComponent):
+    """Consumes events, emits synthesised higher-level events."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        kb: KnowledgeBase,
+        rules: tuple | list = (),
+        extras: dict | None = None,
+        name: str = "matchlet",
+    ):
+        super().__init__(name)
+        self.engine = MatchingEngine(sim, kb, rules, extras)
+
+    def on_event(self, event: Notification):
+        return self.engine.ingest(event)
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        return self.engine.kb
+
+
+class RuleRegistry:
+    """Named rule factories, so bundles can reference rules by string.
+
+    A factory takes ``(ctx, params)`` — the bundle context and parameter
+    dict — and returns a :class:`Rule`.  Services register their rules here
+    before deploying matchlet bundles that name them.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable] = {}
+
+    def register(self, name: str, factory: Callable) -> None:
+        if name in self._factories:
+            raise ValueError(f"duplicate rule factory: {name}")
+        self._factories[name] = factory
+
+    def replace(self, name: str, factory: Callable) -> None:
+        self._factories[name] = factory
+
+    def build(self, name: str, ctx, params: dict) -> Rule:
+        if name not in self._factories:
+            raise KeyError(f"unknown rule: {name}")
+        return self._factories[name](ctx, params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+default_rule_registry = RuleRegistry()
+
+
+@register_component("matchlet")
+def _make_matchlet(ctx, params):
+    """Bundle factory: ``params["rules"]`` is a comma-separated rule list.
+
+    The matchlet starts with an empty local KB replica; the service
+    infrastructure hydrates it from the distributed knowledge base and
+    keeps it fresh via kb-update events.
+    """
+    rule_names = [r for r in params.get("rules", "").split(",") if r]
+    kb = KnowledgeBase()
+    rules = tuple(
+        default_rule_registry.build(name, ctx, params) for name in rule_names
+    )
+    return Matchlet(ctx.sim, kb, rules)
+
+
+class KbUpdateApplier(PipelineComponent):
+    """Applies ``kb-update`` events to a matchlet's local KB replica.
+
+    This is the push half of C4: knowledge changes travel to wherever the
+    matching computation runs.
+    """
+
+    def __init__(self, matchlet: Matchlet, name: str = "kb-updater"):
+        super().__init__(name)
+        self.matchlet = matchlet
+
+    def on_event(self, event: Notification):
+        if event.event_type != "kb-update":
+            return None
+        from repro.knowledge.facts import Fact
+
+        self.matchlet.kb.add(
+            Fact(
+                subject=str(event["subject"]),
+                predicate=str(event["predicate"]),
+                object=event["value"],
+                valid_from=float(event.get("valid_from", float("-inf"))),
+                valid_to=float(event.get("valid_to", float("inf"))),
+            )
+        )
+        return None

@@ -1,0 +1,77 @@
+"""Sliding time-window buffers for event correlation."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.events.model import Notification
+
+
+class TimeWindowBuffer:
+    """Events of one pattern seen in the last ``window_s`` seconds.
+
+    Bounded both by time and by ``max_items`` so a runaway source cannot
+    exhaust memory; the correlation loss from dropping the oldest items is
+    the standard CEP trade-off.
+    """
+
+    def __init__(self, window_s: float, max_items: int = 256):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self.max_items = max_items
+        self._entries: deque[tuple[float, Notification]] = deque()
+        # Latest event per entity, bounded by the window only: a flood of
+        # other entities' events must not evict a quiet entity's state.
+        self._latest: dict = {}
+
+    @staticmethod
+    def _entity_key(event: Notification):
+        return event.get("subject") or event.get("area") or id(event)
+
+    def add(self, time: float, event: Notification) -> None:
+        self._entries.append((time, event))
+        if len(self._entries) > self.max_items:
+            self._entries.popleft()
+        self._latest[self._entity_key(event)] = (time, event)
+        self.evict(time)
+
+    def evict(self, now: float) -> None:
+        cutoff = now - self.window_s
+        while self._entries and self._entries[0][0] < cutoff:
+            self._entries.popleft()
+        if len(self._latest) > 2 * self.max_items:
+            self._latest = {
+                key: (t, e) for key, (t, e) in self._latest.items() if t >= cutoff
+            }
+
+    def recent(self, now: float, limit: int | None = None) -> list[Notification]:
+        """Events still inside the window, newest first."""
+        self.evict(now)
+        events = [event for _, event in reversed(self._entries)]
+        return events if limit is None else events[:limit]
+
+    def recent_distinct(self, now: float, limit: int | None = None) -> list[Notification]:
+        """Newest event *per entity* within the window, newest first.
+
+        The entity key is the ``subject`` attribute when present, else
+        ``area``, else the event itself.  Context streams are state-like —
+        only a person's latest position or an area's latest temperature
+        matters for correlation — so joins work over per-entity heads, and
+        a flood of strangers' events cannot push a friend's latest fix out
+        of consideration.
+        """
+        cutoff = now - self.window_s
+        live = sorted(
+            (
+                (time, event)
+                for time, event in self._latest.values()
+                if time >= cutoff
+            ),
+            key=lambda pair: -pair[0],
+        )
+        heads = [event for _, event in live]
+        return heads if limit is None else heads[:limit]
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,20 @@
+"""Simulated wide-area network: hosts, geography, latency and failures."""
+
+from repro.net.geo import EARTH_RADIUS_KM, Position, Region, haversine_km
+from repro.net.host import Host
+from repro.net.latency import FixedLatency, GeographicLatency, LatencyModel
+from repro.net.network import Message, Network, NetworkStats
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "FixedLatency",
+    "GeographicLatency",
+    "Host",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Position",
+    "Region",
+    "haversine_km",
+]

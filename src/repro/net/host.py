@@ -1,0 +1,71 @@
+"""Base class for everything attached to the simulated network."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.geo import Position
+from repro.net.network import Address, Message, Network
+
+
+class Host:
+    """A network endpoint with a geographic position and a liveness flag.
+
+    Subclasses implement :meth:`handle_message`.  Crash/recover models node
+    churn: a crashed host silently loses inbound and outbound traffic, which
+    is what the monitoring engine (§4.4) must detect and repair around.
+    """
+
+    def __init__(
+        self,
+        sim,
+        network: Network,
+        position: Position,
+        addr: Address | None = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.position = position
+        self.addr: Address = network.allocate_address() if addr is None else addr
+        self.alive = True
+        self.messages_received = 0
+        self.messages_sent = 0
+        self.on_crash_hooks: list[Callable[["Host"], None]] = []
+        self.on_recover_hooks: list[Callable[["Host"], None]] = []
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    def send(self, dst: Address, payload: Any, size_bytes: int = 256) -> bool:
+        if not self.alive:
+            return False
+        self.messages_sent += 1
+        return self.network.send(self.addr, dst, payload, size_bytes)
+
+    def _receive(self, message: Message) -> None:
+        if not self.alive:
+            return
+        self.messages_received += 1
+        self.handle_message(message.src, message.payload)
+
+    def handle_message(self, src: Address, payload: Any) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: drop off the network without warning (§4.4)."""
+        if not self.alive:
+            return
+        self.alive = False
+        for hook in list(self.on_crash_hooks):
+            hook(self)
+
+    def recover(self) -> None:
+        if self.alive:
+            return
+        self.alive = True
+        for hook in list(self.on_recover_hooks):
+            hook(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.alive else "down"
+        return f"<{type(self).__name__} addr={self.addr!r} {state}>"

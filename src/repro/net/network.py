@@ -1,0 +1,166 @@
+"""The simulated network: message delivery, loss, partitions, churn.
+
+Hosts register with a :class:`Network` and exchange opaque payloads.  The
+network charges each message a latency from the pluggable model, drops
+messages to dead/partitioned hosts, and keeps counters that the benchmark
+harnesses read (message totals are how E4 measures broker load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+from repro.net.latency import GeographicLatency, LatencyModel
+from repro.simulation import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.host import Host
+
+Address = Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight message; payload semantics belong to the hosts."""
+
+    src: Address
+    dst: Address
+    payload: Any
+    size_bytes: int
+    sent_at: float
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters; per-host counters live on the hosts themselves."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_host_delivered: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.per_host_delivered.clear()
+
+
+class Network:
+    """A message-passing fabric over the discrete-event simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        loss_rate: float = 0.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency or GeographicLatency()
+        self.loss_rate = loss_rate
+        self.stats = NetworkStats()
+        self._hosts: dict[Address, "Host"] = {}
+        self._partition: dict[Address, int] | None = None
+        self._rng = sim.rng_for("network")
+        self._next_addr = 0
+        self.delivery_hooks: list[Callable[[Message], None]] = []
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def allocate_address(self) -> int:
+        addr = self._next_addr
+        self._next_addr += 1
+        return addr
+
+    def register(self, host: "Host") -> None:
+        if host.addr in self._hosts:
+            raise ValueError(f"duplicate host address: {host.addr!r}")
+        self._hosts[host.addr] = host
+
+    def unregister(self, addr: Address) -> None:
+        self._hosts.pop(addr, None)
+
+    def host(self, addr: Address) -> "Host | None":
+        return self._hosts.get(addr)
+
+    @property
+    def hosts(self) -> list["Host"]:
+        return list(self._hosts.values())
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def set_partition(self, groups: list[set[Address]]) -> None:
+        """Split the network; messages between different groups are dropped.
+
+        Hosts not mentioned in any group join an implicit final group.
+        """
+        mapping: dict[Address, int] = {}
+        for index, group in enumerate(groups):
+            for addr in group:
+                mapping[addr] = index
+        self._partition = mapping
+
+    def heal_partition(self) -> None:
+        self._partition = None
+
+    def _partitioned(self, a: Address, b: Address) -> bool:
+        if self._partition is None:
+            return False
+        ga = self._partition.get(a, -1)
+        gb = self._partition.get(b, -1)
+        return ga != gb
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: Address,
+        dst: Address,
+        payload: Any,
+        size_bytes: int = 256,
+    ) -> bool:
+        """Queue a message for delivery.  Returns False if dropped eagerly.
+
+        Loss and partitions are evaluated at send time; destination liveness
+        is re-checked at delivery time so messages racing a crash are lost,
+        exactly as on a real network.
+        """
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+        src_host = self._hosts.get(src)
+        dst_host = self._hosts.get(dst)
+        if src_host is None or dst_host is None or not src_host.alive:
+            self.stats.messages_dropped += 1
+            return False
+        if self._partitioned(src, dst):
+            self.stats.messages_dropped += 1
+            return False
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.stats.messages_dropped += 1
+            return False
+        message = Message(src, dst, payload, size_bytes, self.sim.now)
+        delay = self.latency.delay(
+            src_host.position, dst_host.position, size_bytes, self._rng
+        )
+        self.sim.schedule(delay, self._deliver, message)
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        host = self._hosts.get(message.dst)
+        if host is None or not host.alive:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        counter = self.stats.per_host_delivered
+        counter[message.dst] = counter.get(message.dst, 0) + 1
+        for hook in self.delivery_hooks:
+            hook(message)
+        host._receive(message)

@@ -1,0 +1,25 @@
+"""Peer-to-peer overlays.
+
+``pastry`` implements deterministic Plaxton-style prefix routing (the kind
+the paper says the serious storage architectures are built on), ``freenet``
+implements the non-deterministic baseline the paper dismisses because "data
+cannot always be found" — experiment E5 measures exactly that difference.
+"""
+
+from repro.overlay.api import NodeDescriptor, OverlayApplication, RouteContext
+from repro.overlay.node_state import LeafSet, RoutingTable
+from repro.overlay.pastry import PastryNode, build_overlay, fast_build
+from repro.overlay.freenet import FreenetNode, build_freenet
+
+__all__ = [
+    "FreenetNode",
+    "LeafSet",
+    "NodeDescriptor",
+    "OverlayApplication",
+    "PastryNode",
+    "RouteContext",
+    "RoutingTable",
+    "build_freenet",
+    "build_overlay",
+    "fast_build",
+]

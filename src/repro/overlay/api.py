@@ -1,0 +1,64 @@
+"""Key-based routing API offered to overlay applications.
+
+Applications (the storage service, the distributed knowledge base, resource
+advertisement) register with a :class:`~repro.overlay.pastry.PastryNode`
+under a name and receive upcalls in the style of the common KBR interface:
+``on_deliver`` at the key's root, ``on_forward`` at intermediate hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ids import Guid
+from repro.net.geo import Position
+from repro.net.network import Address
+
+
+@dataclass(frozen=True)
+class NodeDescriptor:
+    """Everything one overlay node knows about another."""
+
+    guid: Guid
+    addr: Address
+    position: Position
+
+    def __repr__(self) -> str:
+        return f"NodeDescriptor({self.guid.hex[:8]}.., addr={self.addr!r})"
+
+
+@dataclass
+class RouteContext:
+    """Metadata accompanying a delivered message.
+
+    ``path`` holds the addresses the message traversed (source first); the
+    storage layer uses it for promiscuous caching on the reverse path (§4.5).
+    """
+
+    key: Guid
+    source: Address
+    hops: int
+    path: list = field(default_factory=list)
+
+
+class OverlayApplication:
+    """Base class for applications riding on the overlay."""
+
+    def on_deliver(self, key: Guid, payload: Any, ctx: RouteContext) -> None:
+        """Called at the node whose id is numerically closest to ``key``."""
+        raise NotImplementedError
+
+    def on_direct(self, src: Address, payload: Any) -> None:
+        """Called for point-to-point messages addressed to this application."""
+
+    def on_forward(self, key: Guid, payload: Any, ctx: RouteContext) -> Any:
+        """Called at each intermediate hop.
+
+        Return the (possibly replaced) payload to continue routing, or
+        ``None`` to swallow the message (e.g. a cache hit answering early).
+        """
+        return payload
+
+    def on_neighbour_change(self, joined: bool, descriptor: NodeDescriptor) -> None:
+        """Leaf-set membership changed; storage uses this to re-replicate."""

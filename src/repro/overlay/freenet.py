@@ -1,0 +1,245 @@
+"""Freenet-style non-deterministic routing baseline.
+
+The paper rejects this class of system as a substrate because "data cannot
+always be found" (§3).  This module implements a faithful small model of it
+— greedy closeness routing with backtracking over a random graph, bounded by
+hops-to-live, with path caching on both inserts and successful retrievals —
+so experiment E5 can measure the retrieval failure rate that motivates the
+paper's choice of deterministic Plaxton routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ids import Guid, random_guid
+from repro.net.geo import WORLD_REGIONS, Position
+from repro.net.host import Host
+from repro.net.network import Address, Network
+from repro.simulation import Future, Simulator
+
+
+@dataclass
+class InsertMsg:
+    key: Guid
+    data: bytes
+    htl: int
+    visited: set = field(default_factory=set)
+
+
+@dataclass
+class GetRequest:
+    request_id: tuple
+    key: Guid
+    htl: int
+    visited: set = field(default_factory=set)
+
+
+@dataclass
+class GetReply:
+    request_id: tuple
+    key: Guid
+    data: bytes
+
+
+@dataclass
+class GetFail:
+    request_id: tuple
+    key: Guid
+
+
+class _Pending:
+    __slots__ = ("upstream", "future", "candidates", "htl", "visited")
+
+    def __init__(self, upstream, future, candidates, htl, visited):
+        self.upstream = upstream
+        self.future = future
+        self.candidates = candidates
+        self.htl = htl
+        self.visited = visited
+
+
+class FreenetNode(Host):
+    """A node in the non-deterministic baseline overlay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        position: Position,
+        capacity_items: int = 64,
+    ):
+        super().__init__(sim, network, position)
+        self.node_id = random_guid(sim.rng_for(f"freenet-id-{self.addr}"))
+        self.neighbours: dict[Address, Guid] = {}
+        self.capacity_items = capacity_items
+        self._store: dict[Guid, bytes] = {}
+        self._lru: list[Guid] = []
+        self._pending: dict[tuple, _Pending] = {}
+        self._next_request = 0
+
+    # ------------------------------------------------------------------
+    # Local datastore (LRU)
+    # ------------------------------------------------------------------
+    def store(self, key: Guid, data: bytes) -> None:
+        if key in self._store:
+            self._lru.remove(key)
+        elif len(self._store) >= self.capacity_items:
+            victim = self._lru.pop(0)
+            del self._store[victim]
+        self._store[key] = data
+        self._lru.append(key)
+
+    def has(self, key: Guid) -> bool:
+        return key in self._store
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def put(self, data: bytes, key: Guid, htl: int = 10) -> None:
+        """Insert: store locally, then push greedily toward the key."""
+        self.store(key, data)
+        self._forward_insert(InsertMsg(key, data, htl, visited={self.addr}))
+
+    def get(self, key: Guid, htl: int = 10) -> Future:
+        """Retrieve: returns a Future that fails if the search exhausts."""
+        future = Future()
+        if self.has(key):
+            future.set_result(self._store[key])
+            return future
+        request_id = (self.addr, self._next_request)
+        self._next_request += 1
+        visited = {self.addr}
+        candidates = self._ranked_neighbours(key, visited)
+        self._pending[request_id] = _Pending(None, future, candidates, htl, visited)
+        self._try_next(request_id, key)
+        return future
+
+    # ------------------------------------------------------------------
+    # Routing internals
+    # ------------------------------------------------------------------
+    def _ranked_neighbours(self, key: Guid, visited: set) -> list[Address]:
+        usable = [
+            (guid.ring_distance(key), addr)
+            for addr, guid in self.neighbours.items()
+            if addr not in visited
+        ]
+        usable.sort()
+        return [addr for _, addr in usable]
+
+    def _forward_insert(self, msg: InsertMsg) -> None:
+        if msg.htl <= 0:
+            return
+        ranked = self._ranked_neighbours(msg.key, msg.visited)
+        if not ranked:
+            return
+        nxt = ranked[0]
+        msg.visited.add(nxt)
+        self.send(
+            nxt,
+            InsertMsg(msg.key, msg.data, msg.htl - 1, set(msg.visited)),
+            size_bytes=len(msg.data) + 64,
+        )
+
+    def _try_next(self, request_id: tuple, key: Guid) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        while pending.candidates:
+            nxt = pending.candidates.pop(0)
+            if pending.htl <= 0:
+                break
+            host = self.network.host(nxt)
+            if host is None or not host.alive:
+                continue
+            pending.visited.add(nxt)
+            self.send(
+                nxt,
+                GetRequest(request_id, key, pending.htl - 1, set(pending.visited)),
+            )
+            # Hops-to-live is a total work budget: every branch explored
+            # from here descends the tree, so retries get a smaller budget.
+            # Without this decay, backtracking turns the greedy search into
+            # exhaustive DFS and "non-deterministic" stops meaning anything.
+            pending.htl -= 2
+            return
+        self._fail(request_id, key)
+
+    def _fail(self, request_id: tuple, key: Guid) -> None:
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return
+        if pending.future is not None:
+            pending.future.set_exception(KeyError(f"not found: {key!r}"))
+        elif pending.upstream is not None:
+            self.send(pending.upstream, GetFail(request_id, key))
+
+    def _succeed(self, request_id: tuple, key: Guid, data: bytes) -> None:
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return
+        self.store(key, data)  # path caching on the reply route
+        if pending.future is not None:
+            pending.future.set_result(data)
+        elif pending.upstream is not None:
+            self.send(pending.upstream, GetReply(request_id, key, data), size_bytes=len(data) + 64)
+
+    # ------------------------------------------------------------------
+    def handle_message(self, src: Address, payload: Any) -> None:
+        if isinstance(payload, InsertMsg):
+            self.store(payload.key, payload.data)
+            self._forward_insert(payload)
+        elif isinstance(payload, GetRequest):
+            if self.has(payload.key):
+                self.send(
+                    src,
+                    GetReply(payload.request_id, payload.key, self._store[payload.key]),
+                    size_bytes=len(self._store[payload.key]) + 64,
+                )
+                return
+            if payload.request_id in self._pending:
+                # Loop: this branch already runs through us; reject it so the
+                # other branch's bookkeeping stays intact.
+                self.send(src, GetFail(payload.request_id, payload.key))
+                return
+            visited = set(payload.visited) | {self.addr}
+            candidates = self._ranked_neighbours(payload.key, visited)
+            self._pending[payload.request_id] = _Pending(
+                src, None, candidates, payload.htl, visited
+            )
+            self._try_next(payload.request_id, payload.key)
+        elif isinstance(payload, GetReply):
+            self._succeed(payload.request_id, payload.key, payload.data)
+        elif isinstance(payload, GetFail):
+            if payload.request_id in self._pending:
+                self._try_next(payload.request_id, payload.key)
+        else:
+            raise TypeError(f"unknown freenet message: {payload!r}")
+
+
+def build_freenet(
+    sim: Simulator,
+    network: Network,
+    count: int,
+    degree: int = 4,
+) -> list[FreenetNode]:
+    """A connected random graph of ``count`` nodes with ~``degree`` links each."""
+    rng = sim.rng_for("freenet-build")
+    nodes = [
+        FreenetNode(sim, network, WORLD_REGIONS[i % len(WORLD_REGIONS)].random_position(rng))
+        for i in range(count)
+    ]
+
+    def link(a: FreenetNode, b: FreenetNode) -> None:
+        if a is b:
+            return
+        a.neighbours[b.addr] = b.node_id
+        b.neighbours[a.addr] = a.node_id
+
+    for i in range(1, count):  # guarantee connectivity
+        link(nodes[i - 1], nodes[i])
+    for node in nodes:
+        while len(node.neighbours) < degree:
+            link(node, nodes[rng.randrange(count)])
+    return nodes

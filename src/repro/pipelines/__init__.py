@@ -1,0 +1,50 @@
+"""Distributed XML pipelines (§4.2, Figure 2).
+
+Pipeline components exchange XML-encoded events intra-node (direct ``put``)
+and inter-node (a ``put(event)`` message interface over the simulated
+network, standing in for the paper's web-service interface).  Components
+are deliberately independent of each other and of the transport.
+"""
+
+from repro.pipelines.component import (
+    FunctionComponent,
+    PipelineComponent,
+    Probe,
+    SourceComponent,
+)
+from repro.pipelines.bus import EventBus
+from repro.pipelines.connectors import PipelineEvent, RemoteSender
+from repro.pipelines.filters import (
+    Buffer,
+    DedupFilter,
+    DistanceFilter,
+    RateLimiter,
+    ThresholdFilter,
+    Transformer,
+    TypeFilter,
+)
+from repro.pipelines.spec import ComponentSpec, EdgeSpec, PipelineSpec
+from repro.pipelines.assembly import DeploymentAgent, deploy_pipeline
+from repro.pipelines import standard as _standard  # registers stock components
+
+__all__ = [
+    "DeploymentAgent",
+    "Buffer",
+    "ComponentSpec",
+    "DedupFilter",
+    "DistanceFilter",
+    "EdgeSpec",
+    "EventBus",
+    "FunctionComponent",
+    "PipelineComponent",
+    "PipelineEvent",
+    "PipelineSpec",
+    "Probe",
+    "RateLimiter",
+    "RemoteSender",
+    "SourceComponent",
+    "ThresholdFilter",
+    "Transformer",
+    "TypeFilter",
+    "deploy_pipeline",
+]

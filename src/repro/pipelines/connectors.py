@@ -1,0 +1,50 @@
+"""Inter-node pipeline connectors (Figure 2's node boundary).
+
+A :class:`RemoteSender` serialises each event to XML and ships it to a named
+component on another thin server, which deserialises and ``put``s it — the
+simulation analogue of the paper's web-service ``put(event)`` interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.events.model import Notification
+from repro.net.network import Address
+from repro.pipelines.component import PipelineComponent
+from repro.xmlkit.codec import notification_to_xml
+from repro.xmlkit.writer import to_string
+
+
+@dataclass
+class PipelineEvent:
+    """Wire form of one event addressed to a remote pipeline component."""
+
+    component: str
+    xml_text: str
+
+
+class RemoteSender(PipelineComponent):
+    """Forwards events to component ``target_component`` at ``target_addr``."""
+
+    def __init__(
+        self,
+        host,  # the ThinServer (any Host) we send from
+        target_addr: Address,
+        target_component: str,
+        name: str = "",
+    ):
+        super().__init__(name or f"remote->{target_component}")
+        self._host = host
+        self.target_addr = target_addr
+        self.target_component = target_component
+
+    def on_event(self, event: Notification):
+        xml_text = to_string(notification_to_xml(event))
+        self._host.send(
+            self.target_addr,
+            PipelineEvent(self.target_component, xml_text),
+            size_bytes=len(xml_text) + 64,
+        )
+        self.events_out += 1
+        return None  # the event left this node; nothing flows locally

@@ -1,0 +1,182 @@
+"""Stock pipeline components: filtering, buffering, rate limiting (§4.2).
+
+The paper's examples: "components perform filtering (e.g. transmitting
+user-location events only when the distance moved exceeds a certain
+threshold), buffering, communication with other pipelines, and so on."
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.events.model import Notification
+from repro.net.geo import Position, haversine_km
+from repro.pipelines.component import PipelineComponent
+from repro.simulation import Simulator
+
+
+class TypeFilter(PipelineComponent):
+    """Pass only events whose ``type`` attribute is in the allowed set."""
+
+    def __init__(self, allowed: set[str], name: str = "type-filter"):
+        super().__init__(name)
+        self.allowed = set(allowed)
+
+    def on_event(self, event: Notification):
+        return event if event.event_type in self.allowed else None
+
+
+class ThresholdFilter(PipelineComponent):
+    """Pass a numeric attribute only when it moved more than ``delta``.
+
+    Tracks the last *emitted* value per entity (the ``key`` attribute), so a
+    slow drift eventually gets through — this is the standard sensor
+    debounce.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        delta: float,
+        key: str = "subject",
+        name: str = "threshold-filter",
+    ):
+        super().__init__(name)
+        self.attribute = attribute
+        self.delta = delta
+        self.key = key
+        self._last: dict[object, float] = {}
+
+    def on_event(self, event: Notification):
+        if self.attribute not in event:
+            return None
+        value = event[self.attribute]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return None
+        entity = event.get(self.key, "")
+        last = self._last.get(entity)
+        if last is not None and abs(value - last) < self.delta:
+            return None
+        self._last[entity] = float(value)
+        return event
+
+
+class DistanceFilter(PipelineComponent):
+    """Pass location events only after the subject moved ``min_km``."""
+
+    def __init__(self, min_km: float, key: str = "subject", name: str = "distance-filter"):
+        super().__init__(name)
+        self.min_km = min_km
+        self.key = key
+        self._last: dict[object, Position] = {}
+
+    def on_event(self, event: Notification):
+        if "lat" not in event or "lon" not in event:
+            return None
+        position = Position(float(event["lat"]), float(event["lon"]))
+        entity = event.get(self.key, "")
+        last = self._last.get(entity)
+        if last is not None and haversine_km(last, position) < self.min_km:
+            return None
+        self._last[entity] = position
+        return event
+
+
+class DedupFilter(PipelineComponent):
+    """Drop events identical to one seen in the last ``window`` seconds."""
+
+    def __init__(self, sim: Simulator, window: float = 10.0, name: str = "dedup"):
+        super().__init__(name)
+        self._sim = sim
+        self.window = window
+        self._seen: dict[Notification, float] = {}
+
+    def on_event(self, event: Notification):
+        now = self._sim.now
+        cutoff = now - self.window
+        if len(self._seen) > 256:
+            self._seen = {e: t for e, t in self._seen.items() if t >= cutoff}
+        last = self._seen.get(event)
+        if last is not None and last >= cutoff:
+            return None
+        self._seen[event] = now
+        return event
+
+
+class RateLimiter(PipelineComponent):
+    """At most ``max_events`` per entity per ``period`` seconds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        max_events: int,
+        period: float,
+        key: str = "subject",
+        name: str = "rate-limiter",
+    ):
+        super().__init__(name)
+        self._sim = sim
+        self.max_events = max_events
+        self.period = period
+        self.key = key
+        self._history: dict[object, list[float]] = {}
+
+    def on_event(self, event: Notification):
+        now = self._sim.now
+        entity = event.get(self.key, "")
+        history = [t for t in self._history.get(entity, []) if t > now - self.period]
+        if len(history) >= self.max_events:
+            self._history[entity] = history
+            return None
+        history.append(now)
+        self._history[entity] = history
+        return event
+
+
+class Buffer(PipelineComponent):
+    """Collect events and flush downstream every ``interval`` seconds or
+    whenever ``max_items`` accumulate, whichever comes first."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float = 1.0,
+        max_items: int = 100,
+        name: str = "buffer",
+    ):
+        super().__init__(name)
+        self._sim = sim
+        self.interval = interval
+        self.max_items = max_items
+        self._pending: list[Notification] = []
+        self._timer = None
+
+    def on_event(self, event: Notification):
+        self._pending.append(event)
+        if len(self._pending) >= self.max_items:
+            self.flush()
+        elif self._timer is None:
+            self._timer = self._sim.schedule(self.interval, self.flush)
+        return None
+
+    def flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        for event in pending:
+            self.emit(event)
+
+    def stop(self) -> None:
+        self.flush()
+
+
+class Transformer(PipelineComponent):
+    """Apply ``fn`` to every event (e.g. unit conversion, enrichment)."""
+
+    def __init__(self, fn: Callable[[Notification], Notification | None], name: str = ""):
+        super().__init__(name or "transformer")
+        self._fn = fn
+
+    def on_event(self, event: Notification):
+        return self._fn(event)

@@ -1,0 +1,81 @@
+"""Registry entries for the stock pipeline components.
+
+Importing :mod:`repro.pipelines` registers these, so any thin server with
+the default registry can instantiate them from bundles.
+"""
+
+from __future__ import annotations
+
+from repro.cingal.registry import register_component
+from repro.pipelines.bus import EventBus
+from repro.pipelines.component import Probe, SourceComponent
+from repro.pipelines.filters import (
+    Buffer,
+    DedupFilter,
+    DistanceFilter,
+    RateLimiter,
+    ThresholdFilter,
+    TypeFilter,
+)
+
+
+@register_component("source")
+def _make_source(ctx, params):
+    return SourceComponent()
+
+
+@register_component("probe")
+def _make_probe(ctx, params):
+    return Probe()
+
+
+@register_component("bus")
+def _make_bus(ctx, params):
+    return EventBus()
+
+
+@register_component("filter.type")
+def _make_type_filter(ctx, params):
+    allowed = {t for t in params.get("allowed", "").split(",") if t}
+    return TypeFilter(allowed)
+
+
+@register_component("filter.threshold")
+def _make_threshold_filter(ctx, params):
+    return ThresholdFilter(
+        attribute=params.get("attribute", "value"),
+        delta=float(params.get("delta", "1.0")),
+        key=params.get("key", "subject"),
+    )
+
+
+@register_component("filter.distance")
+def _make_distance_filter(ctx, params):
+    return DistanceFilter(
+        min_km=float(params.get("min_km", "0.1")),
+        key=params.get("key", "subject"),
+    )
+
+
+@register_component("filter.dedup")
+def _make_dedup_filter(ctx, params):
+    return DedupFilter(ctx.sim, window=float(params.get("window", "10.0")))
+
+
+@register_component("filter.ratelimit")
+def _make_rate_limiter(ctx, params):
+    return RateLimiter(
+        ctx.sim,
+        max_events=int(params.get("max_events", "10")),
+        period=float(params.get("period", "60.0")),
+        key=params.get("key", "subject"),
+    )
+
+
+@register_component("buffer")
+def _make_buffer(ctx, params):
+    return Buffer(
+        ctx.sim,
+        interval=float(params.get("interval", "1.0")),
+        max_items=int(params.get("max_items", "100")),
+    )

@@ -1,0 +1,28 @@
+"""Simulated sensors, people and cities.
+
+The paper's events "arise from local devices and sensors such as GPS and GSM
+devices, RFID tag readers, weather sensors, etc." (§4.2).  Real hardware is
+replaced by synthetic processes with realistic dynamics: people follow
+schedules and waypoints through a city model, weather follows diurnal
+curves, and every device pushes notifications into whatever sink it is
+wired to (a pipeline wrapper component, usually).
+"""
+
+from repro.sensors.city import City, make_st_andrews, make_synthetic_city
+from repro.sensors.devices import GpsSensor, GsmCell, RfidReader, WeatherSensor
+from repro.sensors.mobility_models import RandomWaypoint, ScheduleDriven
+from repro.sensors.people import Person, Population
+
+__all__ = [
+    "City",
+    "GpsSensor",
+    "GsmCell",
+    "Person",
+    "Population",
+    "RandomWaypoint",
+    "RfidReader",
+    "ScheduleDriven",
+    "WeatherSensor",
+    "make_st_andrews",
+    "make_synthetic_city",
+]

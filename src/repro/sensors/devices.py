@@ -1,0 +1,196 @@
+"""Simulated sensor devices.
+
+Each device samples on a jittered period and pushes notifications to its
+sinks.  A sink is anything callable with one Notification argument — a
+pipeline component's ``put``, a Siena client's ``publish``, or a plain list
+collector in tests.  The pipeline wrapper of §4.2 ("each hardware device has
+a wrapper component that makes it usable as a pipeline component") is then
+just ``sensor.add_sink(source_component.inject)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.events.model import Notification, make_event
+from repro.gis.logical import StreetMap
+from repro.net.geo import Position, haversine_km
+from repro.sensors.people import Person, Population
+from repro.simulation import PeriodicTask, Simulator
+
+Sink = Callable[[Notification], None]
+
+
+class _Device:
+    """Shared machinery: periodic sampling, sinks, counters."""
+
+    def __init__(self, sim: Simulator, name: str, period_s: float, jitter: float = 0.1):
+        self.sim = sim
+        self.name = name
+        self.sinks: list[Sink] = []
+        self.emitted = 0
+        self._task = PeriodicTask(
+            sim, period_s, self._sample, jitter=jitter, rng=sim.rng_for(f"dev-{name}")
+        )
+
+    def add_sink(self, sink: Sink) -> None:
+        self.sinks.append(sink)
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _emit(self, event: Notification) -> None:
+        self.emitted += 1
+        for sink in list(self.sinks):
+            sink(event)
+
+    def _sample(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class GpsSensor(_Device):
+    """A person's GPS device: periodic ``user-location`` fixes with noise."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        person: Person,
+        period_s: float = 30.0,
+        noise_m: float = 5.0,
+    ):
+        super().__init__(sim, f"gps-{person.name}", period_s)
+        self.person = person
+        self.noise_m = noise_m
+        self._rng = sim.rng_for(f"gps-noise-{person.name}")
+
+    def _sample(self) -> None:
+        noisy = self.person.position.offset_km(
+            self._rng.gauss(0.0, self.noise_m / 1000.0),
+            self._rng.gauss(0.0, self.noise_m / 1000.0),
+        )
+        self._emit(
+            make_event(
+                "user-location",
+                time=self.sim.now,
+                subject=self.person.name,
+                lat=noisy.lat,
+                lon=noisy.lon,
+                accuracy_m=self.noise_m,
+                mode=self.person.travel_mode,
+            )
+        )
+
+
+class GsmCell(_Device):
+    """A cell tower reporting coarse logical location of people in range."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        position: Position,
+        population: Population,
+        street_map: StreetMap,
+        radius_km: float = 2.0,
+        period_s: float = 60.0,
+    ):
+        super().__init__(sim, f"gsm-{name}", period_s)
+        self.cell_name = name
+        self.position = position
+        self.population = population
+        self.street_map = street_map
+        self.radius_km = radius_km
+
+    def _sample(self) -> None:
+        for person in self.population:
+            if haversine_km(person.position, self.position) > self.radius_km:
+                continue
+            logical = self.street_map.locate(person.position)
+            self._emit(
+                make_event(
+                    "gsm-location",
+                    time=self.sim.now,
+                    subject=person.name,
+                    cell=self.cell_name,
+                    street=logical.street,
+                    area=logical.area,
+                    city=logical.city,
+                )
+            )
+
+
+class RfidReader(_Device):
+    """A doorway reader that sights tagged people within a few metres."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        position: Position,
+        population: Population,
+        radius_m: float = 20.0,
+        period_s: float = 5.0,
+    ):
+        super().__init__(sim, f"rfid-{name}", period_s)
+        self.reader_name = name
+        self.position = position
+        self.population = population
+        self.radius_m = radius_m
+
+    def _sample(self) -> None:
+        for person in self.population:
+            if haversine_km(person.position, self.position) * 1000.0 > self.radius_m:
+                continue
+            self._emit(
+                make_event(
+                    "rfid-sighting",
+                    time=self.sim.now,
+                    subject=person.name,
+                    reader=self.reader_name,
+                )
+            )
+
+
+class WeatherSensor(_Device):
+    """Area temperature with a diurnal curve plus noise.
+
+    Temperature peaks mid-afternoon: base + amplitude*sin phased so the
+    maximum lands at 15:00, matching "it is 20C in South Street at 16.30".
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        area: str,
+        position: Position,
+        base_c: float = 14.0,
+        amplitude_c: float = 6.0,
+        period_s: float = 300.0,
+        noise_c: float = 0.3,
+    ):
+        super().__init__(sim, f"weather-{area}", period_s)
+        self.area = area
+        self.position = position
+        self.base_c = base_c
+        self.amplitude_c = amplitude_c
+        self.noise_c = noise_c
+        self._rng = sim.rng_for(f"weather-noise-{area}")
+
+    def temperature_at(self, sim_time: float) -> float:
+        time_of_day = sim_time % 86400.0
+        phase = 2.0 * math.pi * (time_of_day - 9.0 * 3600.0) / 86400.0
+        return self.base_c + self.amplitude_c * math.sin(phase)
+
+    def _sample(self) -> None:
+        temp = self.temperature_at(self.sim.now) + self._rng.gauss(0.0, self.noise_c)
+        self._emit(
+            make_event(
+                "weather",
+                time=self.sim.now,
+                area=self.area,
+                lat=self.position.lat,
+                lon=self.position.lon,
+                temperature_c=round(temp, 2),
+            )
+        )

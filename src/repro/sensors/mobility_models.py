@@ -1,0 +1,95 @@
+"""Movement models driving simulated people."""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.gis.geometry import walking_speed_kmh
+from repro.net.geo import Position, haversine_km
+from repro.sensors.city import City
+
+
+class MobilityModel(Protocol):
+    """Yields the next position given the current one and elapsed time."""
+
+    def step(self, current: Position, dt_s: float, rng: random.Random) -> Position: ...
+
+
+def _move_toward(current: Position, target: Position, dt_s: float, speed_kmh: float) -> Position:
+    """Advance along the great-circle chord by speed*dt, clamping at target."""
+    distance_km = haversine_km(current, target)
+    step_km = speed_kmh * dt_s / 3600.0
+    if distance_km <= step_km or distance_km == 0.0:
+        return target
+    fraction = step_km / distance_km
+    return Position(
+        current.lat + (target.lat - current.lat) * fraction,
+        current.lon + (target.lon - current.lon) * fraction,
+    )
+
+
+class RandomWaypoint:
+    """Classic random-waypoint: pick a point, walk there, pause, repeat."""
+
+    def __init__(
+        self,
+        city: City,
+        speed_kmh: float = walking_speed_kmh,
+        pause_s: float = 120.0,
+    ):
+        self.city = city
+        self.speed_kmh = speed_kmh
+        self.pause_s = pause_s
+        self._target: Position | None = None
+        self._pause_left = 0.0
+
+    def step(self, current: Position, dt_s: float, rng: random.Random) -> Position:
+        if self._pause_left > 0.0:
+            self._pause_left -= dt_s
+            return current
+        if self._target is None:
+            self._target = self.city.random_position(rng)
+        nxt = _move_toward(current, self._target, dt_s, self.speed_kmh)
+        if nxt == self._target:
+            self._target = None
+            self._pause_left = self.pause_s * rng.uniform(0.5, 1.5)
+        return nxt
+
+
+class ScheduleDriven:
+    """Follow a daily schedule of (time-of-day seconds, position) entries.
+
+    Between appointments the person walks toward the next one; afterwards
+    they stay put.  This produces the diurnal patterns §4.6 wants the
+    system to adapt to.
+    """
+
+    def __init__(self, schedule: list[tuple[float, Position]], speed_kmh: float = walking_speed_kmh):
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+        self.schedule = sorted(schedule, key=lambda entry: entry[0])
+        self.speed_kmh = speed_kmh
+        self._now_s = 0.0
+
+    def set_clock(self, sim_time: float) -> None:
+        self._now_s = sim_time
+
+    def current_target(self, sim_time: float) -> Position:
+        time_of_day = sim_time % 86400.0
+        target = self.schedule[-1][1]  # default: last appointment (wrap)
+        for when, where in self.schedule:
+            if time_of_day >= when:
+                target = where
+        return target
+
+    def step(self, current: Position, dt_s: float, rng: random.Random) -> Position:
+        self._now_s += dt_s
+        return _move_toward(current, self.current_target(self._now_s), dt_s, self.speed_kmh)
+
+
+class Stationary:
+    """Does not move; for fixed infrastructure or background population."""
+
+    def step(self, current: Position, dt_s: float, rng: random.Random) -> Position:
+        return current

@@ -1,0 +1,27 @@
+"""Contextual services built on the common infrastructure (§4.8).
+
+"It will be important to provide a common software infrastructure upon
+which new services can be implemented."  A service contributes rules,
+subscriptions and knowledge requirements; the infrastructure supplies event
+delivery, matchlet hosting, knowledge hydration and suggestion routing.
+"""
+
+from repro.services.infrastructure import (
+    ContextualService,
+    ServiceRuntime,
+    SienaEgress,
+    SienaIngress,
+)
+from repro.services.icecream import IceCreamMeetupService
+from repro.services.recommendation import RestaurantRecommendationService
+from repro.services.weather_alert import WeatherAlertService
+
+__all__ = [
+    "ContextualService",
+    "IceCreamMeetupService",
+    "RestaurantRecommendationService",
+    "ServiceRuntime",
+    "SienaEgress",
+    "SienaIngress",
+    "WeatherAlertService",
+]

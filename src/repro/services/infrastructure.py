@@ -1,0 +1,84 @@
+"""The service-side glue: ingress/egress components and the service API.
+
+A deployed service is a matchlet on a thin server, fed by a Siena
+subscription (ingress) and publishing its synthesised events back to the
+broker network (egress) — exactly §5's "the primary API offered by the host
+to matchlets is an event delivery source and an event sink".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.events.broker import BrokerNode, SienaClient
+from repro.events.filters import Filter
+from repro.events.model import Notification
+from repro.knowledge.facts import Fact
+from repro.matching.matchlet import Matchlet
+from repro.matching.rules import Rule
+from repro.pipelines.component import PipelineComponent
+
+
+class SienaIngress(SienaClient):
+    """A broker client that pours matching notifications onto a sink."""
+
+    def __init__(self, sim, network, position, broker: BrokerNode, sink: Callable):
+        super().__init__(sim, network, position, broker)
+        self.handlers.append(sink)
+
+
+class SienaEgress(PipelineComponent):
+    """A pipeline sink that publishes every event to the broker network."""
+
+    def __init__(self, client: SienaClient, name: str = "egress"):
+        super().__init__(name)
+        self.client = client
+
+    def on_event(self, event: Notification):
+        self.client.publish(event)
+        return None
+
+
+class ContextualService:
+    """Base class for services; subclasses define rules and interests."""
+
+    name: str = "service"
+
+    def build_rules(self, extras: dict) -> list[Rule]:
+        """The service's correlation rules.  ``extras`` carries shared
+        context (the city model, clocks) injected by the architecture."""
+        raise NotImplementedError
+
+    def subscriptions(self) -> list[Filter]:
+        """The event filters the service's matchlet must receive."""
+        raise NotImplementedError
+
+    def knowledge_keys(self, subjects: list[str]) -> list[tuple[str, str]]:
+        """The (subject, predicate) shards to hydrate from the global KB."""
+        return []
+
+    def seed_facts(self) -> list[Fact]:
+        """Facts the service itself contributes (e.g. GIS-derived)."""
+        return []
+
+
+@dataclass
+class ServiceRuntime:
+    """A deployed service instance, as handed back by the architecture."""
+
+    service: ContextualService
+    matchlet: Matchlet
+    ingress: SienaIngress
+    egress: SienaEgress
+    server: object  # ThinServer
+    suggestions: list[Notification] = field(default_factory=list)
+
+    def stats(self) -> dict:
+        engine = self.matchlet.engine.stats
+        return {
+            "events_in": engine.events_in,
+            "matches": engine.matches,
+            "synthesized": engine.synthesized,
+            "suppressed": engine.suppressed_by_cooldown,
+        }

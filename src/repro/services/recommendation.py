@@ -1,0 +1,119 @@
+"""The paper's global scenario (§1.1): "Bob, currently in Australia, walks
+past a restaurant previously recommended by Anna: her opinion of the
+restaurant should be delivered to Bob if it is dinner time and he has no
+plans for dinner, or if he is staying a few more days in the area."
+"""
+
+from __future__ import annotations
+
+from repro.events.filters import Filter, type_is
+from repro.events.model import make_event
+from repro.matching.patterns import EventPattern
+from repro.matching.rules import Rule, RuleContext
+from repro.net.geo import Position
+from repro.sensors.city import City
+from repro.services.infrastructure import ContextualService
+
+DINNER_START_H = 17.0
+DINNER_END_H = 21.5
+WALK_PAST_KM = 0.3
+
+
+class RestaurantRecommendationService(ContextualService):
+    """Deliver friends' restaurant opinions at the right place and time."""
+
+    name = "restaurant-recommendation"
+
+    def __init__(self, cities: list[City]):
+        self.cities = cities
+
+    def subscriptions(self) -> list[Filter]:
+        return [Filter(type_is("user-location")), Filter(type_is("kb-update"))]
+
+    def knowledge_keys(self, subjects: list[str]) -> list[tuple[str, str]]:
+        """Subjects here include both people and places, so the per-place
+        recommendation shards (and per-recommender opinions) hydrate too."""
+        keys = []
+        for subject in subjects:
+            keys.extend(
+                [
+                    (subject, "knows"),
+                    (subject, "dinner-plans"),
+                    (subject, "staying-days"),
+                    (subject, "recommended-by"),
+                    (subject, "opinion"),
+                ]
+            )
+            for other in subjects:
+                keys.append((subject, f"opinion-of:{other}"))
+        return keys
+
+    # ------------------------------------------------------------------
+    def build_rules(self, extras: dict) -> list[Rule]:
+        cities = self.cities
+
+        def near_recommended_restaurant(bindings, ctx: RuleContext) -> bool:
+            event = bindings["loc"]
+            position = Position(float(event["lat"]), float(event["lon"]))
+            user = str(event["subject"])
+            friends = {f.object for f in ctx.kb.query(subject=user, predicate="knows")}
+            if not friends:
+                return False
+            for city in cities:
+                hit = city.nearest_place(position, kind="restaurant", max_radius_km=WALK_PAST_KM)
+                if hit is None:
+                    continue
+                _, restaurant = hit
+                recommenders = {
+                    f.object
+                    for f in ctx.kb.query(
+                        subject=restaurant.name, predicate="recommended-by"
+                    )
+                }
+                mutual = sorted(str(f) for f in (friends & recommenders))
+                if mutual:
+                    bindings["restaurant"] = restaurant
+                    bindings["recommender"] = mutual[0]
+                    return True
+            return False
+
+        def timely_or_staying(bindings, ctx: RuleContext) -> bool:
+            user = str(bindings["loc"]["subject"])
+            hour = (ctx.now % 86400.0) / 3600.0
+            dinner_time = DINNER_START_H <= hour <= DINNER_END_H
+            no_plans = not ctx.kb.holds(user, "dinner-plans", True, at_time=ctx.now)
+            staying = float(ctx.kb.value(user, "staying-days", 0) or 0) >= 2
+            return (dinner_time and no_plans) or staying
+
+        def deliver_opinion(bindings, ctx: RuleContext):
+            restaurant = bindings["restaurant"]
+            recommender = bindings["recommender"]
+            user = str(bindings["loc"]["subject"])
+            opinion = str(
+                ctx.kb.value(restaurant.name, f"opinion-of:{recommender}", "")
+                or ctx.kb.value(restaurant.name, "opinion", "recommended")
+            )
+            return make_event(
+                "suggestion",
+                time=ctx.now,
+                service=self.name,
+                user=user,
+                place=restaurant.name,
+                recommended_by=recommender,
+                opinion=opinion,
+                reason="walked-past-recommended",
+            )
+
+        rule = Rule(
+            name="restaurant-recommendation",
+            events=(EventPattern("loc", "user-location"),),
+            window_s=120.0,
+            guards=(near_recommended_restaurant, timely_or_staying),
+            action=deliver_opinion,
+            cooldown_s=6 * 3600.0,  # one nudge per restaurant visit, not per GPS fix
+            correlation_key=lambda bindings: (
+                str(bindings["loc"]["subject"]),
+                bindings["restaurant"].name,
+            ),
+        )
+        return [rule]

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction runs on a virtual clock: the wide-area
+network, the peer-to-peer overlays, sensors and the matching engine are all
+scheduled through a single :class:`~repro.simulation.kernel.Simulator`, which
+makes experiments deterministic and lets a simulated "day" of a city run in
+well under a second of real time.
+"""
+
+from repro.simulation.futures import Future, FutureError
+from repro.simulation.kernel import CancelledHandle, ScheduledHandle, Simulator
+from repro.simulation.periodic import PeriodicTask
+from repro.simulation.processes import Process, spawn
+
+__all__ = [
+    "CancelledHandle",
+    "Future",
+    "FutureError",
+    "PeriodicTask",
+    "Process",
+    "ScheduledHandle",
+    "Simulator",
+    "spawn",
+]

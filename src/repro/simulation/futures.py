@@ -1,0 +1,88 @@
+"""Single-assignment futures used for asynchronous replies in the simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class FutureError(Exception):
+    """Raised on invalid future transitions (double-set, unset result read)."""
+
+
+class Future:
+    """A single-assignment result container with completion callbacks.
+
+    Futures carry either a value or an exception.  Callbacks added after
+    completion fire immediately (synchronously), which keeps the scheduler
+    free of bookkeeping events.
+    """
+
+    __slots__ = ("_done", "_result", "_exception", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def set_result(self, value: Any) -> None:
+        if self._done:
+            raise FutureError("future already completed")
+        self._done = True
+        self._result = value
+        self._fire()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            raise FutureError("future already completed")
+        self._done = True
+        self._exception = exc
+        self._fire()
+
+    def result(self) -> Any:
+        """Return the value, raising the stored exception if there is one."""
+        if not self._done:
+            raise FutureError("future not completed yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    def add_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Call ``fn(self)`` once the future completes (now, if already done)."""
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    # Convenience constructors -----------------------------------------
+    @classmethod
+    def completed(cls, value: Any) -> "Future":
+        fut = cls()
+        fut.set_result(value)
+        return fut
+
+    @classmethod
+    def failed(cls, exc: BaseException) -> "Future":
+        fut = cls()
+        fut.set_exception(exc)
+        return fut
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if not self._done:
+            return "<Future pending>"
+        if self._exception is not None:
+            return f"<Future failed {self._exception!r}>"
+        return f"<Future done {self._result!r}>"

@@ -1,0 +1,65 @@
+"""Recurring tasks (heartbeats, sensor sampling, maintenance sweeps)."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.simulation.kernel import ScheduledHandle, Simulator
+
+
+class PeriodicTask:
+    """Calls ``fn()`` every ``interval`` simulated seconds until stopped.
+
+    ``jitter`` (a fraction of the interval) desynchronises large populations
+    of identical tasks, which matters for realism: a thousand sensors must
+    not all sample on the same tick.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn: Callable[[], Any],
+        jitter: float = 0.0,
+        start_delay: float | None = None,
+        rng: random.Random | None = None,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self._sim = sim
+        self.interval = interval
+        self._fn = fn
+        self._jitter = jitter
+        self._rng = rng or sim.rng
+        self._handle: ScheduledHandle | None = None
+        self._running = True
+        self.fire_count = 0
+        first = self._jittered(interval) if start_delay is None else start_delay
+        self._handle = sim.schedule(first, self._tick)
+
+    def _jittered(self, base: float) -> float:
+        if self._jitter == 0.0:
+            return base
+        spread = base * self._jitter
+        return base + self._rng.uniform(-spread, spread)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.fire_count += 1
+        self._fn()
+        if self._running:
+            self._handle = self._sim.schedule(self._jittered(self.interval), self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def running(self) -> bool:
+        return self._running

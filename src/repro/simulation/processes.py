@@ -1,0 +1,87 @@
+"""Generator-based processes on top of the callback scheduler.
+
+Protocol code reads sequentially::
+
+    def client(sim, store):
+        guid = yield store.put(b"payload")     # yield a Future -> its result
+        yield 0.5                              # yield a number  -> sleep
+        data = yield store.get(guid)
+        return data
+
+    proc = spawn(sim, client(sim, store))
+    sim.run()
+    assert proc.result() == b"payload"
+
+A process yields either a number (sleep for that many virtual seconds) or a
+:class:`~repro.simulation.futures.Future` (resume with its result, or have
+its exception thrown into the generator).  The process object is itself a
+Future whose value is the generator's return value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.simulation.futures import Future
+from repro.simulation.kernel import Simulator
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Process(Future):
+    """A running generator process; completes with the generator's return."""
+
+    __slots__ = ("_sim", "_gen", "name")
+
+    def __init__(self, sim: Simulator, gen: ProcessGenerator, name: str = ""):
+        super().__init__()
+        self._sim = sim
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        sim.schedule(0.0, self._advance, None, None)
+
+    def _advance(self, value: Any, exc: BaseException | None) -> None:
+        try:
+            if exc is not None:
+                yielded = self._gen.throw(exc)
+            else:
+                yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.set_result(stop.value)
+            return
+        except Exception as err:
+            self.set_exception(err)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if yielded is None:
+            self._sim.schedule(0.0, self._advance, None, None)
+        elif isinstance(yielded, (int, float)):
+            self._sim.schedule(float(yielded), self._advance, None, None)
+        elif isinstance(yielded, Future):
+            yielded.add_callback(self._on_future)
+        else:
+            self._sim.schedule(
+                0.0,
+                self._advance,
+                None,
+                TypeError(f"process yielded unsupported value: {yielded!r}"),
+            )
+
+    def _on_future(self, fut: Future) -> None:
+        # Resume on a fresh scheduler slot so completion callbacks never
+        # reentrantly run process code inside whoever resolved the future.
+        if fut.exception is not None:
+            self._sim.schedule(0.0, self._advance, None, fut.exception)
+        else:
+            self._sim.schedule(0.0, self._advance, fut.result(), None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def spawn(sim: Simulator, gen: ProcessGenerator, name: str = "") -> Process:
+    """Start ``gen`` as a process; it first runs on the next scheduler slot."""
+    return Process(sim, gen, name=name)

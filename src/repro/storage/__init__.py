@@ -1,0 +1,27 @@
+"""Plaxton-based P2P storage with replication, caching and erasure codes.
+
+This is the paper's §4.5 substrate: "the use of promiscuous caching ...
+combined with a global storage architecture such as one of the schemes based
+on Plaxton routing appears an ideal combination for the global matching
+engine."  Replication, erasure coding (§3's "erasure-codes which permit data
+to be reconstituted from a subset of the servers") and RAID-like self-healing
+(§4.6) are all here.
+"""
+
+from repro.storage.erasure import rs_decode, rs_encode
+from repro.storage.guid_store import LruCache, PrimaryStore, StoredObject
+from repro.storage.service import StorageConfig, StorageService, attach_storage
+from repro.storage.maintenance import count_replicas, holders
+
+__all__ = [
+    "LruCache",
+    "PrimaryStore",
+    "StorageConfig",
+    "StorageService",
+    "StoredObject",
+    "attach_storage",
+    "count_replicas",
+    "holders",
+    "rs_decode",
+    "rs_encode",
+]

@@ -1,0 +1,137 @@
+"""Reed-Solomon erasure coding over GF(256).
+
+The paper (§3) notes storage schemes "vary from simple block copying to
+erasure-codes which permit data to be reconstituted from a subset of the
+servers on which it is stored".  This module implements the latter: a
+``k``-of-``n`` code built from a Vandermonde generator matrix over GF(256).
+Any ``k`` of the ``n`` fragments reconstruct the original data exactly.
+"""
+
+from __future__ import annotations
+
+# GF(256) with the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+_EXP = [0] * 512
+_LOG = [0] * 256
+_x = 1
+for _i in range(255):
+    _EXP[_i] = _x
+    _LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= 0x11D
+for _i in range(255, 512):
+    _EXP[_i] = _EXP[_i - 255]
+
+
+def gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("no inverse of 0 in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    if exponent == 0:
+        return 1
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] * exponent) % 255]
+
+
+def _invert_matrix(matrix: list[list[int]]) -> list[list[int]]:
+    """Gauss-Jordan inversion over GF(256)."""
+    size = len(matrix)
+    work = [row[:] + [1 if i == j else 0 for j in range(size)] for i, row in enumerate(matrix)]
+    for col in range(size):
+        pivot_row = next((r for r in range(col, size) if work[r][col] != 0), None)
+        if pivot_row is None:
+            raise ValueError("singular matrix: fragment indices must be distinct")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        inv_pivot = gf_inv(work[col][col])
+        work[col] = [gf_mul(value, inv_pivot) for value in work[col]]
+        for row in range(size):
+            if row != col and work[row][col] != 0:
+                factor = work[row][col]
+                work[row] = [
+                    value ^ gf_mul(factor, pivot_value)
+                    for value, pivot_value in zip(work[row], work[col])
+                ]
+    return [row[size:] for row in work]
+
+
+def _stripes(data: bytes, k: int) -> tuple[list[bytes], int]:
+    stripe_len = (len(data) + k - 1) // k if data else 1
+    padded = data.ljust(stripe_len * k, b"\x00")
+    return [padded[i * stripe_len : (i + 1) * stripe_len] for i in range(k)], stripe_len
+
+
+def rs_encode(data: bytes, k: int, n: int) -> list[bytes]:
+    """Encode ``data`` into ``n`` fragments, any ``k`` of which suffice.
+
+    Fragment ``i`` is the dot product of the stripes with the Vandermonde
+    row ``[i^0, i^1, ..., i^(k-1)]`` over GF(256).
+    """
+    if not 1 <= k <= n <= 255:
+        raise ValueError(f"need 1 <= k <= n <= 255, got k={k} n={n}")
+    stripes, stripe_len = _stripes(data, k)
+    fragments = []
+    for i in range(n):
+        coefficients = [gf_pow(i, j) for j in range(k)]
+        fragment = bytearray(stripe_len)
+        for j, stripe in enumerate(stripes):
+            coefficient = coefficients[j]
+            if coefficient == 0:
+                continue
+            if coefficient == 1:
+                for b in range(stripe_len):
+                    fragment[b] ^= stripe[b]
+            else:
+                log_c = _LOG[coefficient]
+                for b in range(stripe_len):
+                    value = stripe[b]
+                    if value:
+                        fragment[b] ^= _EXP[log_c + _LOG[value]]
+        fragments.append(bytes(fragment))
+    return fragments
+
+
+def rs_decode(fragments: dict[int, bytes], k: int, data_len: int) -> bytes:
+    """Reconstruct the original ``data_len`` bytes from any ``k`` fragments.
+
+    ``fragments`` maps fragment index (as assigned by :func:`rs_encode`) to
+    fragment payload.
+    """
+    if len(fragments) < k:
+        raise ValueError(f"need {k} fragments, got {len(fragments)}")
+    chosen = sorted(fragments.items())[:k]
+    indices = [index for index, _ in chosen]
+    payloads = [payload for _, payload in chosen]
+    stripe_len = len(payloads[0])
+    if any(len(p) != stripe_len for p in payloads):
+        raise ValueError("fragments have inconsistent lengths")
+    vandermonde = [[gf_pow(i, j) for j in range(k)] for i in indices]
+    inverse = _invert_matrix(vandermonde)
+    out = bytearray(stripe_len * k)
+    for stripe_index in range(k):
+        row = inverse[stripe_index]
+        base = stripe_index * stripe_len
+        for frag_index in range(k):
+            coefficient = row[frag_index]
+            if coefficient == 0:
+                continue
+            payload = payloads[frag_index]
+            if coefficient == 1:
+                for b in range(stripe_len):
+                    out[base + b] ^= payload[b]
+            else:
+                log_c = _LOG[coefficient]
+                for b in range(stripe_len):
+                    value = payload[b]
+                    if value:
+                        out[base + b] ^= _EXP[log_c + _LOG[value]]
+    return bytes(out[:data_len])

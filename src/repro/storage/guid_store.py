@@ -1,0 +1,129 @@
+"""Per-node stores: the authoritative primary store and the promiscuous cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.ids import Guid
+
+
+@dataclass
+class StoredObject:
+    guid: Guid
+    data: bytes
+    stored_at: float
+    version: int = 0
+
+
+class PrimaryStore:
+    """Replica-holding store; contents here count toward replication factor."""
+
+    def __init__(self) -> None:
+        self._objects: dict[Guid, StoredObject] = {}
+
+    def put(self, guid: Guid, data: bytes, now: float) -> StoredObject:
+        existing = self._objects.get(guid)
+        version = existing.version + 1 if existing else 0
+        obj = StoredObject(guid, data, now, version)
+        self._objects[guid] = obj
+        return obj
+
+    def get(self, guid: Guid) -> StoredObject | None:
+        return self._objects.get(guid)
+
+    def remove(self, guid: Guid) -> bool:
+        return self._objects.pop(guid, None) is not None
+
+    def __contains__(self, guid: Guid) -> bool:
+        return guid in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def guids(self) -> list[Guid]:
+        return list(self._objects.keys())
+
+    @property
+    def bytes_used(self) -> int:
+        return sum(len(obj.data) for obj in self._objects.values())
+
+
+class LruCache:
+    """Bounded LRU byte cache with optional TTL — the promiscuous cache.
+
+    The paper: promiscuous caching lets data "be cached anywhere at any
+    time" without affecting correctness (§3).  Eviction never loses
+    authoritative data because only :class:`PrimaryStore` contents count.
+    """
+
+    def __init__(self, capacity_bytes: int = 256 * 1024, ttl: float | None = None):
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self.ttl = ttl
+        self._entries: OrderedDict[Guid, tuple[bytes, float]] = OrderedDict()
+        self._pinned: set[Guid] = set()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def put(self, guid: Guid, data: bytes, now: float, pinned: bool = False) -> None:
+        if len(data) > self.capacity_bytes:
+            return
+        if guid in self._entries:
+            old, _ = self._entries.pop(guid)
+            self._bytes -= len(old)
+        expires = float("inf") if pinned or not self.ttl else now + self.ttl
+        self._entries[guid] = (data, expires)
+        self._bytes += len(data)
+        if pinned:
+            self._pinned.add(guid)
+        while self._bytes > self.capacity_bytes and self._entries:
+            victim_guid = next(
+                (g for g in self._entries if g not in self._pinned), None
+            )
+            if victim_guid is None:
+                break  # everything left is pinned
+            victim, _ = self._entries.pop(victim_guid)
+            self._bytes -= len(victim)
+
+    def pin(self, guid: Guid) -> bool:
+        """Protect an entry from eviction and expiry (backup policy, §4.6)."""
+        entry = self._entries.get(guid)
+        if entry is None:
+            return False
+        self._entries[guid] = (entry[0], float("inf"))
+        self._pinned.add(guid)
+        return True
+
+    def get(self, guid: Guid, now: float) -> bytes | None:
+        entry = self._entries.get(guid)
+        if entry is None:
+            self.misses += 1
+            return None
+        data, expires = entry
+        if now > expires:
+            self._entries.pop(guid)
+            self._bytes -= len(data)
+            self.misses += 1
+            return None
+        self._entries.move_to_end(guid)
+        self.hits += 1
+        return data
+
+    def invalidate(self, guid: Guid) -> None:
+        entry = self._entries.pop(guid, None)
+        self._pinned.discard(guid)
+        if entry is not None:
+            self._bytes -= len(entry[0])
+
+    def __contains__(self, guid: Guid) -> bool:
+        return guid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes

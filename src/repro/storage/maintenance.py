@@ -1,0 +1,27 @@
+"""Census helpers used by the self-healing experiments (E7, E12)."""
+
+from __future__ import annotations
+
+from repro.ids import Guid
+from repro.storage.service import StorageService
+
+
+def holders(services: list[StorageService], guid: Guid) -> list[StorageService]:
+    """The live services whose *primary* store holds ``guid``."""
+    return [
+        service
+        for service in services
+        if service.node.alive and guid in service.primary
+    ]
+
+
+def count_replicas(services: list[StorageService], guid: Guid) -> int:
+    """Replica count across the network (cache copies deliberately excluded)."""
+    return len(holders(services, guid))
+
+
+def cache_copies(services: list[StorageService], guid: Guid) -> int:
+    """How many nodes currently hold a promiscuous cache copy of ``guid``."""
+    return sum(
+        1 for service in services if service.node.alive and guid in service.cache
+    )

@@ -1,0 +1,403 @@
+"""The distributed storage service riding on the Pastry overlay.
+
+Implements the paper's §4.5 storage architecture:
+
+* content-addressed ``put``/``get`` routed deterministically to the GUID's
+  root node;
+* ``k`` replicas on the root's numerically-closest leaf-set members (PAST);
+* **promiscuous caching**: any node on a request path may answer from its
+  cache, and successful reads seed caches along the path and at the reader;
+* self-healing replica audits (§4.6's RAID analogy) that push copies back to
+  the correct replica set as membership changes;
+* optional ``k``-of-``n`` erasure-coded storage (experiment E12).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.ids import Guid, guid_from_content, guid_from_name
+from repro.net.network import Address
+from repro.overlay.api import NodeDescriptor, OverlayApplication, RouteContext
+from repro.overlay.pastry import PastryNode
+from repro.simulation import Future, PeriodicTask
+from repro.storage.erasure import rs_decode, rs_encode
+from repro.storage.guid_store import LruCache, PrimaryStore
+
+APP_NAME = "storage"
+
+
+@dataclass
+class StorageConfig:
+    """Tunables; the caching/replication policy knobs of §4.5."""
+
+    replicas: int = 3
+    cache_capacity_bytes: int = 256 * 1024
+    cache_ttl: float | None = None
+    cache_on_path: bool = True
+    path_cache_limit: int = 3
+    request_timeout: float = 5.0
+    max_retries: int = 2
+    audit_interval: float = 60.0
+
+
+# -- wire messages ------------------------------------------------------
+@dataclass
+class PutRequest:
+    guid: Guid
+    data: bytes
+    request_id: tuple
+    requester: Address
+
+
+@dataclass
+class PutAck:
+    request_id: tuple
+    guid: Guid
+
+
+@dataclass
+class GetReq:
+    guid: Guid
+    request_id: tuple
+    requester: Address
+
+
+@dataclass
+class GetReply:
+    request_id: tuple
+    guid: Guid
+    data: bytes
+    served_by: str  # "root" | "cache" | "replica"
+    hops: int
+
+
+@dataclass
+class GetFail:
+    request_id: tuple
+    guid: Guid
+
+
+@dataclass
+class ReplicaPut:
+    guid: Guid
+    data: bytes
+
+
+@dataclass
+class CacheFill:
+    guid: Guid
+    data: bytes
+
+
+@dataclass
+class _PendingRequest:
+    future: Future
+    kind: str
+    guid: Guid
+    payload_factory: object
+    retries_left: int
+    issued_at: float
+    timeout_handle: object = None
+
+
+@dataclass
+class StorageStats:
+    puts: int = 0
+    gets: int = 0
+    local_hits: int = 0
+    cache_answers: int = 0
+    root_answers: int = 0
+    failures: int = 0
+    get_latencies: list = field(default_factory=list)
+    get_hops: list = field(default_factory=list)
+
+
+class StorageService(OverlayApplication):
+    """One node's slice of the global storage architecture."""
+
+    def __init__(self, node: PastryNode, config: StorageConfig | None = None):
+        self.node = node
+        self.config = config or StorageConfig()
+        self.primary = PrimaryStore()
+        self.cache = LruCache(self.config.cache_capacity_bytes, self.config.cache_ttl)
+        self.stats = StorageStats()
+        self._pending: dict[tuple, _PendingRequest] = {}
+        self._next_request = 0
+        node.register_app(APP_NAME, self)
+        self._audit_task = PeriodicTask(
+            node.sim,
+            self.config.audit_interval,
+            self.audit_replicas,
+            jitter=0.2,
+            rng=node.sim.rng_for(f"storage-audit-{node.addr}"),
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def put(self, data: bytes) -> Future:
+        """Store ``data``; resolves to its content-derived GUID."""
+        return self.put_named(guid_from_content(data), data)
+
+    def put_named(self, guid: Guid, data: bytes) -> Future:
+        """Store ``data`` under an explicit GUID (name-derived naming).
+
+        Name-derived GUIDs allow overwriting, so the writer's own cached
+        copy (if any) is invalidated; other caches converge via TTL — the
+        usual promiscuous-caching freshness trade-off for mutable data.
+        """
+        self.stats.puts += 1
+        self.cache.invalidate(guid)
+        request_id = self._new_request_id()
+        future = self._track(
+            request_id,
+            kind="put",
+            guid=guid,
+            payload_factory=lambda rid: PutRequest(guid, data, rid, self.node.addr),
+        )
+        self._dispatch(request_id, size_bytes=len(data) + 128)
+        return future
+
+    def get(self, guid: Guid) -> Future:
+        """Fetch by GUID; resolves to the bytes or fails after retries."""
+        self.stats.gets += 1
+        local = self._lookup_local(guid)
+        if local is not None:
+            self.stats.local_hits += 1
+            self.stats.get_latencies.append(0.0)
+            self.stats.get_hops.append(0)
+            return Future.completed(local)
+        request_id = self._new_request_id()
+        future = self._track(
+            request_id,
+            kind="get",
+            guid=guid,
+            payload_factory=lambda rid: GetReq(guid, rid, self.node.addr),
+        )
+        self._dispatch(request_id, size_bytes=96)
+        return future
+
+    # -- erasure-coded variants ----------------------------------------
+    @staticmethod
+    def fragment_guid(base: Guid, index: int) -> Guid:
+        return guid_from_name(f"{base.hex}:fragment:{index}")
+
+    def put_erasure(self, data: bytes, k: int, n: int) -> Future:
+        """Store ``n`` RS fragments; resolves to the base GUID when all ack."""
+        base = guid_from_content(data)
+        header = struct.pack(">IBB", len(data), k, n)
+        fragments = rs_encode(data, k, n)
+        done = Future()
+        remaining = [n]
+
+        def on_ack(fut: Future) -> None:
+            if done.done:
+                return
+            if fut.exception is not None:
+                done.set_exception(fut.exception)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                done.set_result(base)
+
+        for index, fragment in enumerate(fragments):
+            payload = header + struct.pack(">B", index) + fragment
+            self.put_named(self.fragment_guid(base, index), payload).add_callback(on_ack)
+        return done
+
+    def get_erasure(self, base: Guid, n: int) -> Future:
+        """Fetch fragments until ``k`` arrive, then reconstruct."""
+        done = Future()
+        collected: dict[int, bytes] = {}
+        outstanding = [n]
+        meta: dict[str, int] = {}
+
+        def on_fragment(fut: Future) -> None:
+            outstanding[0] -= 1
+            if done.done:
+                return
+            if fut.exception is None:
+                payload = fut.result()
+                data_len, k, _n, index = struct.unpack(">IBBB", payload[:7])
+                meta["k"], meta["len"] = k, data_len
+                collected[index] = payload[7:]
+                if len(collected) >= k:
+                    done.set_result(rs_decode(collected, k, data_len))
+                    return
+            if outstanding[0] == 0:
+                done.set_exception(
+                    KeyError(f"unrecoverable: {len(collected)} of k fragments for {base!r}")
+                )
+
+        for index in range(n):
+            self.get(self.fragment_guid(base, index)).add_callback(on_fragment)
+        return done
+
+    # ------------------------------------------------------------------
+    # Request bookkeeping
+    # ------------------------------------------------------------------
+    def _new_request_id(self) -> tuple:
+        self._next_request += 1
+        return (self.node.addr, self._next_request)
+
+    def _track(self, request_id, kind, guid, payload_factory) -> Future:
+        pending = _PendingRequest(
+            future=Future(),
+            kind=kind,
+            guid=guid,
+            payload_factory=payload_factory,
+            retries_left=self.config.max_retries,
+            issued_at=self.node.sim.now,
+        )
+        self._pending[request_id] = pending
+        return pending.future
+
+    def _dispatch(self, request_id: tuple, size_bytes: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        pending.timeout_handle = self.node.sim.schedule(
+            self.config.request_timeout, self._on_timeout, request_id, size_bytes
+        )
+        self.node.route(pending.guid, pending.payload_factory(request_id), APP_NAME, size_bytes)
+
+    def _on_timeout(self, request_id: tuple, size_bytes: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        if pending.retries_left > 0:
+            pending.retries_left -= 1
+            self._dispatch(request_id, size_bytes)
+            return
+        self._pending.pop(request_id)
+        self.stats.failures += 1
+        pending.future.set_exception(
+            TimeoutError(f"storage {pending.kind} timed out for {pending.guid!r}")
+        )
+
+    def _settle(self, request_id: tuple) -> _PendingRequest | None:
+        pending = self._pending.pop(request_id, None)
+        if pending is not None and pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+        return pending
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def _lookup_local(self, guid: Guid) -> bytes | None:
+        obj = self.primary.get(guid)
+        if obj is not None:
+            return obj.data
+        return self.cache.get(guid, self.node.sim.now)
+
+    def _answer(self, req: GetReq, data: bytes, served_by: str, ctx: RouteContext) -> None:
+        reply = GetReply(req.request_id, req.guid, data, served_by, ctx.hops)
+        self.node.send_to_app(req.requester, APP_NAME, reply, size_bytes=len(data) + 96)
+        if self.config.cache_on_path and ctx.path:
+            # Seed caches on the nodes the request already traversed
+            # (promiscuous caching: next readers hit closer copies).
+            fill = CacheFill(req.guid, data)
+            for addr in ctx.path[:-1][-self.config.path_cache_limit :]:
+                if addr != req.requester:
+                    self.node.send_to_app(addr, APP_NAME, fill, size_bytes=len(data) + 64)
+
+    # ------------------------------------------------------------------
+    # Overlay upcalls
+    # ------------------------------------------------------------------
+    def on_forward(self, key: Guid, payload, ctx: RouteContext):
+        if isinstance(payload, GetReq):
+            obj = self.primary.get(key)
+            if obj is not None:
+                self.stats.root_answers += 1
+                self._answer(payload, obj.data, "replica", ctx)
+                return None
+            cached = self.cache.get(key, self.node.sim.now)
+            if cached is not None:
+                self.stats.cache_answers += 1
+                self._answer(payload, cached, "cache", ctx)
+                return None
+        return payload
+
+    def on_deliver(self, key: Guid, payload, ctx: RouteContext) -> None:
+        if isinstance(payload, PutRequest):
+            self.primary.put(key, payload.data, self.node.sim.now)
+            self._replicate(key, payload.data)
+            self.node.send_to_app(payload.requester, APP_NAME, PutAck(payload.request_id, key))
+        elif isinstance(payload, GetReq):
+            # on_forward already answered if we had the data; reaching here
+            # at the root means the object does not exist (or was lost).
+            self.node.send_to_app(payload.requester, APP_NAME, GetFail(payload.request_id, key))
+
+    def on_direct(self, src: Address, payload) -> None:
+        now = self.node.sim.now
+        if isinstance(payload, PutAck):
+            pending = self._settle(payload.request_id)
+            if pending is not None:
+                pending.future.set_result(payload.guid)
+        elif isinstance(payload, GetReply):
+            pending = self._settle(payload.request_id)
+            if pending is not None:
+                self.cache.put(payload.guid, payload.data, now)
+                if payload.served_by == "cache":
+                    pass  # answering node already counted the cache answer
+                self.stats.get_latencies.append(now - pending.issued_at)
+                self.stats.get_hops.append(payload.hops)
+                pending.future.set_result(payload.data)
+        elif isinstance(payload, GetFail):
+            pending = self._settle(payload.request_id)
+            if pending is not None:
+                self.stats.failures += 1
+                pending.future.set_exception(KeyError(f"object not found: {payload.guid!r}"))
+        elif isinstance(payload, ReplicaPut):
+            self.primary.put(payload.guid, payload.data, now)
+        elif isinstance(payload, CacheFill):
+            self.cache.put(payload.guid, payload.data, now)
+
+    def on_neighbour_change(self, joined: bool, descriptor: NodeDescriptor) -> None:
+        # Membership moved under us; re-audit soon so replica sets converge.
+        self.node.sim.schedule(1.0, self.audit_replicas)
+
+    # ------------------------------------------------------------------
+    # Self-healing (§4.6: the RAID analogy)
+    # ------------------------------------------------------------------
+    def _replica_set(self, guid: Guid) -> list[NodeDescriptor]:
+        return self.node.leaf_set.closest_k(guid, self.config.replicas)
+
+    def _replicate(self, guid: Guid, data: bytes) -> None:
+        for descriptor in self._replica_set(guid):
+            if descriptor.guid != self.node.node_id:
+                self.node.send_to_app(
+                    descriptor.addr, APP_NAME, ReplicaPut(guid, data), size_bytes=len(data) + 64
+                )
+
+    def audit_replicas(self) -> None:
+        """Push each held object toward its correct replica set; demote
+        ourselves to cache when membership says we no longer belong."""
+        if not self.node.alive:
+            return
+        for guid in self.primary.guids():
+            obj = self.primary.get(guid)
+            if obj is None:
+                continue
+            replica_set = self._replica_set(guid)
+            in_set = any(d.guid == self.node.node_id for d in replica_set)
+            for descriptor in replica_set:
+                if descriptor.guid != self.node.node_id:
+                    self.node.send_to_app(
+                        descriptor.addr,
+                        APP_NAME,
+                        ReplicaPut(guid, obj.data),
+                        size_bytes=len(obj.data) + 64,
+                    )
+            if not in_set:
+                self.cache.put(guid, obj.data, self.node.sim.now)
+                self.primary.remove(guid)
+
+
+def attach_storage(
+    nodes: list[PastryNode], config: StorageConfig | None = None
+) -> list[StorageService]:
+    """Attach a storage service to every overlay node."""
+    return [StorageService(node, config) for node in nodes]

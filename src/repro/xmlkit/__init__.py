@@ -1,0 +1,36 @@
+"""From-scratch XML toolkit: model, parser, writer, paths, data binding.
+
+The paper assumes XML everywhere — events, knowledge, code bundles (§3,
+§4.2, §4.7) — and argues for *type projection* over *type generation* when
+binding programs to XML whose overall structure is loosely specified but
+which contains structured "islands" known a priori.  Both binding strategies
+are implemented here so experiment E10 can compare them under schema
+evolution.
+"""
+
+from repro.xmlkit.model import XmlElement
+from repro.xmlkit.parser import XmlParseError, parse
+from repro.xmlkit.writer import to_string
+from repro.xmlkit.path import find, find_all
+from repro.xmlkit.projection import ProjectionError, XmlProjection, find_islands, project
+from repro.xmlkit.generation import GeneratedType, GenerationBindError, bind_generated, generate_type
+from repro.xmlkit.codec import notification_from_xml, notification_to_xml
+
+__all__ = [
+    "GeneratedType",
+    "GenerationBindError",
+    "ProjectionError",
+    "XmlElement",
+    "XmlParseError",
+    "XmlProjection",
+    "bind_generated",
+    "find",
+    "find_all",
+    "find_islands",
+    "generate_type",
+    "notification_from_xml",
+    "notification_to_xml",
+    "parse",
+    "project",
+    "to_string",
+]

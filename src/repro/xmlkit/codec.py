@@ -1,0 +1,44 @@
+"""Encode notifications as XML events and back (§4.2: XML events on buses)."""
+
+from __future__ import annotations
+
+from repro.events.model import AttributeValue, Notification
+from repro.xmlkit.model import XmlElement
+
+_TYPE_NAMES = {str: "string", bool: "boolean", int: "integer", float: "double"}
+_TYPE_READERS = {
+    "string": str,
+    "boolean": lambda raw: raw == "true",
+    "integer": int,
+    "double": float,
+}
+
+
+def notification_to_xml(notification: Notification) -> XmlElement:
+    """``<event><attr name=".." type=".." value=".."/></event>``"""
+    event = XmlElement("event")
+    for name in sorted(notification):
+        value = notification[name]
+        type_name = _TYPE_NAMES[type(value)]
+        encoded = "true" if value is True else "false" if value is False else str(value)
+        event.add_child(
+            XmlElement("attr", {"name": name, "type": type_name, "value": encoded})
+        )
+    return event
+
+
+def notification_from_xml(element: XmlElement) -> Notification:
+    if element.tag != "event":
+        raise ValueError(f"expected <event>, got <{element.tag}>")
+    attributes: dict[str, AttributeValue] = {}
+    for child in element.children_by_tag("attr"):
+        name = child.attrs.get("name")
+        type_name = child.attrs.get("type")
+        raw = child.attrs.get("value")
+        if name is None or type_name is None or raw is None:
+            raise ValueError(f"malformed <attr>: {child!r}")
+        reader = _TYPE_READERS.get(type_name)
+        if reader is None:
+            raise ValueError(f"unknown attribute type {type_name!r}")
+        attributes[name] = reader(raw)
+    return Notification(attributes)

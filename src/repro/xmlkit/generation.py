@@ -1,0 +1,68 @@
+"""Type generation: the baseline binding strategy projection is compared to.
+
+Generation derives a rigid record type from a sample document (or DTD) —
+the Castor/JAXB approach the paper cites.  Binding then demands an exact
+structural match: same attributes, same child sequence.  Documents that
+gained a field, lost an optional one, or reordered children fail to bind,
+which is precisely the brittleness experiment E10 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlkit.model import XmlElement
+
+
+class GenerationBindError(Exception):
+    """The document no longer matches the generated type exactly."""
+
+
+@dataclass(frozen=True)
+class GeneratedType:
+    """A rigid record type derived from one sample document."""
+
+    tag: str
+    attr_names: tuple
+    children: tuple  # tuple of GeneratedType, in document order
+    has_text: bool
+
+
+def generate_type(element: XmlElement) -> GeneratedType:
+    """Derive the exact structural type of ``element`` (recursively)."""
+    return GeneratedType(
+        tag=element.tag,
+        attr_names=tuple(sorted(element.attrs)),
+        children=tuple(generate_type(child) for child in element.children),
+        has_text=bool(element.text.strip()),
+    )
+
+
+def bind_generated(generated: GeneratedType, element: XmlElement) -> dict:
+    """Bind ``element`` against the generated type, or fail loudly.
+
+    Returns a nested dict of the bound values on success.
+    """
+    if element.tag != generated.tag:
+        raise GenerationBindError(
+            f"tag mismatch: expected <{generated.tag}>, got <{element.tag}>"
+        )
+    if tuple(sorted(element.attrs)) != generated.attr_names:
+        raise GenerationBindError(
+            f"attribute set changed on <{element.tag}>: "
+            f"expected {generated.attr_names}, got {tuple(sorted(element.attrs))}"
+        )
+    if len(element.children) != len(generated.children):
+        raise GenerationBindError(
+            f"child count changed on <{element.tag}>: "
+            f"expected {len(generated.children)}, got {len(element.children)}"
+        )
+    bound_children = []
+    for child_type, child in zip(generated.children, element.children):
+        bound_children.append(bind_generated(child_type, child))
+    return {
+        "tag": element.tag,
+        "attrs": dict(element.attrs),
+        "text": element.text.strip() if generated.has_text else "",
+        "children": bound_children,
+    }

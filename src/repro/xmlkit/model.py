@@ -1,0 +1,85 @@
+"""A small XML document model: elements, attributes, text, children."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class XmlElement:
+    """One element: tag, attribute map, ordered children, character data.
+
+    Character data from mixed content is concatenated into :attr:`text`;
+    that is all the event/bundle formats in this system need.
+    """
+
+    __slots__ = ("tag", "attrs", "children", "text")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: dict[str, str] | None = None,
+        children: list["XmlElement"] | None = None,
+        text: str = "",
+    ):
+        if not tag or not _valid_name(tag):
+            raise ValueError(f"invalid element name: {tag!r}")
+        self.tag = tag
+        self.attrs = dict(attrs) if attrs else {}
+        self.children = list(children) if children else []
+        self.text = text
+
+    # ------------------------------------------------------------------
+    def add_child(self, child: "XmlElement") -> "XmlElement":
+        self.children.append(child)
+        return child
+
+    def child(self, tag: str) -> "XmlElement | None":
+        """First direct child with the given tag."""
+        for element in self.children:
+            if element.tag == tag:
+                return element
+        return None
+
+    def children_by_tag(self, tag: str) -> list["XmlElement"]:
+        return [element for element in self.children if element.tag == tag]
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def get(self, attr: str, default: str | None = None) -> str | None:
+        return self.attrs.get(attr, default)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, XmlElement)
+            and self.tag == other.tag
+            and self.attrs == other.attrs
+            and self.text.strip() == other.text.strip()
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - elements used in sets rarely
+        return hash((self.tag, frozenset(self.attrs.items()), self.text.strip()))
+
+    def __repr__(self) -> str:
+        bits = [self.tag]
+        if self.attrs:
+            bits.append(f"attrs={self.attrs!r}")
+        if self.children:
+            bits.append(f"children={len(self.children)}")
+        if self.text.strip():
+            bits.append(f"text={self.text.strip()[:20]!r}")
+        return f"<XmlElement {' '.join(bits)}>"
+
+
+def _valid_name(name: str) -> bool:
+    if not name:
+        return False
+    first = name[0]
+    if not (first.isalpha() or first in "_:"):
+        return False
+    return all(c.isalnum() or c in "_-.:" for c in name)

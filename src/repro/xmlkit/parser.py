@@ -1,0 +1,199 @@
+"""A hand-written, dependency-free XML parser.
+
+Supports elements, attributes (single/double quoted), character data, the
+five predefined entities plus numeric character references, comments, CDATA
+sections, processing instructions and DOCTYPE (both skipped).  Errors carry
+line/column positions.
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.model import XmlElement
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+class XmlParseError(Exception):
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class _Scanner:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def position(self) -> tuple[int, int]:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> XmlParseError:
+        line, column = self.position()
+        return XmlParseError(message, line, column)
+
+    @property
+    def current(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def at(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def expect(self, literal: str) -> None:
+        if not self.at(literal):
+            raise self.error(f"expected {literal!r}")
+        self.advance(len(literal))
+
+    def skip_whitespace(self) -> None:
+        while self.current and self.current in " \t\r\n":
+            self.advance()
+
+    def read_until(self, literal: str) -> str:
+        end = self.text.find(literal, self.pos)
+        if end == -1:
+            raise self.error(f"unterminated section, expected {literal!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(literal)
+        return chunk
+
+    def read_name(self) -> str:
+        start = self.pos
+        while self.current and (self.current.isalnum() or self.current in "_-.:"):
+            self.advance()
+        if start == self.pos:
+            raise self.error("expected a name")
+        return self.text[start : self.pos]
+
+
+def _decode_entities(scanner: _Scanner, raw: str) -> str:
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char != "&":
+            out.append(char)
+            index += 1
+            continue
+        end = raw.find(";", index)
+        if end == -1:
+            raise scanner.error("unterminated entity reference")
+        entity = raw[index + 1 : end]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            out.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            out.append(chr(int(entity[1:])))
+        elif entity in _ENTITIES:
+            out.append(_ENTITIES[entity])
+        else:
+            raise scanner.error(f"unknown entity &{entity};")
+        index = end + 1
+    return "".join(out)
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments, PIs and DOCTYPE between markup."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.at("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.at("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif scanner.at("<!DOCTYPE"):
+            depth = 0
+            while True:
+                char = scanner.current
+                if not char:
+                    raise scanner.error("unterminated DOCTYPE")
+                scanner.advance()
+                if char == "<":
+                    depth += 1
+                elif char == ">":
+                    if depth <= 1:
+                        break
+                    depth -= 1
+        else:
+            return
+
+
+def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
+    attrs: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        if scanner.current in ("", ">", "/"):
+            return attrs
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.current
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        raw = scanner.read_until(quote)
+        if name in attrs:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        attrs[name] = _decode_entities(scanner, raw)
+
+
+def _parse_element(scanner: _Scanner) -> XmlElement:
+    scanner.expect("<")
+    tag = scanner.read_name()
+    attrs = _parse_attributes(scanner)
+    scanner.skip_whitespace()
+    if scanner.at("/>"):
+        scanner.advance(2)
+        return XmlElement(tag, attrs)
+    scanner.expect(">")
+    element = XmlElement(tag, attrs)
+    text_parts: list[str] = []
+    while True:
+        if scanner.at("</"):
+            scanner.advance(2)
+            closing = scanner.read_name()
+            if closing != tag:
+                raise scanner.error(f"mismatched close tag </{closing}> for <{tag}>")
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            element.text = "".join(text_parts)
+            return element
+        if scanner.at("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.at("<![CDATA["):
+            scanner.advance(9)
+            text_parts.append(scanner.read_until("]]>"))
+        elif scanner.at("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif scanner.current == "<":
+            element.add_child(_parse_element(scanner))
+        elif scanner.current == "":
+            raise scanner.error(f"unexpected end of input inside <{tag}>")
+        else:
+            start = scanner.pos
+            while scanner.current and scanner.current != "<":
+                scanner.advance()
+            text_parts.append(_decode_entities(scanner, scanner.text[start : scanner.pos]))
+
+
+def parse(text: str) -> XmlElement:
+    """Parse a document and return its root element."""
+    scanner = _Scanner(text)
+    _skip_misc(scanner)
+    if scanner.current != "<":
+        raise scanner.error("expected document root element")
+    root = _parse_element(scanner)
+    _skip_misc(scanner)
+    if scanner.pos != len(scanner.text):
+        raise scanner.error("trailing content after document root")
+    return root

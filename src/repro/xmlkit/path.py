@@ -1,0 +1,95 @@
+"""Minimal path queries over the XML model.
+
+Supports the subset the system needs::
+
+    find(root, "bundle/code")            # nested child tags
+    find(root, "attr[@name='type']")     # attribute predicate
+    find(root, "items/item[2]")          # positional predicate (1-based)
+    find(root, "*/value")                # wildcard segment
+    find_all(root, "//place")            # descendant search from the root
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.xmlkit.model import XmlElement
+
+_SEGMENT = re.compile(
+    r"^(?P<tag>[\w.\-:]+|\*)"
+    r"(?:\[(?P<pred>@[\w.\-:]+='[^']*'|\d+)\])?$"
+)
+
+
+class PathError(ValueError):
+    pass
+
+
+def _parse_segment(segment: str):
+    match = _SEGMENT.match(segment)
+    if match is None:
+        raise PathError(f"bad path segment: {segment!r}")
+    tag = match.group("tag")
+    pred = match.group("pred")
+    if pred is None:
+        return tag, None, None
+    if pred.startswith("@"):
+        name, _, value = pred[1:].partition("=")
+        return tag, (name, value[1:-1]), None
+    return tag, None, int(pred)
+
+
+def _match_segment(candidates: list[XmlElement], segment: str) -> list[XmlElement]:
+    tag, attr_pred, index = _parse_segment(segment)
+    matched: list[XmlElement] = []
+    for element in candidates:
+        selected = [
+            child
+            for child in element.children
+            if (tag == "*" or child.tag == tag)
+            and (attr_pred is None or child.attrs.get(attr_pred[0]) == attr_pred[1])
+        ]
+        matched.extend(selected)
+    if index is not None:
+        if index < 1 or index > len(matched):
+            return []
+        return [matched[index - 1]]
+    return matched
+
+
+def find_all(root: XmlElement, path: str) -> list[XmlElement]:
+    """All elements matching ``path`` relative to (but excluding) ``root``."""
+    if not path:
+        raise PathError("empty path")
+    if path.startswith("//"):
+        remainder = path[2:]
+        segments = remainder.split("/")
+        if not all(segments):
+            raise PathError(f"bad path: {path!r}")
+        first_tag, attr_pred, index = _parse_segment(segments[0])
+        current = [
+            element
+            for element in root.iter()
+            if (first_tag == "*" or element.tag == first_tag)
+            and (attr_pred is None or element.attrs.get(attr_pred[0]) == attr_pred[1])
+        ]
+        if index is not None:
+            current = current[index - 1 : index] if 1 <= index <= len(current) else []
+        for segment in segments[1:]:
+            current = _match_segment(current, segment)
+        return current
+    segments = path.split("/")
+    if not all(segments):
+        raise PathError(f"bad path: {path!r}")
+    current = [root]
+    for segment in segments:
+        current = _match_segment(current, segment)
+        if not current:
+            return []
+    return current
+
+
+def find(root: XmlElement, path: str) -> XmlElement | None:
+    """First element matching ``path``, or None."""
+    results = find_all(root, path)
+    return results[0] if results else None

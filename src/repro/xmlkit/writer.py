@@ -1,0 +1,44 @@
+"""XML serialisation: compact and pretty-printed."""
+
+from __future__ import annotations
+
+from repro.xmlkit.model import XmlElement
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    return "".join(_TEXT_ESCAPES.get(c, c) for c in value)
+
+
+def escape_attr(value: str) -> str:
+    return "".join(_ATTR_ESCAPES.get(c, c) for c in value)
+
+
+def to_string(element: XmlElement, indent: int | None = None) -> str:
+    """Serialise ``element``; ``indent`` switches on pretty printing."""
+    parts: list[str] = []
+    _write(element, parts, indent, 0)
+    return "".join(parts)
+
+
+def _write(element: XmlElement, parts: list[str], indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    newline = "" if indent is None else "\n"
+    attrs = "".join(
+        f' {name}="{escape_attr(value)}"' for name, value in element.attrs.items()
+    )
+    text = element.text.strip()
+    if not element.children and not text:
+        parts.append(f"{pad}<{element.tag}{attrs}/>{newline}")
+        return
+    parts.append(f"{pad}<{element.tag}{attrs}>")
+    if text:
+        parts.append(escape_text(text))
+    if element.children:
+        parts.append(newline)
+        for child in element.children:
+            _write(child, parts, indent, depth + 1)
+        parts.append(pad)
+    parts.append(f"</{element.tag}>{newline}")

@@ -1,0 +1,42 @@
+"""Shared test utilities.
+
+Simulations with periodic tasks (overlay maintenance, storage audits,
+sensors) never drain the event heap, so tests must always run the clock for
+a bounded span or until a condition holds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simulation import Future, Simulator
+
+
+def run_until(
+    sim: Simulator,
+    predicate: Callable[[], bool],
+    timeout: float = 300.0,
+    step: float = 1.0,
+) -> bool:
+    """Advance the clock until ``predicate()`` or ``timeout`` sim-seconds."""
+    deadline = sim.now + timeout
+    while not predicate():
+        if sim.now >= deadline:
+            return False
+        sim.run(until=min(sim.now + step, deadline))
+    return True
+
+
+def resolve(sim: Simulator, future: Future, timeout: float = 300.0):
+    """Run the simulation until ``future`` completes; return its result."""
+    completed = run_until(sim, lambda: future.done, timeout=timeout)
+    assert completed, "future never completed within the timeout"
+    return future.result()
+
+
+def resolve_error(sim: Simulator, future: Future, timeout: float = 300.0):
+    """Run until ``future`` completes; return its exception (must fail)."""
+    completed = run_until(sim, lambda: future.done, timeout=timeout)
+    assert completed, "future never completed within the timeout"
+    assert future.exception is not None, "expected the future to fail"
+    return future.exception

@@ -1,0 +1,80 @@
+"""Tests for producer advertisements (§3)."""
+
+from repro.events.broker import SienaClient, build_broker_tree
+from repro.events.filters import Filter, eq, gt, type_is
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.simulation import Simulator
+
+
+def make_world(brokers=4, seed=0, covering=True):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.01))
+    tree = build_broker_tree(sim, network, brokers, covering_enabled=covering)
+    return sim, network, tree
+
+
+class TestAdvertisements:
+    def test_advertisement_propagates_to_all_brokers(self):
+        sim, network, brokers = make_world()
+        producer = SienaClient(sim, network, Position(1, 1), brokers[3])
+        producer.advertise(Filter(type_is("weather")))
+        sim.run_for(2.0)
+        for broker in brokers:
+            assert any(
+                f == Filter(type_is("weather")) for f in broker.advertisements()
+            )
+
+    def test_advertised_lookup(self):
+        sim, network, brokers = make_world()
+        producer = SienaClient(sim, network, Position(1, 1), brokers[0])
+        producer.advertise(Filter(type_is("weather"), gt("temperature_c", -50.0)))
+        sim.run_for(2.0)
+        remote = brokers[-1]
+        assert remote.advertised(make_event("weather", temperature_c=20.0))
+        assert not remote.advertised(make_event("gps-location", temperature_c=20.0))
+
+    def test_unadvertise_withdraws_everywhere(self):
+        sim, network, brokers = make_world()
+        producer = SienaClient(sim, network, Position(1, 1), brokers[1])
+        f = Filter(type_is("rfid-sighting"))
+        producer.advertise(f)
+        sim.run_for(2.0)
+        producer.unadvertise(f)
+        sim.run_for(2.0)
+        for broker in brokers:
+            assert f not in broker.advertisements()
+
+    def test_covering_prunes_advertisement_forwarding(self):
+        sim, network, brokers = make_world(brokers=2)
+        edge = brokers[1]
+        producer = SienaClient(sim, network, Position(1, 1), edge)
+        producer.advertise(Filter(type_is("weather")))
+        sim.run_for(2.0)
+        baseline = len(edge.adverts_forwarded[brokers[0].addr])
+        # Covered by the broad advertisement: not forwarded again.
+        producer.advertise(Filter(type_is("weather"), eq("area", "st-andrews")))
+        sim.run_for(2.0)
+        assert len(edge.adverts_forwarded[brokers[0].addr]) == baseline
+
+    def test_distinct_advertisements_forwarded(self):
+        sim, network, brokers = make_world(brokers=2)
+        edge = brokers[1]
+        producer = SienaClient(sim, network, Position(1, 1), edge)
+        producer.advertise(Filter(type_is("weather")))
+        sim.run_for(2.0)
+        before = len(edge.adverts_forwarded[brokers[0].addr])
+        producer.advertise(Filter(type_is("gsm-location")))
+        sim.run_for(2.0)
+        assert len(edge.adverts_forwarded[brokers[0].addr]) == before + 1
+
+    def test_multiple_producers_coexist(self):
+        sim, network, brokers = make_world()
+        weather = SienaClient(sim, network, Position(1, 1), brokers[0])
+        rfid = SienaClient(sim, network, Position(2, 2), brokers[2])
+        weather.advertise(Filter(type_is("weather")))
+        rfid.advertise(Filter(type_is("rfid-sighting")))
+        sim.run_for(2.0)
+        known = brokers[1].advertisements()
+        types_advertised = {c.value for f in known for c in f.constraints}
+        assert {"weather", "rfid-sighting"} <= types_advertised

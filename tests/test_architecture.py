@@ -1,0 +1,134 @@
+"""Integration tests: the full architecture, end to end.
+
+These run the entire stack — overlay + storage + brokers + thin servers +
+monitoring + evolution + sensors + services — exactly as the examples do.
+"""
+
+import pytest
+
+from repro import ActiveArchitecture, ArchitectureConfig
+from repro.knowledge.facts import Fact
+from repro.net.geo import Position
+from repro.sensors import Person, make_st_andrews
+from repro.services import IceCreamMeetupService, WeatherAlertService
+
+
+@pytest.fixture(scope="module")
+def icecream_world():
+    """One shared build of the full scenario (module-scoped: it is the
+    expensive fixture these integration tests all inspect)."""
+    arch = ActiveArchitecture(
+        ArchitectureConfig(seed=7, overlay_nodes=12, brokers=4)
+    )
+    city = make_st_andrews()
+    arch.add_city(city, weather_base_c=17.0)  # peaks ~23C at 15:00
+    bob = Person(
+        "bob",
+        Position(56.3412, -2.7952),
+        nationality="scottish",
+        likes=["ice-cream"],
+        knows=["anna"],
+    )
+    anna = Person(
+        "anna", Position(56.3397, -2.80753), likes=["ice-cream"], knows=["bob"]
+    )
+    arch.add_person(bob)
+    arch.add_person(anna)
+    arch.settle(
+        arch.publish_facts(
+            bob.profile_facts()
+            + anna.profile_facts()
+            + [Fact("bob", "on-holiday", True), Fact("anna", "free-time", True)]
+        )
+    )
+    runtime = arch.deploy_service(IceCreamMeetupService(city))
+    bob_agent = arch.add_user_agent("bob")
+    anna_agent = arch.add_user_agent("anna")
+    arch.run(16.5 * 3600.0)  # run the day until 16:30
+    return arch, runtime, bob_agent, anna_agent
+
+
+class TestIceCreamScenarioEndToEnd:
+    def test_suggestions_synthesized(self, icecream_world):
+        arch, runtime, bob_agent, anna_agent = icecream_world
+        assert runtime.suggestions, "the correlation never fired"
+        example = runtime.suggestions[0]
+        assert example["place"] == "Janetta's"
+        assert example.event_type == "suggestion"
+
+    def test_both_users_receive_their_stream(self, icecream_world):
+        """Figure 1: per-user, per-service event delivery."""
+        arch, runtime, bob_agent, anna_agent = icecream_world
+        assert bob_agent.received
+        assert anna_agent.received
+        assert all(e["user"] == "bob" for _, e in bob_agent.received)
+        assert all(e["user"] == "anna" for _, e in anna_agent.received)
+
+    def test_distillation_high_volume_in_low_volume_out(self, icecream_world):
+        """'...distilling them down into a relatively small volume of
+        meaningful events' (§1.1)."""
+        arch, runtime, bob_agent, anna_agent = icecream_world
+        stats = runtime.stats()
+        assert stats["events_in"] > 1000
+        assert stats["synthesized"] < stats["events_in"] / 50
+
+    def test_suggestion_pertinent_in_time(self, icecream_world):
+        """Suggestions propose meeting before the shop closes (C8)."""
+        arch, runtime, bob_agent, anna_agent = icecream_world
+        closes = 17 * 3600.0
+        for suggestion in runtime.suggestions:
+            assert float(suggestion["meet_at"]) < closes
+
+    def test_cooldown_prevents_storms(self, icecream_world):
+        arch, runtime, bob_agent, anna_agent = icecream_world
+        stats = runtime.stats()
+        assert stats["suppressed"] > stats["matches"]
+
+    def test_monitoring_sees_all_servers(self, icecream_world):
+        arch, runtime, bob_agent, anna_agent = icecream_world
+        assert len(arch.monitor.live_nodes()) == len(arch.servers)
+
+    def test_knowledge_is_in_the_distributed_store(self, icecream_world):
+        arch, runtime, bob_agent, anna_agent = icecream_world
+        facts = arch.settle(arch.dkb.lookup("bob", "likes"))
+        assert any(f.object == "ice-cream" for f in facts)
+
+
+class TestSecondServiceOnSameInfrastructure:
+    def test_weather_alert_coexists(self):
+        """§4.8: new services reuse the same infrastructure."""
+        arch = ActiveArchitecture(
+            ArchitectureConfig(seed=11, overlay_nodes=10, brokers=3)
+        )
+        city = make_st_andrews()
+        arch.add_city(city, weather_base_c=22.0)  # peaks ~28C
+        carol = Person("carol", Position(56.3405, -2.7960))
+        arch.add_person(carol)
+        arch.settle(
+            arch.publish_facts([Fact("carol", "alert-temp-above", 25.0)])
+        )
+        runtime = arch.deploy_service(WeatherAlertService())
+        agent = arch.add_user_agent("carol")
+        arch.run(16.0 * 3600.0)
+        assert runtime.suggestions
+        assert agent.received
+        assert all(
+            e["service"] == "weather-alert" for _, e in agent.received
+        )
+
+    def test_kb_update_events_reach_deployed_matchlet(self):
+        """C4: knowledge published *after* deployment flows to matchlets."""
+        arch = ActiveArchitecture(
+            ArchitectureConfig(seed=13, overlay_nodes=10, brokers=3)
+        )
+        city = make_st_andrews()
+        arch.add_city(city, weather_base_c=22.0)
+        dave = Person("dave", Position(56.3405, -2.7960))
+        arch.add_person(dave)
+        runtime = arch.deploy_service(WeatherAlertService())
+        # The threshold arrives only after the service is live.
+        arch.run(600.0)
+        arch.settle(arch.publish_facts([Fact("dave", "alert-temp-above", 25.0)]))
+        arch.run(15.0 * 3600.0)
+        assert runtime.matchlet.kb.holds("dave", "alert-temp-above", 25.0)
+        assert runtime.suggestions

@@ -1,0 +1,133 @@
+"""Failure-injection integration tests: the architecture under churn."""
+
+import pytest
+
+from repro import ActiveArchitecture, ArchitectureConfig
+from repro.evolution.constraints import MinComponentsGlobal
+from repro.evolution.engine import BundleTemplate
+from repro.knowledge.facts import Fact
+from repro.net.geo import Position
+from repro.sensors import Person, make_st_andrews
+from repro.services import WeatherAlertService
+
+
+def build_arch(**overrides):
+    config = ArchitectureConfig(
+        seed=17, overlay_nodes=15, brokers=6, suspect_after_s=60.0, **overrides
+    )
+    return ActiveArchitecture(config)
+
+
+class TestStorageChurnUnderService:
+    def test_service_survives_storage_node_crashes(self):
+        arch = build_arch()
+        city = make_st_andrews()
+        arch.add_city(city, weather_base_c=22.0)
+        person = Person("erin", Position(56.3405, -2.7960))
+        arch.add_person(person)
+        arch.settle(arch.publish_facts([Fact("erin", "alert-temp-above", 25.0)]))
+        runtime = arch.deploy_service(WeatherAlertService())
+        agent = arch.add_user_agent("erin")
+        arch.run(2 * 3600.0)
+
+        # Kill a third of the storage overlay mid-run, then keep going.
+        for node in arch.overlay_nodes[::3]:
+            node.crash()
+        arch.run(14 * 3600.0)
+
+        assert runtime.suggestions, "matching stopped after storage churn"
+        assert agent.received, "delivery stopped after storage churn"
+
+    def test_knowledge_survives_storage_node_crashes(self):
+        arch = build_arch()
+        arch.settle(
+            arch.publish_facts(
+                [Fact(f"user{i}", "likes", "ice-cream") for i in range(10)]
+            )
+        )
+        arch.run(120.0)  # replication settles
+        # Kill a third of the overlay, sparing node 0 which hosts the DKB
+        # handle itself (a dead client can't issue reads).
+        for node in arch.overlay_nodes[1::3]:
+            node.crash()
+        arch.run(180.0)  # audits repair
+        facts = arch.settle(arch.dkb.lookup("user3", "likes"))
+        assert facts and facts[0].object == "ice-cream"
+
+
+class TestGracefulDecommission:
+    def test_departure_detected_without_suspicion_delay(self):
+        arch = build_arch()
+        arch.run(90.0)  # advertisements flowing
+        assert len(arch.monitor.live_nodes()) == len(arch.servers)
+        arch.decommission_server(2)
+        arch.run(10.0)  # far less than suspect_after_s
+        down = [v for v in arch.monitor.nodes.values() if not v.alive]
+        assert [v.node_id for v in down] == ["server-2"]
+
+    def test_evolution_repairs_after_graceful_departure(self):
+        arch = build_arch()
+        arch.evolution.register_template(
+            "replication-service", BundleTemplate(component="probe")
+        )
+        arch.run(60.0)
+        arch.evolution.add_constraint(MinComponentsGlobal("replication-service", 3))
+        deadline = arch.sim.now + 300.0
+        while not arch.evolution.satisfied() and arch.sim.now < deadline:
+            arch.run(10.0)
+        assert arch.evolution.satisfied()
+        victim_node = arch.evolution.state.live("replication-service")[0]
+        victim_index = int(victim_node.node_id.split("-")[1])
+        arch.decommission_server(victim_index)
+        deadline = arch.sim.now + 300.0
+        while arch.sim.now < deadline:
+            arch.run(10.0)
+            live = arch.evolution.state.live("replication-service")
+            if (
+                len(live) >= 3
+                and all(d.node_id != victim_node.node_id for d in live)
+                and arch.evolution.satisfied()
+            ):
+                break
+        live = arch.evolution.state.live("replication-service")
+        assert len(live) >= 3
+        assert all(d.node_id != victim_node.node_id for d in live)
+
+
+class TestExtraSensors:
+    def test_rfid_reader_publishes_through_architecture(self):
+        arch = build_arch()
+        city = make_st_andrews()
+        arch.add_city(city)
+        janettas = next(p for p in city.places if p.name == "Janetta's")
+        visitor = Person("visitor", janettas.position)
+        arch.add_person(visitor)
+        arch.add_rfid_reader(janettas)
+        from repro.events.filters import Filter, type_is
+        from repro.events.broker import SienaClient
+
+        listener = SienaClient(
+            arch.sim, arch.network, janettas.position, arch.brokers[0]
+        )
+        listener.subscribe(Filter(type_is("rfid-sighting")))
+        arch.run(120.0)
+        assert listener.received
+        assert listener.received[0][1]["subject"] == "visitor"
+
+    def test_gsm_cell_publishes_logical_location(self):
+        arch = build_arch()
+        city = make_st_andrews()
+        arch.add_city(city)
+        person = Person("walker", Position(56.3412, -2.7952))
+        arch.add_person(person)
+        arch.add_gsm_cell(city, "cell-1", Position(56.34, -2.79), radius_km=3.0)
+        from repro.events.filters import Filter, type_is
+        from repro.events.broker import SienaClient
+
+        listener = SienaClient(
+            arch.sim, arch.network, Position(56.34, -2.79), arch.brokers[1]
+        )
+        listener.subscribe(Filter(type_is("gsm-location")))
+        arch.run(180.0)
+        assert listener.received
+        assert listener.received[0][1]["street"] == "North Street"

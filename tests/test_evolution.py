@@ -1,0 +1,278 @@
+"""Tests for resource advertisement, monitoring and the evolution engine."""
+
+import pytest
+
+from repro.cingal import ThinServer
+from repro.events.model import make_event
+from repro.evolution import (
+    EvolutionEngine,
+    HeartbeatMonitor,
+    MinComponentsGlobal,
+    MinComponentsInRegion,
+    ResourceAdvertiser,
+)
+from repro.evolution.constraints import Deployment, DeploymentState
+from repro.evolution.engine import BundleTemplate
+from repro.net import FixedLatency, Network, Position
+from repro.pipelines.assembly import DeploymentAgent
+from repro.simulation import Simulator
+from tests.helpers import run_until
+
+KEY = "evo-key"
+SCOTLAND_POS = Position(56.5, -3.5)
+AUSTRALIA_POS = Position(-33.9, 151.2)
+
+
+def make_control_plane(server_positions, seed=0):
+    """Thin servers + advertisers + monitor + evolution engine, direct-wired.
+
+    Events flow through a simple local fan-out rather than a broker tree so
+    the tests isolate evolution behaviour from event-system behaviour.
+    """
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.01))
+    servers = [ThinServer(sim, network, pos, KEY) for pos in server_positions]
+    bus_events = []
+    subscribers = []
+
+    def publish(event):
+        bus_events.append(event)
+        for subscriber in subscribers:
+            subscriber(event)
+
+    monitor = HeartbeatMonitor(sim, publish, suspect_after_s=60.0, check_interval_s=10.0)
+    agent = DeploymentAgent(sim, network, server_positions[0])
+    engine = EvolutionEngine(sim, agent, monitor, KEY, evaluate_interval_s=15.0)
+    subscribers.append(monitor.on_event)
+    subscribers.append(engine.on_event)
+    advertisers = [
+        ResourceAdvertiser(
+            sim,
+            node_id=f"node-{i}",
+            addr=server.addr,
+            position=server.position,
+            publish=publish,
+            period_s=20.0,
+        )
+        for i, server in enumerate(servers)
+    ]
+    return sim, network, servers, advertisers, monitor, engine
+
+
+class TestAdvertisement:
+    def test_periodic_resource_events(self):
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS]
+        )
+        sim.run_for(100.0)
+        assert monitor.nodes["node-0"].region == "scotland"
+
+    def test_departure_announcement(self):
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS, SCOTLAND_POS.offset_km(10, 10)]
+        )
+        sim.run_for(50.0)
+        advertisers[0].announce_departure()
+        sim.run_for(1.0)
+        assert not monitor.nodes["node-0"].alive
+        assert monitor.nodes["node-1"].alive
+
+
+class TestMonitor:
+    def test_silent_node_suspected(self):
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS, SCOTLAND_POS.offset_km(5, 5)]
+        )
+        sim.run_for(50.0)
+        advertisers[0].stop()  # crash without announcement
+        sim.run_for(120.0)
+        assert not monitor.nodes["node-0"].alive
+        assert monitor.nodes["node-1"].alive
+        assert monitor.failures_detected
+
+    def test_live_nodes_listing(self):
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS, AUSTRALIA_POS]
+        )
+        sim.run_for(50.0)
+        assert len(monitor.live_nodes()) == 2
+
+
+class TestConstraints:
+    def make_state(self):
+        state = DeploymentState()
+        for index in range(3):
+            state.record(
+                Deployment(
+                    component_type="replicator",
+                    instance_name=f"replicator-{index}",
+                    node_id=f"node-{index}",
+                    addr=index,
+                    region="scotland",
+                )
+            )
+        return state
+
+    def test_satisfied_constraint_no_violations(self):
+        state = self.make_state()
+        constraint = MinComponentsInRegion("replicator", "scotland", 3)
+        assert constraint.evaluate(state) == []
+
+    def test_violation_counts_missing(self):
+        state = self.make_state()
+        constraint = MinComponentsInRegion("replicator", "scotland", 5)
+        violations = constraint.evaluate(state)
+        assert len(violations) == 1 and violations[0].missing == 2
+
+    def test_dead_nodes_do_not_count(self):
+        state = self.make_state()
+        state.mark_node_dead("node-0")
+        constraint = MinComponentsInRegion("replicator", "scotland", 3)
+        assert constraint.evaluate(state)[0].missing == 1
+
+    def test_region_scoping(self):
+        state = self.make_state()
+        constraint = MinComponentsInRegion("replicator", "australia", 1)
+        assert constraint.evaluate(state)[0].missing == 1
+
+    def test_global_constraint(self):
+        state = self.make_state()
+        assert MinComponentsGlobal("replicator", 3).evaluate(state) == []
+        assert MinComponentsGlobal("replicator", 4).evaluate(state)
+
+
+class TestEvolutionEngine:
+    def test_initial_deployment_satisfies_constraint(self):
+        """The §4.4 example: 'at least 5 components ... within a region'."""
+        positions = [SCOTLAND_POS.offset_km(i * 2.0, 0) for i in range(6)]
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            positions
+        )
+        engine.register_template("replicator", BundleTemplate(component="probe"))
+        sim.run_for(40.0)  # let advertisements arrive
+        engine.add_constraint(MinComponentsInRegion("replicator", "scotland", 5))
+        assert run_until(sim, engine.satisfied, timeout=120.0)
+        assert len(engine.state.live("replicator", "scotland")) == 5
+        deployed_servers = sum(1 for s in servers if s.components)
+        assert deployed_servers == 5  # real bundles landed on thin servers
+
+    def test_self_heals_after_node_failure(self):
+        positions = [SCOTLAND_POS.offset_km(i * 2.0, 0) for i in range(5)]
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            positions
+        )
+        engine.register_template("replicator", BundleTemplate(component="probe"))
+        sim.run_for(40.0)
+        engine.add_constraint(MinComponentsInRegion("replicator", "scotland", 3))
+        assert run_until(sim, engine.satisfied, timeout=120.0)
+        victim_node_id = engine.state.live("replicator")[0].node_id
+        victim_index = int(victim_node_id.split("-")[1])
+        servers[victim_index].crash()
+        advertisers[victim_index].stop()
+        # First the monitor must suspect the silent node...
+        assert run_until(
+            sim,
+            lambda: not monitor.nodes[victim_node_id].alive,
+            timeout=400.0,
+        )
+        # ...then the evolution engine re-deploys on a spare node.
+        assert run_until(
+            sim,
+            lambda: len(engine.state.live("replicator", "scotland")) >= 3
+            and engine.satisfied(),
+            timeout=400.0,
+        )
+        repaired_nodes = {d.node_id for d in engine.state.live("replicator")}
+        assert victim_node_id not in repaired_nodes
+
+    def test_reports_unsatisfiable_when_no_capacity(self):
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS]
+        )
+        engine.register_template("replicator", BundleTemplate(component="probe"))
+        sim.run_for(40.0)
+        engine.add_constraint(MinComponentsInRegion("replicator", "scotland", 3))
+        sim.run_for(60.0)
+        assert engine.unsatisfiable
+        assert not engine.satisfied()
+
+    def test_no_template_is_unsatisfiable(self):
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS]
+        )
+        sim.run_for(40.0)
+        engine.add_constraint(MinComponentsGlobal("mystery-component", 1))
+        sim.run_for(30.0)
+        assert engine.unsatisfiable
+
+    def test_repair_actions_are_logged(self):
+        positions = [SCOTLAND_POS.offset_km(i * 2.0, 0) for i in range(3)]
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            positions
+        )
+        engine.register_template("replicator", BundleTemplate(component="probe"))
+        sim.run_for(40.0)
+        engine.add_constraint(MinComponentsInRegion("replicator", "scotland", 2))
+        assert run_until(sim, engine.satisfied, timeout=120.0)
+        assert len(engine.actions) == 2
+        assert all(a.region == "scotland" for a in engine.actions)
+
+
+class TestPolicies:
+    def make_storage_world(self):
+        from repro.overlay import fast_build
+        from repro.storage import attach_storage
+
+        sim = Simulator(seed=9)
+        network = Network(sim, latency=FixedLatency(0.01))
+        nodes = fast_build(sim, network, 20)
+        services = attach_storage(nodes)
+        by_region = {}
+        from repro.evolution.advertisement import region_of
+
+        for service in services:
+            by_region.setdefault(region_of(service.node.position), []).append(service)
+        return sim, services, by_region
+
+    def test_latency_reduction_seeds_dwell_region(self):
+        from repro.evolution import LatencyReductionPolicy
+        from tests.helpers import resolve
+
+        sim, services, by_region = self.make_storage_world()
+        policy = LatencyReductionPolicy(sim, by_region, dwell_threshold_s=100.0)
+        guid = resolve(sim, services[0].put(b"bob-profile-data"))
+        policy.register_user_data("bob", [guid])
+        australia = next(iter(by_region.get("australia", [])), None)
+        assert australia is not None
+        loc = make_event("user-location", subject="bob", lat=-33.9, lon=151.2)
+        policy.on_event(loc)  # dwell starts
+        sim.run_for(150.0)
+        policy.on_event(loc)  # dwell exceeded: seeding happens
+        sim.run_for(30.0)
+        assert policy.actions
+        cached_in_australia = any(
+            guid in s.cache for s in by_region["australia"]
+        )
+        assert cached_in_australia
+
+    def test_backup_policy_pins_remote_copy(self):
+        from repro.evolution import BackupPolicy
+        from tests.helpers import resolve, run_until
+
+        sim, services, by_region = self.make_storage_world()
+        policy = BackupPolicy(sim, by_region)
+        guid = resolve(sim, services[0].put(b"precious-data"))
+        remote = policy.backup(guid, origin_region="scotland")
+        assert remote is not None
+        assert run_until(sim, lambda: bool(policy.actions), timeout=60.0)
+        assert guid in remote.cache
+        # Pinned: survives a flood of other cache traffic.
+        for i in range(200):
+            remote.cache.put(
+                __import__("repro.ids", fromlist=["guid_from_content"]).guid_from_content(
+                    f"filler-{i}".encode()
+                ),
+                b"x" * 2048,
+                sim.now,
+            )
+        assert guid in remote.cache

@@ -1,0 +1,99 @@
+"""Tests for the Freenet-style non-deterministic baseline."""
+
+from repro.ids import guid_from_content, random_guid
+from repro.net import FixedLatency, Network
+from repro.overlay import build_freenet
+from repro.simulation import Simulator
+
+
+def make_freenet(count=20, degree=4, seed=0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.01))
+    nodes = build_freenet(sim, network, count, degree=degree)
+    return sim, nodes
+
+
+class TestFreenet:
+    def test_local_get_hits_immediately(self):
+        sim, nodes = make_freenet()
+        data = b"local"
+        key = guid_from_content(data)
+        nodes[0].put(data, key)
+        fut = nodes[0].get(key)
+        assert fut.done and fut.result() == data
+
+    def test_insert_propagates_along_path(self):
+        sim, nodes = make_freenet()
+        data = b"spread me"
+        key = guid_from_content(data)
+        nodes[0].put(data, key, htl=10)
+        sim.run()
+        holders = sum(1 for n in nodes if n.has(key))
+        assert holders >= 2  # origin plus at least one path node
+
+    def test_remote_get_can_succeed(self):
+        sim, nodes = make_freenet(count=20, degree=5, seed=3)
+        data = b"findable"
+        key = guid_from_content(data)
+        nodes[0].put(data, key, htl=15)
+        sim.run()
+        results = []
+        fut = nodes[-1].get(key, htl=20)
+        fut.add_callback(lambda f: results.append(f.exception is None))
+        sim.run()
+        assert results == [True]
+        assert nodes[-1].has(key)  # path caching on reply
+
+    def test_get_fails_when_data_is_unreachable(self):
+        sim, nodes = make_freenet(count=30, degree=3, seed=1)
+        missing = random_guid(sim.rng_for("missing"))
+        outcomes = []
+        fut = nodes[0].get(missing, htl=8)
+        fut.add_callback(lambda f: outcomes.append(f.exception))
+        sim.run()
+        assert len(outcomes) == 1
+        assert isinstance(outcomes[0], KeyError)
+
+    def test_retrieval_is_not_always_successful(self):
+        """The paper's complaint: non-deterministic routing loses data (C2)."""
+        sim, nodes = make_freenet(count=100, degree=3, seed=5)
+        rng = sim.rng_for("workload")
+        outcomes = []
+        for i in range(40):
+            data = f"object-{i}".encode()
+            key = guid_from_content(data)
+            nodes[rng.randrange(len(nodes))].put(data, key, htl=3)
+            sim.run()
+            fut = nodes[rng.randrange(len(nodes))].get(key, htl=3)
+            fut.add_callback(lambda f: outcomes.append(f.exception is None))
+            sim.run()
+        successes = sum(outcomes)
+        assert 0 < successes < 40  # some succeed, some genuinely fail
+
+    def test_lru_store_evicts_oldest(self):
+        sim, nodes = make_freenet()
+        node = nodes[0]
+        node.capacity_items = 3
+        keys = []
+        for i in range(4):
+            data = f"item-{i}".encode()
+            key = guid_from_content(data)
+            node.store(key, data)
+            keys.append(key)
+        assert not node.has(keys[0])
+        assert all(node.has(k) for k in keys[1:])
+
+    def test_graph_is_connected_with_min_degree(self):
+        sim, nodes = make_freenet(count=25, degree=4)
+        for node in nodes:
+            assert len(node.neighbours) >= 4
+        seen = set()
+        frontier = [nodes[0].addr]
+        by_addr = {n.addr: n for n in nodes}
+        while frontier:
+            addr = frontier.pop()
+            if addr in seen:
+                continue
+            seen.add(addr)
+            frontier.extend(by_addr[addr].neighbours.keys())
+        assert len(seen) == len(nodes)

@@ -1,0 +1,164 @@
+"""Tests for the GIS substrate: index, places, logical locations, travel."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gis import GridIndex, OpeningHours, Place, StreetMap, travel_time_s
+from repro.net.geo import Position, haversine_km
+
+
+class TestGridIndex:
+    def test_insert_and_range_query(self):
+        index = GridIndex()
+        origin = Position(56.34, -2.79)
+        index.insert(origin.offset_km(0.1, 0.0), "near")
+        index.insert(origin.offset_km(5.0, 5.0), "far")
+        hits = index.within(origin, 1.0)
+        assert [item for _, item in hits] == ["near"]
+
+    def test_results_sorted_by_distance(self):
+        index = GridIndex()
+        origin = Position(56.34, -2.79)
+        index.insert(origin.offset_km(0.5, 0.0), "mid")
+        index.insert(origin.offset_km(0.1, 0.0), "close")
+        index.insert(origin.offset_km(0.9, 0.0), "edge")
+        hits = index.within(origin, 2.0)
+        assert [item for _, item in hits] == ["close", "mid", "edge"]
+
+    def test_nearest_expands_search(self):
+        index = GridIndex()
+        origin = Position(56.34, -2.79)
+        index.insert(origin.offset_km(8.0, 0.0), "only")
+        hit = index.nearest(origin, max_radius_km=20.0)
+        assert hit is not None and hit[1] == "only"
+
+    def test_nearest_respects_max_radius(self):
+        index = GridIndex()
+        origin = Position(56.34, -2.79)
+        index.insert(origin.offset_km(30.0, 0.0), "too-far")
+        assert index.nearest(origin, max_radius_km=10.0) is None
+
+    def test_remove(self):
+        index = GridIndex()
+        pos = Position(1.0, 1.0)
+        index.insert(pos, "x")
+        assert index.remove(pos, "x")
+        assert not index.remove(pos, "x")
+        assert len(index) == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-0.4, 0.4), st.floats(-0.4, 0.4)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_within_matches_brute_force(self, offsets):
+        origin = Position(50.0, 10.0)
+        index = GridIndex()
+        points = []
+        for north, east in offsets:
+            pos = origin.offset_km(north * 10, east * 10)
+            index.insert(pos, (north, east))
+            points.append(pos)
+        radius = 3.0
+        expected = sorted(
+            haversine_km(origin, p) for p in points if haversine_km(origin, p) <= radius
+        )
+        actual = [d for d, _ in index.within(origin, radius)]
+        assert len(actual) == len(expected)
+        assert actual == pytest.approx(expected)
+
+
+class TestOpeningHours:
+    def test_open_within_hours(self):
+        hours = OpeningHours.from_hours(9.0, 17.0)
+        assert hours.is_open_at(10 * 3600.0)
+        assert not hours.is_open_at(8 * 3600.0)
+        assert not hours.is_open_at(17 * 3600.0)
+
+    def test_wraps_to_next_day(self):
+        hours = OpeningHours.from_hours(9.0, 17.0)
+        day2_noon = 86400.0 + 12 * 3600.0
+        assert hours.is_open_at(day2_noon)
+
+    def test_seconds_until_close(self):
+        hours = OpeningHours.from_hours(9.0, 17.0)
+        assert hours.seconds_until_close(16 * 3600.0) == pytest.approx(3600.0)
+        assert hours.seconds_until_close(18 * 3600.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OpeningHours.from_hours(17.0, 9.0)
+        with pytest.raises(ValueError):
+            OpeningHours(-1.0, 3600.0)
+
+    def test_place_delegates(self):
+        place = Place(
+            "Janetta's",
+            Position(56.34, -2.794),
+            "ice-cream-shop",
+            OpeningHours.from_hours(9.0, 17.0),
+        )
+        assert place.is_open_at(12 * 3600.0)
+        assert not place.is_open_at(20 * 3600.0)
+
+
+class TestStreetMap:
+    def test_locates_on_street(self):
+        streets = StreetMap("st-andrews", capture_radius_km=0.2)
+        streets.add_street("North Street", Position(56.3412, -2.7952))
+        location = streets.locate(Position(56.3413, -2.7950))
+        assert location.street == "North Street"
+        assert location.city == "st-andrews"
+
+    def test_off_street_falls_back_to_city(self):
+        streets = StreetMap("st-andrews", capture_radius_km=0.1)
+        streets.add_street("North Street", Position(56.3412, -2.7952))
+        location = streets.locate(Position(56.40, -2.60))
+        assert location.street == ""
+        assert location.city == "st-andrews"
+
+    def test_nearest_street_wins(self):
+        streets = StreetMap("town", capture_radius_km=0.3)
+        streets.add_street("A", Position(56.3400, -2.7950))
+        streets.add_street("B", Position(56.3430, -2.7950))
+        assert streets.locate(Position(56.3401, -2.7950)).street == "A"
+        assert streets.locate(Position(56.3429, -2.7950)).street == "B"
+
+    def test_logical_containment_levels(self):
+        from repro.gis import LogicalLocation
+
+        a = LogicalLocation("North Street", "centre", "st-andrews")
+        b = LogicalLocation("North Street", "centre", "st-andrews")
+        c = LogicalLocation("Market Street", "centre", "st-andrews")
+        d = LogicalLocation("High Street", "west", "dundee")
+        assert a.contains_level(b) == "street"
+        assert a.contains_level(c) == "area"
+        assert a.contains_level(d) is None
+
+
+class TestTravelTime:
+    def test_walking_takes_longer_than_driving(self):
+        a = Position(56.34, -2.79)
+        b = Position(56.35, -2.80)
+        assert travel_time_s(a, b, "foot") > travel_time_s(a, b, "car")
+
+    def test_zero_distance(self):
+        p = Position(1.0, 1.0)
+        assert travel_time_s(p, p) == 0.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            travel_time_s(Position(0, 0), Position(1, 1), "teleport")
+
+    def test_magnitude_sanity(self):
+        # ~1 km walk with detour factor ~ 16 minutes at 4.8 km/h
+        a = Position(56.34, -2.79)
+        b = a.offset_km(1.0, 0.0)
+        minutes = travel_time_s(a, b, "foot") / 60.0
+        assert 12 < minutes < 20

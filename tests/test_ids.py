@@ -1,0 +1,115 @@
+"""Unit + property tests for the GUID space."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ids import (
+    GUID_BITS,
+    GUID_DIGITS,
+    Guid,
+    guid_from_content,
+    guid_from_name,
+    random_guid,
+)
+
+guids = st.integers(min_value=0, max_value=(1 << GUID_BITS) - 1).map(Guid)
+
+
+class TestGuidBasics:
+    def test_hex_roundtrip(self):
+        guid = Guid(0xDEADBEEF)
+        assert Guid.from_hex(guid.hex) == guid
+
+    def test_hex_is_32_digits(self):
+        assert len(Guid(5).hex) == GUID_DIGITS
+
+    def test_digit_extraction(self):
+        guid = Guid.from_hex("0123456789abcdef" * 2)
+        assert guid.digit(0) == 0x0
+        assert guid.digit(1) == 0x1
+        assert guid.digit(15) == 0xF
+        assert guid.digit(16) == 0x0
+
+    def test_digit_out_of_range(self):
+        with pytest.raises(IndexError):
+            Guid(0).digit(GUID_DIGITS)
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            Guid(1 << GUID_BITS)
+        with pytest.raises(ValueError):
+            Guid(-1)
+
+    def test_immutability(self):
+        guid = Guid(1)
+        with pytest.raises(AttributeError):
+            guid.value = 2
+
+    def test_from_bytes_length_check(self):
+        with pytest.raises(ValueError):
+            Guid.from_bytes(b"short")
+
+    def test_shared_prefix(self):
+        a = Guid.from_hex("ab" + "0" * 30)
+        b = Guid.from_hex("ac" + "0" * 30)
+        assert a.shared_prefix_len(b) == 1
+        assert a.shared_prefix_len(a) == GUID_DIGITS
+
+    def test_ring_distance_wraps(self):
+        lo = Guid(1)
+        hi = Guid((1 << GUID_BITS) - 1)
+        assert lo.ring_distance(hi) == 2
+
+    def test_content_guid_is_deterministic(self):
+        assert guid_from_content(b"x") == guid_from_content(b"x")
+        assert guid_from_content(b"x") != guid_from_content(b"y")
+
+    def test_name_guid(self):
+        assert guid_from_name("bob") == guid_from_name("bob")
+
+    def test_random_guid_uses_rng(self):
+        assert random_guid(random.Random(1)) == random_guid(random.Random(1))
+
+
+class TestGuidProperties:
+    @given(guids, guids)
+    def test_ring_distance_symmetric(self, a, b):
+        assert a.ring_distance(b) == b.ring_distance(a)
+
+    @given(guids, guids)
+    def test_ring_distance_bounded_by_half_space(self, a, b):
+        assert 0 <= a.ring_distance(b) <= (1 << GUID_BITS) // 2
+
+    @given(guids)
+    def test_ring_distance_to_self_zero(self, a):
+        assert a.ring_distance(a) == 0
+
+    @given(guids, guids)
+    def test_shared_prefix_symmetric(self, a, b):
+        assert a.shared_prefix_len(b) == b.shared_prefix_len(a)
+
+    @given(guids, guids)
+    def test_shared_prefix_matches_hex(self, a, b):
+        expected = 0
+        for ca, cb in zip(a.hex, b.hex):
+            if ca != cb:
+                break
+            expected += 1
+        assert a.shared_prefix_len(b) == expected
+
+    @given(guids)
+    def test_hex_digit_consistency(self, a):
+        for i in range(GUID_DIGITS):
+            assert a.digit(i) == int(a.hex[i], 16)
+
+    @given(guids, guids)
+    def test_clockwise_distances_sum_to_ring(self, a, b):
+        if a != b:
+            assert a.clockwise_distance(b) + b.clockwise_distance(a) == 1 << GUID_BITS
+
+    @given(guids, guids, guids)
+    def test_ring_distance_triangle_inequality(self, a, b, c):
+        assert a.ring_distance(c) <= a.ring_distance(b) + b.ring_distance(c)

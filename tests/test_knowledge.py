@@ -1,0 +1,154 @@
+"""Tests for facts, the in-memory KB, and the distributed KB."""
+
+import math
+
+import pytest
+
+from repro.knowledge import DistributedKnowledgeBase, Fact, KnowledgeBase
+from repro.net import FixedLatency, Network
+from repro.overlay import fast_build
+from repro.simulation import Simulator
+from repro.storage import StorageConfig, attach_storage
+from tests.helpers import resolve, run_until
+
+
+class TestFact:
+    def test_validity_interval(self):
+        fact = Fact("bob", "on-holiday", True, valid_from=100.0, valid_to=200.0)
+        assert fact.valid_at(150.0)
+        assert not fact.valid_at(99.0)
+        assert not fact.valid_at(201.0)
+
+    def test_default_validity_is_forever(self):
+        fact = Fact("bob", "likes", "ice-cream")
+        assert fact.valid_at(-1e12)
+        assert fact.valid_at(1e12)
+
+    def test_line_roundtrip_all_types(self):
+        for value in ("str-value", True, 42, 3.5):
+            fact = Fact("s", "p", value, 1.0, 2.0)
+            assert Fact.from_line(fact.to_line()) == fact
+
+    def test_line_roundtrip_infinite_validity(self):
+        fact = Fact("s", "p", "v")
+        recovered = Fact.from_line(fact.to_line())
+        assert math.isinf(recovered.valid_from)
+        assert math.isinf(recovered.valid_to)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Fact("", "p", 1)
+        with pytest.raises(ValueError):
+            Fact("s", "", 1)
+        with pytest.raises(ValueError):
+            Fact("s", "p", 1, valid_from=5.0, valid_to=1.0)
+
+    def test_shard_key(self):
+        assert Fact("bob", "likes", "x").key() == "bob|likes"
+
+
+class TestKnowledgeBase:
+    def setup_method(self):
+        self.kb = KnowledgeBase()
+        self.kb.add(Fact("bob", "likes", "ice-cream"))
+        self.kb.add(Fact("bob", "knows", "anna"))
+        self.kb.add(Fact("anna", "knows", "bob"))
+        self.kb.add(Fact("bob", "on-holiday", True, 100.0, 200.0))
+
+    def test_query_by_subject(self):
+        assert len(self.kb.query(subject="bob")) == 3
+
+    def test_query_by_predicate(self):
+        assert len(self.kb.query(predicate="knows")) == 2
+
+    def test_query_by_subject_and_predicate(self):
+        facts = self.kb.query(subject="bob", predicate="knows")
+        assert len(facts) == 1 and facts[0].object == "anna"
+
+    def test_query_with_object(self):
+        assert self.kb.query(predicate="knows", object="bob")[0].subject == "anna"
+
+    def test_query_respects_time(self):
+        assert self.kb.query(subject="bob", predicate="on-holiday", at_time=150.0)
+        assert not self.kb.query(subject="bob", predicate="on-holiday", at_time=300.0)
+
+    def test_value_and_holds(self):
+        assert self.kb.value("bob", "knows") == "anna"
+        assert self.kb.value("ghost", "knows", default="nobody") == "nobody"
+        assert self.kb.holds("bob", "on-holiday", True, at_time=150.0)
+        assert not self.kb.holds("bob", "on-holiday", True, at_time=300.0)
+
+    def test_add_is_idempotent(self):
+        before = len(self.kb)
+        assert not self.kb.add(Fact("bob", "likes", "ice-cream"))
+        assert len(self.kb) == before
+
+    def test_remove_and_retract(self):
+        assert self.kb.remove(Fact("bob", "likes", "ice-cream"))
+        assert not self.kb.remove(Fact("bob", "likes", "ice-cream"))
+        assert self.kb.retract("bob", "knows") == 1
+        assert self.kb.query(subject="bob", predicate="knows") == []
+
+    def test_contains(self):
+        assert Fact("anna", "knows", "bob") in self.kb
+        assert Fact("anna", "knows", "carol") not in self.kb
+
+
+class TestDistributedKnowledgeBase:
+    def make_dkb(self, count=15):
+        sim = Simulator(seed=3)
+        network = Network(sim, latency=FixedLatency(0.01))
+        nodes = fast_build(sim, network, count)
+        services = attach_storage(nodes, StorageConfig())
+        return sim, services, DistributedKnowledgeBase(services[0])
+
+    def test_store_and_lookup(self):
+        sim, services, dkb = self.make_dkb()
+        resolve(sim, dkb.store_facts([Fact("bob", "likes", "ice-cream")]))
+        facts = resolve(sim, dkb.lookup("bob", "likes"))
+        assert facts == [Fact("bob", "likes", "ice-cream")]
+
+    def test_lookup_missing_shard_is_empty(self):
+        sim, services, dkb = self.make_dkb()
+        assert resolve(sim, dkb.lookup("ghost", "likes")) == []
+
+    def test_merge_into_existing_shard(self):
+        sim, services, dkb = self.make_dkb()
+        resolve(sim, dkb.store_facts([Fact("bob", "knows", "anna")]))
+        resolve(sim, dkb.store_facts([Fact("bob", "knows", "carol")]))
+        facts = resolve(sim, dkb.lookup("bob", "knows"))
+        assert {f.object for f in facts} == {"anna", "carol"}
+
+    def test_reads_from_other_nodes(self):
+        sim, services, dkb = self.make_dkb()
+        resolve(sim, dkb.store_facts([Fact("bob", "likes", "ice-cream")]))
+        remote = DistributedKnowledgeBase(services[9])
+        facts = resolve(sim, remote.lookup("bob", "likes"))
+        assert facts[0].object == "ice-cream"
+
+    def test_hydrate_local_replica(self):
+        sim, services, dkb = self.make_dkb()
+        resolve(
+            sim,
+            dkb.store_facts(
+                [
+                    Fact("bob", "likes", "ice-cream"),
+                    Fact("bob", "knows", "anna"),
+                    Fact("anna", "knows", "bob"),
+                ]
+            ),
+        )
+        local = KnowledgeBase()
+        loaded = resolve(
+            sim,
+            dkb.hydrate(local, [("bob", "likes"), ("bob", "knows"), ("anna", "knows")]),
+        )
+        assert loaded == 3
+        assert local.holds("bob", "likes", "ice-cream")
+
+    def test_update_events_published_when_wired(self):
+        sim, services, _ = self.make_dkb()
+        published = []
+        dkb = DistributedKnowledgeBase(services[0], publish_update=published.append)
+        resolve(sim, dkb.store_facts([Fact("bob", "likes", "ice-cream")]))
+        assert published == [Fact("bob", "likes", "ice-cream")]

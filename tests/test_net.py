@@ -1,0 +1,175 @@
+"""Unit tests for the simulated wide-area network."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    FixedLatency,
+    GeographicLatency,
+    Host,
+    Network,
+    Position,
+    Region,
+    haversine_km,
+)
+from repro.simulation import Simulator
+
+
+class Recorder(Host):
+    def __init__(self, sim, network, position):
+        super().__init__(sim, network, position)
+        self.received = []
+
+    def handle_message(self, src, payload):
+        self.received.append((self.sim.now, src, payload))
+
+
+def make_pair(loss_rate=0.0, latency=None):
+    sim = Simulator(seed=1)
+    network = Network(sim, latency=latency or FixedLatency(0.05), loss_rate=loss_rate)
+    a = Recorder(sim, network, Position(56.34, -2.79))
+    b = Recorder(sim, network, Position(55.86, -4.25))
+    return sim, network, a, b
+
+
+class TestGeo:
+    def test_haversine_known_distance(self):
+        st_andrews = Position(56.3398, -2.7967)
+        glasgow = Position(55.8642, -4.2518)
+        distance = haversine_km(st_andrews, glasgow)
+        assert 100 < distance < 110  # ~104 km
+
+    def test_haversine_zero(self):
+        p = Position(10.0, 20.0)
+        assert haversine_km(p, p) == 0.0
+
+    def test_position_validation(self):
+        with pytest.raises(ValueError):
+            Position(91.0, 0.0)
+        with pytest.raises(ValueError):
+            Position(0.0, 181.0)
+
+    def test_offset_km_roundtrip(self):
+        p = Position(56.0, -3.0)
+        q = p.offset_km(1.0, 1.0)
+        assert 1.0 < haversine_km(p, q) < 2.0
+
+    def test_region_contains(self):
+        region = Region("r", 50.0, 60.0, -5.0, 5.0)
+        assert region.contains(Position(55.0, 0.0))
+        assert not region.contains(Position(45.0, 0.0))
+
+    def test_region_random_position_inside(self):
+        region = Region("r", 50.0, 60.0, -5.0, 5.0)
+        rng = random.Random(0)
+        for _ in range(20):
+            assert region.contains(region.random_position(rng))
+
+
+class TestLatencyModels:
+    def test_geographic_latency_grows_with_distance(self):
+        model = GeographicLatency(jitter_frac=0.0)
+        rng = random.Random(0)
+        near = model.delay(Position(56.0, -3.0), Position(56.1, -3.0), 100, rng)
+        far = model.delay(Position(56.0, -3.0), Position(-33.0, 151.0), 100, rng)
+        assert far > near * 5
+
+    def test_transmission_delay_grows_with_size(self):
+        model = GeographicLatency(jitter_frac=0.0)
+        rng = random.Random(0)
+        p = Position(0.0, 0.0)
+        small = model.delay(p, p, 100, rng)
+        large = model.delay(p, p, 1_000_000, rng)
+        assert large > small
+
+    def test_fixed_latency(self):
+        rng = random.Random(0)
+        model = FixedLatency(0.2)
+        assert model.delay(Position(0, 0), Position(50, 50), 10, rng) == 0.2
+
+
+class TestNetwork:
+    def test_delivery_with_latency(self):
+        sim, network, a, b = make_pair()
+        a.send(b.addr, "hello")
+        sim.run()
+        assert len(b.received) == 1
+        time, src, payload = b.received[0]
+        assert payload == "hello"
+        assert src == a.addr
+        assert time == pytest.approx(0.05)
+
+    def test_stats_counters(self):
+        sim, network, a, b = make_pair()
+        a.send(b.addr, "one")
+        a.send(b.addr, "two")
+        sim.run()
+        assert network.stats.messages_sent == 2
+        assert network.stats.messages_delivered == 2
+        assert network.stats.per_host_delivered[b.addr] == 2
+
+    def test_crashed_destination_drops_at_delivery(self):
+        sim, network, a, b = make_pair()
+        a.send(b.addr, "in-flight")
+        b.crash()
+        sim.run()
+        assert b.received == []
+        assert network.stats.messages_dropped == 1
+
+    def test_crashed_source_cannot_send(self):
+        sim, network, a, b = make_pair()
+        a.crash()
+        assert not a.send(b.addr, "x")
+        sim.run()
+        assert b.received == []
+
+    def test_recovery_allows_delivery_again(self):
+        sim, network, a, b = make_pair()
+        b.crash()
+        b.recover()
+        a.send(b.addr, "after")
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_partition_blocks_cross_group(self):
+        sim, network, a, b = make_pair()
+        network.set_partition([{a.addr}, {b.addr}])
+        a.send(b.addr, "blocked")
+        sim.run()
+        assert b.received == []
+        network.heal_partition()
+        a.send(b.addr, "ok")
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_loss_rate_drops_some(self):
+        sim = Simulator(seed=2)
+        network = Network(sim, latency=FixedLatency(0.01), loss_rate=0.5)
+        a = Recorder(sim, network, Position(0, 0))
+        b = Recorder(sim, network, Position(0, 1))
+        for _ in range(200):
+            a.send(b.addr, "x")
+        sim.run()
+        assert 40 < len(b.received) < 160
+
+    def test_duplicate_address_rejected(self):
+        sim = Simulator()
+        network = Network(sim)
+        a = Host(sim, network, Position(0, 0), addr="shared")
+        with pytest.raises(ValueError):
+            Host(sim, network, Position(0, 0), addr="shared")
+
+    def test_crash_hooks_fire(self):
+        sim, network, a, b = make_pair()
+        seen = []
+        a.on_crash_hooks.append(lambda host: seen.append("crash"))
+        a.on_recover_hooks.append(lambda host: seen.append("recover"))
+        a.crash()
+        a.crash()  # idempotent
+        a.recover()
+        assert seen == ["crash", "recover"]
+
+    def test_send_to_unknown_address_returns_false(self):
+        sim, network, a, b = make_pair()
+        assert not a.send(999, "void")

@@ -1,0 +1,118 @@
+"""Overlay behaviour under heavier churn: routing around mass failures."""
+
+import pytest
+
+from repro.ids import random_guid
+from repro.net import FixedLatency, Network
+from repro.overlay import OverlayApplication, PastryNode, build_overlay, fast_build
+from repro.simulation import Simulator
+
+
+class Collector(OverlayApplication):
+    def __init__(self):
+        self.delivered = []
+
+    def on_deliver(self, key, payload, ctx):
+        self.delivered.append((key, payload, ctx))
+
+
+def expected_root(nodes, key):
+    live = [n for n in nodes if n.alive]
+    return min(live, key=lambda n: (key.ring_distance(n.node_id), n.node_id.value))
+
+
+def make_overlay(count, seed=0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.01))
+    nodes = fast_build(sim, network, count)
+    apps = {}
+    for node in nodes:
+        app = Collector()
+        node.register_app("t", app)
+        apps[node.addr] = app
+    return sim, network, nodes, apps
+
+
+class TestMassChurn:
+    def test_routing_correct_with_a_third_of_nodes_dead(self):
+        sim, network, nodes, apps = make_overlay(45)
+        for node in nodes[::3]:
+            node.crash()
+        sim.run_for(120.0)  # leaf-set maintenance rounds
+        rng = sim.rng_for("probe")
+        live = [n for n in nodes if n.alive]
+        for _ in range(25):
+            key = random_guid(rng)
+            origin = live[rng.randrange(len(live))]
+            origin.route(key, "p", "t")
+            sim.run_for(30.0)
+            root = expected_root(nodes, key)
+            assert apps[root.addr].delivered, f"lost probe for {key!r}"
+            apps[root.addr].delivered.clear()
+
+    def test_sequential_crashes_between_probes(self):
+        sim, network, nodes, apps = make_overlay(30, seed=4)
+        rng = sim.rng_for("churny")
+        live = [n for n in nodes if n.alive]
+        for round_index in range(8):
+            victim = live.pop(rng.randrange(len(live)))
+            victim.crash()
+            sim.run_for(60.0)
+            key = random_guid(rng)
+            origin = live[rng.randrange(len(live))]
+            origin.route(key, round_index, "t")
+            sim.run_for(30.0)
+            root = expected_root(nodes, key)
+            assert apps[root.addr].delivered
+            apps[root.addr].delivered.clear()
+
+    def test_rejoin_after_crash_is_routable(self):
+        sim = Simulator(seed=6)
+        network = Network(sim, latency=FixedLatency(0.01))
+        nodes = build_overlay(sim, network, 10)
+        comeback = nodes[4]
+        comeback.crash()
+        sim.run_for(90.0)
+        comeback.recover()
+        comeback.joined = False
+        comeback.join(nodes[0].addr)
+        sim.run_for(60.0)
+        assert comeback.joined
+        # The returned node can both route and be routed to.
+        apps = {}
+        for node in nodes:
+            app = Collector()
+            node.register_app("t", app)
+            apps[node.addr] = app
+        key = comeback.node_id  # key exactly at the returned node
+        nodes[1].route(key, "welcome-back", "t")
+        sim.run_for(30.0)
+        assert apps[comeback.addr].delivered
+
+    def test_leaf_sets_purge_all_dead_nodes_eventually(self):
+        sim, network, nodes, apps = make_overlay(40, seed=9)
+        dead = set()
+        for node in nodes[::4]:
+            node.crash()
+            dead.add(node.node_id)
+        sim.run_for(300.0)
+        for node in nodes:
+            if not node.alive:
+                continue
+            for member in node.leaf_set.members():
+                assert member.guid not in dead
+
+    def test_storage_roots_move_to_successors(self):
+        """After the root of a key dies, the key's new root serves it."""
+        sim, network, nodes, apps = make_overlay(25, seed=11)
+        rng = sim.rng_for("keys")
+        key = random_guid(rng)
+        first_root = expected_root(nodes, key)
+        first_root.crash()
+        sim.run_for(90.0)
+        second_root = expected_root(nodes, key)
+        assert second_root is not first_root
+        origin = next(n for n in nodes if n.alive)
+        origin.route(key, "failover", "t")
+        sim.run_for(30.0)
+        assert apps[second_root.addr].delivered

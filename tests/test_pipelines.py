@@ -1,0 +1,300 @@
+"""Tests for pipeline components, buses, connectors, specs and assembly."""
+
+import pytest
+
+from repro.cingal import ThinServer
+from repro.events.filters import Filter, type_is
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.pipelines import (
+    Buffer,
+    ComponentSpec,
+    DedupFilter,
+    DeploymentAgent,
+    DistanceFilter,
+    EdgeSpec,
+    EventBus,
+    FunctionComponent,
+    PipelineSpec,
+    Probe,
+    RateLimiter,
+    RemoteSender,
+    SourceComponent,
+    ThresholdFilter,
+    TypeFilter,
+    deploy_pipeline,
+)
+from repro.simulation import Simulator
+from tests.helpers import run_until
+
+KEY = "pipe-key"
+
+
+def make_world(servers=2):
+    sim = Simulator(seed=0)
+    network = Network(sim, latency=FixedLatency(0.01))
+    thin = [
+        ThinServer(sim, network, Position(10.0 * i, 10.0 * i), KEY)
+        for i in range(servers)
+    ]
+    agent = DeploymentAgent(sim, network, Position(0, 0))
+    return sim, network, thin, agent
+
+
+class TestComponentBasics:
+    def test_connect_and_flow(self):
+        src = SourceComponent()
+        probe = Probe()
+        src.connect(probe)
+        src.inject(make_event("x"))
+        assert len(probe.events) == 1
+        assert src.events_out == 1
+        assert probe.events_in == 1
+
+    def test_function_component_transforms(self):
+        src = SourceComponent()
+        double = FunctionComponent(lambda e: e.with_attrs(v=e["v"] * 2))
+        probe = Probe()
+        src.connect(double).connect(probe)
+        src.inject(make_event("n", v=3))
+        assert probe.events[0]["v"] == 6
+
+    def test_function_component_can_drop(self):
+        drop_odd = FunctionComponent(lambda e: e if e["v"] % 2 == 0 else None)
+        probe = Probe()
+        drop_odd.connect(probe)
+        for v in range(4):
+            drop_odd.put(make_event("n", v=v))
+        assert [e["v"] for e in probe.events] == [0, 2]
+
+    def test_function_component_can_multiply(self):
+        split = FunctionComponent(lambda e: [e, e])
+        probe = Probe()
+        split.connect(probe)
+        split.put(make_event("x"))
+        assert len(probe.events) == 2
+
+    def test_disconnect(self):
+        src = SourceComponent()
+        probe = Probe()
+        src.connect(probe)
+        src.disconnect(probe)
+        src.inject(make_event("x"))
+        assert probe.events == []
+
+    def test_duplicate_connect_is_idempotent(self):
+        src = SourceComponent()
+        probe = Probe()
+        src.connect(probe)
+        src.connect(probe)
+        src.inject(make_event("x"))
+        assert len(probe.events) == 1
+
+
+class TestEventBus:
+    def test_filtered_subscription(self):
+        bus = EventBus()
+        weather, location = Probe("w"), Probe("l")
+        bus.subscribe(weather, Filter(type_is("weather")))
+        bus.subscribe(location, Filter(type_is("user-location")))
+        bus.put(make_event("weather", t=20.0))
+        bus.put(make_event("user-location", subject="bob", lat=1.0, lon=2.0))
+        assert len(weather.events) == 1
+        assert len(location.events) == 1
+
+    def test_unfiltered_subscriber_sees_all(self):
+        bus = EventBus()
+        everything = Probe()
+        bus.subscribe(everything)
+        bus.put(make_event("a"))
+        bus.put(make_event("b"))
+        assert len(everything.events) == 2
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        probe = Probe()
+        bus.subscribe(probe)
+        bus.unsubscribe(probe)
+        bus.put(make_event("a"))
+        assert probe.events == []
+
+    def test_downstream_connection_also_receives(self):
+        bus = EventBus()
+        probe = Probe()
+        bus.connect(probe)
+        bus.put(make_event("a"))
+        assert len(probe.events) == 1
+
+
+class TestFilters:
+    def test_type_filter(self):
+        f = TypeFilter({"weather"})
+        probe = Probe()
+        f.connect(probe)
+        f.put(make_event("weather"))
+        f.put(make_event("noise"))
+        assert len(probe.events) == 1
+
+    def test_threshold_filter_debounces_per_entity(self):
+        f = ThresholdFilter("temp", delta=1.0, key="area")
+        probe = Probe()
+        f.connect(probe)
+        f.put(make_event("w", area="a", temp=20.0))   # first: pass
+        f.put(make_event("w", area="a", temp=20.5))   # small move: drop
+        f.put(make_event("w", area="a", temp=21.5))   # big move: pass
+        f.put(make_event("w", area="b", temp=20.6))   # other entity: pass
+        assert [e["temp"] for e in probe.events] == [20.0, 21.5, 20.6]
+
+    def test_distance_filter(self):
+        """'Transmitting user-location events only when the distance moved
+        exceeds a certain threshold' (§4.2)."""
+        f = DistanceFilter(min_km=0.5)
+        probe = Probe()
+        f.connect(probe)
+        f.put(make_event("loc", subject="bob", lat=56.0, lon=-2.0))
+        f.put(make_event("loc", subject="bob", lat=56.001, lon=-2.0))  # ~110 m
+        f.put(make_event("loc", subject="bob", lat=56.01, lon=-2.0))   # ~1.1 km
+        assert len(probe.events) == 2
+
+    def test_dedup_filter_window(self):
+        sim = Simulator()
+        f = DedupFilter(sim, window=10.0)
+        probe = Probe()
+        f.connect(probe)
+        event = make_event("x", k=1)
+        f.put(event)
+        f.put(event)  # duplicate inside window
+        sim.run_for(11.0)
+        f.put(event)  # outside window again
+        assert len(probe.events) == 2
+
+    def test_rate_limiter(self):
+        sim = Simulator()
+        f = RateLimiter(sim, max_events=2, period=60.0)
+        probe = Probe()
+        f.connect(probe)
+        for i in range(5):
+            f.put(make_event("x", subject="bob", n=i))
+        assert len(probe.events) == 2
+        sim.run_for(61.0)
+        f.put(make_event("x", subject="bob", n=9))
+        assert len(probe.events) == 3
+
+    def test_buffer_flushes_on_interval(self):
+        sim = Simulator()
+        buffer = Buffer(sim, interval=5.0, max_items=100)
+        probe = Probe()
+        buffer.connect(probe)
+        buffer.put(make_event("x", n=1))
+        buffer.put(make_event("x", n=2))
+        assert probe.events == []
+        sim.run_for(6.0)
+        assert len(probe.events) == 2
+
+    def test_buffer_flushes_on_capacity(self):
+        sim = Simulator()
+        buffer = Buffer(sim, interval=1e9, max_items=3)
+        probe = Probe()
+        buffer.connect(probe)
+        for i in range(3):
+            buffer.put(make_event("x", n=i))
+        assert len(probe.events) == 3
+
+
+class TestRemoteConnector:
+    def test_event_crosses_nodes_as_xml(self):
+        sim, network, (a, b), agent = make_world()
+        probe = b.deploy_probe = b.deploy(
+            __import__("repro.cingal.bundle", fromlist=["make_bundle"]).make_bundle(
+                "sink", "probe", key=KEY
+            )
+        )
+        sender = RemoteSender(a, b.addr, "sink")
+        sender.put(make_event("weather", area="x", temp=19.5))
+        sim.run_for(1.0)
+        assert len(probe.events) == 1
+        assert probe.events[0]["temp"] == 19.5
+
+    def test_unknown_target_component_is_dropped(self):
+        sim, network, (a, b), agent = make_world()
+        sender = RemoteSender(a, b.addr, "ghost")
+        sender.put(make_event("x"))
+        sim.run_for(1.0)  # no crash, message ignored
+
+
+class TestSpecValidation:
+    def test_duplicate_names_rejected(self):
+        spec = PipelineSpec(
+            "p",
+            (ComponentSpec.make("a", "probe"), ComponentSpec.make("a", "probe")),
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_unknown_edge_target_rejected(self):
+        spec = PipelineSpec(
+            "p",
+            (ComponentSpec.make("a", "probe"),),
+            (EdgeSpec("a", "ghost"),),
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_component_lookup(self):
+        spec = PipelineSpec("p", (ComponentSpec.make("a", "probe"),))
+        assert spec.component("a").component == "probe"
+        with pytest.raises(KeyError):
+            spec.component("b")
+
+
+class TestAssembly:
+    def build_spec(self):
+        return PipelineSpec(
+            name="sensor-pipe",
+            components=(
+                ComponentSpec.make("entry", "source"),
+                ComponentSpec.make(
+                    "debounce", "filter.distance", params={"min_km": "0.1"}
+                ),
+                ComponentSpec.make("sink", "probe"),
+            ),
+            edges=(EdgeSpec("entry", "debounce"), EdgeSpec("debounce", "sink")),
+        )
+
+    def test_deploy_single_node_pipeline(self):
+        sim, network, (a, b), agent = make_world()
+        spec = self.build_spec()
+        placement = {"entry": a, "debounce": a, "sink": a}
+        process = deploy_pipeline(sim, agent, spec, placement, KEY)
+        assert run_until(sim, lambda: process.done, timeout=30.0)
+        assert process.result() == "sensor-pipe"
+        entry = a.components["entry"]
+        entry.put(make_event("loc", subject="bob", lat=56.0, lon=-2.0))
+        sim.run_for(1.0)
+        assert len(a.components["sink"].events) == 1
+
+    def test_deploy_pipeline_split_across_nodes(self):
+        """Figure 2: a pipeline distributed over two nodes."""
+        sim, network, (a, b), agent = make_world()
+        spec = self.build_spec()
+        placement = {"entry": a, "debounce": a, "sink": b}
+        process = deploy_pipeline(sim, agent, spec, placement, KEY)
+        assert run_until(sim, lambda: process.done, timeout=30.0)
+        a.components["entry"].put(
+            make_event("loc", subject="bob", lat=56.0, lon=-2.0)
+        )
+        sim.run_for(2.0)
+        assert len(b.components["sink"].events) == 1
+
+    def test_deploy_fails_on_bad_key(self):
+        sim, network, (a, b), agent = make_world()
+        spec = self.build_spec()
+        placement = {"entry": a, "debounce": a, "sink": a}
+        process = deploy_pipeline(sim, agent, spec, placement, "wrong-key")
+        assert run_until(sim, lambda: process.done, timeout=30.0)
+        assert process.exception is not None
+
+    def test_missing_placement_rejected_up_front(self):
+        sim, network, (a, b), agent = make_world()
+        with pytest.raises(ValueError):
+            deploy_pipeline(sim, agent, self.build_spec(), {"entry": a}, KEY)

@@ -1,0 +1,154 @@
+"""Unit tests for data placement policies and region mapping."""
+
+import pytest
+
+from repro.evolution.advertisement import region_of
+from repro.evolution.policies import (
+    BackupPolicy,
+    DiurnalPrefetchPolicy,
+    LatencyReductionPolicy,
+)
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.overlay import fast_build
+from repro.simulation import Simulator
+from repro.storage import StorageConfig, attach_storage
+from tests.helpers import resolve
+
+
+def make_world(seed=0, count=20):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.01))
+    nodes = fast_build(sim, network, count)
+    services = attach_storage(nodes, StorageConfig())
+    by_region: dict = {}
+    for service in services:
+        by_region.setdefault(region_of(service.node.position), []).append(service)
+    return sim, services, by_region
+
+
+class TestRegionOf:
+    def test_known_regions(self):
+        assert region_of(Position(56.34, -2.79)) == "scotland"
+        assert region_of(Position(48.85, 2.35)) == "europe"
+        assert region_of(Position(-33.87, 151.21)) == "australia"
+        assert region_of(Position(40.71, -74.0)) == "north-america"
+
+    def test_unknown_region_falls_back(self):
+        assert region_of(Position(-75.0, 0.0)) == "other"  # Antarctica
+
+
+class TestLatencyReductionPolicy:
+    def test_dwell_below_threshold_does_not_seed(self):
+        sim, services, by_region = make_world()
+        policy = LatencyReductionPolicy(sim, by_region, dwell_threshold_s=1000.0)
+        guid = resolve(sim, services[0].put(b"data"))
+        policy.register_user_data("bob", [guid])
+        fix = make_event("user-location", subject="bob", lat=-33.9, lon=151.2)
+        policy.on_event(fix)
+        sim.run_for(100.0)
+        policy.on_event(fix)
+        assert policy.actions == []
+
+    def test_region_change_resets_dwell(self):
+        sim, services, by_region = make_world()
+        policy = LatencyReductionPolicy(sim, by_region, dwell_threshold_s=300.0)
+        guid = resolve(sim, services[0].put(b"data"))
+        policy.register_user_data("bob", [guid])
+        sydney = make_event("user-location", subject="bob", lat=-33.9, lon=151.2)
+        paris = make_event("user-location", subject="bob", lat=48.85, lon=2.35)
+        policy.on_event(sydney)
+        sim.run_for(200.0)
+        policy.on_event(paris)  # moved: dwell restarts
+        sim.run_for(200.0)
+        policy.on_event(paris)  # only 200s in europe: below threshold
+        assert policy.actions == []
+        sim.run_for(150.0)
+        policy.on_event(paris)  # now 350s in europe
+        assert policy.actions
+
+    def test_seeds_once_per_user_region(self):
+        sim, services, by_region = make_world()
+        policy = LatencyReductionPolicy(sim, by_region, dwell_threshold_s=100.0)
+        guid = resolve(sim, services[0].put(b"data"))
+        policy.register_user_data("bob", [guid])
+        fix = make_event("user-location", subject="bob", lat=-33.9, lon=151.2)
+        policy.on_event(fix)
+        sim.run_for(150.0)
+        policy.on_event(fix)
+        first_actions = len(policy.actions)
+        sim.run_for(500.0)
+        policy.on_event(fix)  # still dwelling: no duplicate seeding
+        assert len(policy.actions) == first_actions
+
+    def test_reset_user_allows_reseeding(self):
+        sim, services, by_region = make_world()
+        policy = LatencyReductionPolicy(sim, by_region, dwell_threshold_s=100.0)
+        guid = resolve(sim, services[0].put(b"data"))
+        policy.register_user_data("bob", [guid])
+        fix = make_event("user-location", subject="bob", lat=-33.9, lon=151.2)
+        policy.on_event(fix)
+        sim.run_for(150.0)
+        policy.on_event(fix)
+        assert policy.actions
+        policy.reset_user("bob")
+        policy.on_event(fix)
+        sim.run_for(150.0)
+        policy.on_event(fix)
+        assert len(policy.actions) >= 2
+
+    def test_non_location_events_ignored(self):
+        sim, services, by_region = make_world()
+        policy = LatencyReductionPolicy(sim, by_region)
+        policy.on_event(make_event("weather", area="x", temperature_c=20.0,
+                                   lat=0.0, lon=0.0))
+        assert policy._dwell == {}
+
+
+class TestBackupPolicy:
+    def test_backup_chooses_remote_region(self):
+        sim, services, by_region = make_world()
+        policy = BackupPolicy(sim, by_region)
+        guid = resolve(sim, services[0].put(b"precious"))
+        remote = policy.backup(guid, origin_region="scotland")
+        assert remote is not None
+        assert region_of(remote.node.position) != "scotland"
+
+    def test_backup_records_action_after_fetch(self):
+        sim, services, by_region = make_world()
+        policy = BackupPolicy(sim, by_region)
+        guid = resolve(sim, services[0].put(b"precious"))
+        policy.backup(guid, origin_region="scotland")
+        sim.run_for(60.0)
+        assert policy.actions
+        assert policy.actions[0].reason == "backup"
+
+
+class TestDiurnalPrefetchPolicy:
+    def test_records_access_by_hour(self):
+        sim, services, by_region = make_world()
+        policy = DiurnalPrefetchPolicy(sim, by_region)
+        guid = resolve(sim, services[0].put(b"news"))
+        sim.run_for(9 * 3600.0 - sim.now)
+        policy.record_access(guid, "europe")
+        assert policy.history[(9, "europe")][guid] == 1
+
+    def test_prefetches_before_learned_hour(self):
+        sim, services, by_region = make_world()
+        policy = DiurnalPrefetchPolicy(sim, by_region, lead_time_s=600.0)
+        guid = resolve(sim, services[0].put(b"news"))
+        sim.run_for(9 * 3600.0 - sim.now)
+        policy.record_access(guid, "europe")
+        # Run past the next day's 08:50 prefetch point.
+        sim.run_for(24 * 3600.0)
+        assert policy.prefetches
+        assert all(a.reason == "diurnal:h9" for a in policy.prefetches)
+
+    def test_stop_halts_prefetching(self):
+        sim, services, by_region = make_world()
+        policy = DiurnalPrefetchPolicy(sim, by_region)
+        policy.stop()
+        guid = resolve(sim, services[0].put(b"news"))
+        policy.record_access(guid, "europe")
+        sim.run_for(2 * 86400.0)
+        assert policy.prefetches == []

@@ -1,0 +1,164 @@
+"""Tests for type projection vs type generation (claim C7)."""
+
+import pytest
+
+from repro.xmlkit import (
+    GenerationBindError,
+    ProjectionError,
+    XmlProjection,
+    bind_generated,
+    find_islands,
+    generate_type,
+    parse,
+    project,
+)
+
+
+class Location(XmlProjection):
+    __tag__ = "location"
+    user: str
+    lat: float
+    lon: float
+    accuracy: float = 10.0
+
+
+class Tag(XmlProjection):
+    __tag__ = "tag"
+    name: str
+
+
+class Profile(XmlProjection):
+    __tag__ = "profile"
+    user: str
+    home: Location
+    tags: list[Tag] = []
+
+
+BASE_DOC = '<location user="bob" lat="56.34" lon="-2.79"/>'
+EVOLVED_DOC = (
+    '<location user="bob" lat="56.34" lon="-2.79" heading="90" speed="1.2">'
+    "<provenance source='gps'/></location>"
+)
+
+
+class TestProjection:
+    def test_binds_from_attributes(self):
+        loc = project(Location, parse(BASE_DOC))
+        assert loc.user == "bob"
+        assert loc.lat == pytest.approx(56.34)
+        assert loc.accuracy == 10.0  # default
+
+    def test_binds_from_child_elements(self):
+        doc = parse(
+            "<location><user>anna</user><lat>1.0</lat><lon>2.0</lon></location>"
+        )
+        loc = project(Location, doc)
+        assert loc.user == "anna"
+        assert loc.lat == 1.0
+
+    def test_extra_fields_ignored(self):
+        """The heart of projection: evolution does not break binding."""
+        loc = project(Location, parse(EVOLVED_DOC))
+        assert loc.user == "bob"
+
+    def test_missing_required_field_raises(self):
+        with pytest.raises(ProjectionError):
+            project(Location, parse('<location user="bob" lat="1.0"/>'))
+
+    def test_wrong_tag_raises(self):
+        with pytest.raises(ProjectionError):
+            project(Location, parse('<loc user="b" lat="1" lon="2"/>'))
+
+    def test_type_conversion_failure_raises(self):
+        with pytest.raises(ProjectionError):
+            project(Location, parse('<location user="b" lat="abc" lon="2"/>'))
+
+    def test_bool_conversion(self):
+        class Flagged(XmlProjection):
+            __tag__ = "flagged"
+            on: bool
+
+        assert project(Flagged, parse('<flagged on="true"/>')).on is True
+        assert project(Flagged, parse('<flagged on="0"/>')).on is False
+        with pytest.raises(ProjectionError):
+            project(Flagged, parse('<flagged on="maybe"/>'))
+
+    def test_nested_projection(self):
+        doc = parse(
+            '<profile user="bob"><location user="bob" lat="1" lon="2"/></profile>'
+        )
+        profile = project(Profile, doc)
+        assert profile.home.lat == 1.0
+
+    def test_list_of_nested_projections(self):
+        doc = parse(
+            '<profile user="bob">'
+            '<location user="bob" lat="1" lon="2"/>'
+            '<tag name="walker"/><tag name="foodie"/>'
+            "</profile>"
+        )
+        profile = project(Profile, doc)
+        assert [t.name for t in profile.tags] == ["walker", "foodie"]
+
+    def test_scalar_list_field(self):
+        class Readings(XmlProjection):
+            __tag__ = "readings"
+            value: list[float]
+
+        doc = parse("<readings><value>1.5</value><value>2.5</value></readings>")
+        assert project(Readings, doc).value == [1.5, 2.5]
+
+    def test_island_search_in_loose_document(self):
+        """'Islands of structure' inside an untyped surrounding document."""
+        doc = parse(
+            "<feed><junk/><entry>"
+            '<location user="bob" lat="1" lon="2"/></entry>'
+            '<location user="anna" lat="3" lon="4"/>'
+            '<location missing="fields"/>'
+            "</feed>"
+        )
+        islands = find_islands(Location, doc)
+        assert sorted(i.user for i in islands) == ["anna", "bob"]
+
+    def test_default_tag_is_lowercased_class_name(self):
+        class Thing(XmlProjection):
+            x: int
+
+        assert Thing.__tag__ == "thing"
+
+    def test_equality(self):
+        a = project(Location, parse(BASE_DOC))
+        b = project(Location, parse(BASE_DOC))
+        assert a == b
+
+
+class TestGenerationBaseline:
+    def test_binds_exact_document(self):
+        doc = parse(BASE_DOC)
+        generated = generate_type(doc)
+        bound = bind_generated(generated, doc)
+        assert bound["attrs"]["user"] == "bob"
+
+    def test_new_attribute_breaks_binding(self):
+        generated = generate_type(parse(BASE_DOC))
+        with pytest.raises(GenerationBindError):
+            bind_generated(generated, parse(EVOLVED_DOC))
+
+    def test_new_child_breaks_binding(self):
+        doc = parse("<a><b/></a>")
+        generated = generate_type(doc)
+        with pytest.raises(GenerationBindError):
+            bind_generated(generated, parse("<a><b/><c/></a>"))
+
+    def test_reordered_children_break_binding(self):
+        generated = generate_type(parse("<a><b/><c/></a>"))
+        with pytest.raises(GenerationBindError):
+            bind_generated(generated, parse("<a><c/><b/></a>"))
+
+    def test_projection_survives_where_generation_breaks(self):
+        """C7 in miniature."""
+        generated = generate_type(parse(BASE_DOC))
+        evolved = parse(EVOLVED_DOC)
+        with pytest.raises(GenerationBindError):
+            bind_generated(generated, evolved)
+        assert project(Location, evolved).user == "bob"

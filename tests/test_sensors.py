@@ -1,0 +1,205 @@
+"""Tests for the simulated sensors, people and cities."""
+
+import pytest
+
+from repro.net.geo import Position, haversine_km
+from repro.sensors import (
+    City,
+    GpsSensor,
+    GsmCell,
+    Person,
+    Population,
+    RandomWaypoint,
+    RfidReader,
+    ScheduleDriven,
+    WeatherSensor,
+    make_st_andrews,
+    make_synthetic_city,
+)
+from repro.simulation import Simulator
+
+
+class TestCity:
+    def test_st_andrews_has_the_papers_landmarks(self):
+        city = make_st_andrews()
+        janettas = [p for p in city.places if p.name == "Janetta's"]
+        assert janettas and janettas[0].kind == "ice-cream-shop"
+        assert janettas[0].street == "Market Street"
+        assert janettas[0].hours.opens_s == 9 * 3600.0  # open 9.00-17.00
+        north = city.street_map.locate(Position(56.3412, -2.7952))
+        assert north.street == "North Street"
+
+    def test_nearest_place_by_kind(self):
+        city = make_st_andrews()
+        hit = city.nearest_place(Position(56.3400, -2.7945), kind="ice-cream-shop")
+        assert hit is not None
+        assert hit[1].name == "Janetta's"
+
+    def test_nearest_place_any_kind(self):
+        city = make_st_andrews()
+        assert city.nearest_place(Position(56.3410, -2.7960)) is not None
+
+    def test_synthetic_city_generation(self):
+        sim = Simulator(seed=5)
+        city = make_synthetic_city("testville", sim.rng_for("city"))
+        assert len(city.places) == 30
+        assert all(city.region.contains(p.position) or True for p in city.places)
+        # logical locations resolve inside the city
+        pos = city.random_position(sim.rng_for("probe"))
+        assert city.street_map.locate(pos).city == "testville"
+
+
+class TestMobilityModels:
+    def test_random_waypoint_moves_and_stays_in_city(self):
+        sim = Simulator(seed=2)
+        city = make_st_andrews()
+        model = RandomWaypoint(city, pause_s=0.0)
+        pos = city.random_position(sim.rng_for("start"))
+        rng = sim.rng_for("move")
+        start = pos
+        for _ in range(200):
+            pos = model.step(pos, 10.0, rng)
+        assert haversine_km(start, pos) > 0.0
+
+    def test_walking_speed_respected(self):
+        sim = Simulator(seed=2)
+        city = make_st_andrews()
+        model = RandomWaypoint(city, speed_kmh=4.8, pause_s=0.0)
+        rng = sim.rng_for("move")
+        pos = Position(56.3400, -2.7950)
+        nxt = model.step(pos, 60.0, rng)
+        assert haversine_km(pos, nxt) <= 4.8 / 60.0 + 1e-6
+
+    def test_schedule_driven_heads_to_appointment(self):
+        home = Position(56.3400, -2.7950)
+        work = Position(56.3440, -2.8000)
+        model = ScheduleDriven([(0.0, home), (9 * 3600.0, work)], speed_kmh=100.0)
+        rng = Simulator(seed=1).rng_for("x")
+        model.set_clock(10 * 3600.0)  # after 9:00, target is work
+        pos = home
+        for _ in range(100):
+            pos = model.step(pos, 60.0, rng)
+        assert haversine_km(pos, work) < 0.05
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleDriven([])
+
+
+class TestPopulation:
+    def test_people_move_on_cadence(self):
+        sim = Simulator(seed=4)
+        city = make_st_andrews()
+        population = Population(sim, step_interval_s=10.0)
+        person = Person(
+            "bob",
+            city.random_position(sim.rng_for("p")),
+            mobility=RandomWaypoint(city, pause_s=0.0),
+        )
+        population.add(person)
+        start = person.position
+        sim.run_for(600.0)
+        assert haversine_km(start, person.position) > 0.0
+
+    def test_duplicate_person_rejected(self):
+        sim = Simulator()
+        population = Population(sim)
+        population.add(Person("bob", Position(0, 0)))
+        with pytest.raises(ValueError):
+            population.add(Person("bob", Position(1, 1)))
+
+    def test_profile_facts(self):
+        person = Person(
+            "bob",
+            Position(0, 0),
+            nationality="scottish",
+            likes=["ice-cream"],
+            knows=["anna"],
+        )
+        facts = person.profile_facts()
+        predicates = {(f.predicate, f.object) for f in facts}
+        assert ("nationality", "scottish") in predicates
+        assert ("likes", "ice-cream") in predicates
+        assert ("knows", "anna") in predicates
+
+
+class TestDevices:
+    def test_gps_emits_location_fixes(self):
+        sim = Simulator(seed=1)
+        person = Person("bob", Position(56.34, -2.79))
+        sensor = GpsSensor(sim, person, period_s=30.0, noise_m=5.0)
+        events = []
+        sensor.add_sink(events.append)
+        sim.run_for(301.0)
+        assert 8 <= len(events) <= 12  # ~10 fixes with jitter
+        fix = events[0]
+        assert fix.event_type == "user-location"
+        assert fix["subject"] == "bob"
+        noisy = Position(float(fix["lat"]), float(fix["lon"]))
+        assert haversine_km(person.position, noisy) < 0.05
+
+    def test_weather_sensor_diurnal_curve(self):
+        sim = Simulator(seed=1)
+        sensor = WeatherSensor(
+            sim, "st-andrews", Position(56.34, -2.79), base_c=14.0, amplitude_c=6.0
+        )
+        afternoon = sensor.temperature_at(15 * 3600.0)
+        night = sensor.temperature_at(3 * 3600.0)
+        assert afternoon == pytest.approx(20.0, abs=0.1)  # peak at 15:00
+        assert night < 10.0
+
+    def test_weather_sensor_emits(self):
+        sim = Simulator(seed=1)
+        sensor = WeatherSensor(sim, "area", Position(0, 0), period_s=60.0)
+        events = []
+        sensor.add_sink(events.append)
+        sim.run_for(200.0)
+        assert events and events[0].event_type == "weather"
+        assert "temperature_c" in events[0]
+
+    def test_rfid_reader_sights_only_nearby(self):
+        sim = Simulator(seed=1)
+        population = Population(sim)
+        near = population.add(Person("near", Position(56.3400, -2.7940)))
+        population.add(Person("far", Position(56.3500, -2.7940)))
+        reader = RfidReader(
+            sim, "janettas-door", Position(56.3400, -2.7940), population, radius_m=30.0
+        )
+        events = []
+        reader.add_sink(events.append)
+        sim.run_for(30.0)
+        subjects = {e["subject"] for e in events}
+        assert subjects == {"near"}
+
+    def test_gsm_cell_reports_logical_location(self):
+        sim = Simulator(seed=1)
+        city = make_st_andrews()
+        population = Population(sim)
+        population.add(Person("bob", Position(56.3412, -2.7952)))
+        cell = GsmCell(
+            sim,
+            "standrews-1",
+            Position(56.34, -2.79),
+            population,
+            city.street_map,
+            radius_km=3.0,
+            period_s=60.0,
+        )
+        events = []
+        cell.add_sink(events.append)
+        sim.run_for(100.0)
+        assert events
+        assert events[0]["street"] == "North Street"
+        assert events[0]["cell"] == "standrews-1"
+
+    def test_stop_halts_emission(self):
+        sim = Simulator(seed=1)
+        person = Person("bob", Position(0, 0))
+        sensor = GpsSensor(sim, person, period_s=10.0)
+        events = []
+        sensor.add_sink(events.append)
+        sim.run_for(35.0)
+        sensor.stop()
+        count = len(events)
+        sim.run_for(100.0)
+        assert len(events) == count

@@ -1,0 +1,251 @@
+"""Unit tests for the three contextual services (engine-level, no network)."""
+
+import pytest
+
+from repro.events.model import make_event
+from repro.knowledge import Fact, KnowledgeBase
+from repro.matching import MatchingEngine
+from repro.net.geo import Position
+from repro.sensors import make_st_andrews
+from repro.services import (
+    IceCreamMeetupService,
+    RestaurantRecommendationService,
+    WeatherAlertService,
+)
+from repro.services.icecream import hot_threshold_for
+from repro.simulation import Simulator
+
+AFTERNOON = 16.75 * 3600.0  # 16:45, the paper's moment
+NORTH_STREET = Position(56.3412, -2.7952)
+ANNA_SPOT = Position(56.3397, -2.80753)  # the paper's coordinate for Anna
+SEAFOOD = Position(56.3430, -2.8010)
+
+
+def afternoon_sim():
+    sim = Simulator(seed=0)
+    sim.schedule(AFTERNOON, lambda: None)
+    sim.run()
+    return sim
+
+
+def base_kb():
+    kb = KnowledgeBase()
+    kb.add(Fact("bob", "likes", "ice-cream"))
+    kb.add(Fact("bob", "knows", "anna"))
+    kb.add(Fact("anna", "knows", "bob"))
+    kb.add(Fact("bob", "nationality", "scottish"))
+    kb.add(Fact("bob", "on-holiday", True))
+    kb.add(Fact("anna", "free-time", True))
+    return kb
+
+
+def icecream_engine(kb=None):
+    sim = afternoon_sim()
+    service = IceCreamMeetupService(make_st_andrews())
+    engine = MatchingEngine(sim, kb or base_kb(), service.build_rules({}))
+    return sim, engine
+
+
+def feed_scenario(engine, temp_c=20.0, bob_pos=NORTH_STREET, anna_pos=ANNA_SPOT):
+    now = engine.sim.now
+    out = []
+    out += engine.ingest(
+        make_event("user-location", time=now, subject="bob",
+                   lat=bob_pos.lat, lon=bob_pos.lon, mode="foot")
+    )
+    out += engine.ingest(
+        make_event("user-location", time=now, subject="anna",
+                   lat=anna_pos.lat, lon=anna_pos.lon, mode="foot")
+    )
+    out += engine.ingest(
+        make_event("weather", time=now, area="st-andrews",
+                   lat=56.34, lon=-2.79, temperature_c=temp_c)
+    )
+    return out
+
+
+class TestIceCreamMeetup:
+    def test_the_papers_correlation_fires(self):
+        """20C + Scottish Bob + friend Anna + open Janetta's => suggestion."""
+        sim, engine = icecream_engine()
+        out = feed_scenario(engine, temp_c=20.0)
+        assert len(out) == 2
+        users = {e["user"] for e in out}
+        assert users == {"bob", "anna"}
+        assert all(e["place"] == "Janetta's" for e in out)
+        assert all(e["street"] == "Market Street" for e in out)
+
+    def test_meet_time_is_before_closing(self):
+        sim, engine = icecream_engine()
+        out = feed_scenario(engine, temp_c=20.0)
+        closes = 17 * 3600.0
+        assert all(float(e["meet_at"]) < closes for e in out)
+
+    def test_20c_is_not_hot_for_non_scots(self):
+        kb = base_kb()
+        kb.retract("bob", "nationality")
+        kb.add(Fact("bob", "nationality", "italian"))
+        sim, engine = icecream_engine(kb)
+        assert feed_scenario(engine, temp_c=20.0) == []
+        assert feed_scenario(engine, temp_c=26.0) != []
+
+    def test_cold_day_no_suggestion(self):
+        sim, engine = icecream_engine()
+        assert feed_scenario(engine, temp_c=12.0) == []
+
+    def test_no_friendship_no_suggestion(self):
+        kb = base_kb()
+        kb.retract("bob", "knows")
+        kb.retract("anna", "knows")
+        sim, engine = icecream_engine(kb)
+        assert feed_scenario(engine) == []
+
+    def test_no_spare_time_no_suggestion(self):
+        """'...but only when ... he has spare time to eat it.'"""
+        kb = base_kb()
+        kb.retract("bob", "on-holiday")
+        kb.retract("anna", "free-time")
+        sim, engine = icecream_engine(kb)
+        assert feed_scenario(engine) == []
+
+    def test_shop_closed_no_suggestion(self):
+        sim = Simulator(seed=0)
+        evening = 18.5 * 3600.0  # Janetta's shut at 17:00
+        sim.schedule(evening, lambda: None)
+        sim.run()
+        service = IceCreamMeetupService(make_st_andrews())
+        engine = MatchingEngine(sim, base_kb(), service.build_rules({}))
+        assert feed_scenario(engine, temp_c=22.0) == []
+
+    def test_too_far_away_no_suggestion(self):
+        sim, engine = icecream_engine()
+        dundee = Position(56.462, -2.971)  # ~30 min drive away
+        assert feed_scenario(engine, temp_c=20.0, bob_pos=dundee) == []
+
+    def test_cooldown_prevents_suggestion_storm(self):
+        sim, engine = icecream_engine()
+        assert len(feed_scenario(engine, temp_c=20.0)) == 2
+        sim.run_for(60.0)
+        assert feed_scenario(engine, temp_c=20.0) == []  # within cooldown
+
+    def test_hot_threshold_table(self):
+        assert hot_threshold_for("scottish") == 20.0
+        assert hot_threshold_for("SCOTTISH") == 20.0
+        assert hot_threshold_for("italian") == 25.0
+        assert hot_threshold_for("") == 25.0
+
+    def test_remote_weather_reading_rejected(self):
+        """A hot reading from another city must not trigger the meetup."""
+        sim, engine = icecream_engine()
+        now = sim.now
+        engine.ingest(make_event("user-location", time=now, subject="bob",
+                                 lat=NORTH_STREET.lat, lon=NORTH_STREET.lon, mode="foot"))
+        engine.ingest(make_event("user-location", time=now, subject="anna",
+                                 lat=ANNA_SPOT.lat, lon=ANNA_SPOT.lon, mode="foot"))
+        out = engine.ingest(make_event("weather", time=now, area="sydney",
+                                       lat=-33.9, lon=151.2, temperature_c=30.0))
+        assert out == []
+
+
+class TestRestaurantRecommendation:
+    def make_engine(self, hour=19.0, staying_days=0):
+        sim = Simulator(seed=0)
+        sim.schedule(hour * 3600.0, lambda: None)
+        sim.run()
+        kb = KnowledgeBase()
+        kb.add(Fact("bob", "knows", "anna"))
+        kb.add(Fact("The Seafood Ristorante", "recommended-by", "anna"))
+        kb.add(
+            Fact("The Seafood Ristorante", "opinion-of:anna", "best langoustines ever")
+        )
+        if staying_days:
+            kb.add(Fact("bob", "staying-days", staying_days))
+        service = RestaurantRecommendationService([make_st_andrews()])
+        engine = MatchingEngine(sim, kb, service.build_rules({}))
+        return sim, engine
+
+    def walk_past(self, engine):
+        return engine.ingest(
+            make_event("user-location", time=engine.sim.now, subject="bob",
+                       lat=SEAFOOD.lat, lon=SEAFOOD.lon, mode="foot")
+        )
+
+    def test_dinner_time_walk_past_delivers_opinion(self):
+        sim, engine = self.make_engine(hour=19.0)
+        out = self.walk_past(engine)
+        assert len(out) == 1
+        assert out[0]["recommended_by"] == "anna"
+        assert out[0]["opinion"] == "best langoustines ever"
+
+    def test_not_dinner_time_and_not_staying_suppressed(self):
+        sim, engine = self.make_engine(hour=10.0)
+        assert self.walk_past(engine) == []
+
+    def test_staying_a_few_days_overrides_time_of_day(self):
+        """'...or if he is staying a few more days in the area.'"""
+        sim, engine = self.make_engine(hour=10.0, staying_days=4)
+        assert len(self.walk_past(engine)) == 1
+
+    def test_dinner_plans_suppress(self):
+        sim, engine = self.make_engine(hour=19.0)
+        engine.kb.add(Fact("bob", "dinner-plans", True))
+        assert self.walk_past(engine) == []
+
+    def test_unrecommended_restaurant_ignored(self):
+        sim, engine = self.make_engine(hour=19.0)
+        engine.kb.retract("The Seafood Ristorante", "recommended-by")
+        assert self.walk_past(engine) == []
+
+    def test_stranger_recommendation_ignored(self):
+        sim, engine = self.make_engine(hour=19.0)
+        engine.kb.retract("The Seafood Ristorante", "recommended-by")
+        engine.kb.add(Fact("The Seafood Ristorante", "recommended-by", "stranger"))
+        assert self.walk_past(engine) == []
+
+    def test_far_from_restaurant_ignored(self):
+        sim, engine = self.make_engine(hour=19.0)
+        out = engine.ingest(
+            make_event("user-location", time=sim.now, subject="bob",
+                       lat=56.30, lon=-2.90, mode="foot")
+        )
+        assert out == []
+
+
+class TestWeatherAlert:
+    def make_engine(self):
+        sim = Simulator(seed=0)
+        kb = KnowledgeBase()
+        kb.add(Fact("bob", "alert-temp-above", 25.0))
+        service = WeatherAlertService()
+        engine = MatchingEngine(sim, kb, service.build_rules({}))
+        return sim, engine
+
+    def feed(self, engine, temp, user_lat=56.34, user_lon=-2.79):
+        engine.ingest(
+            make_event("user-location", time=engine.sim.now, subject="bob",
+                       lat=user_lat, lon=user_lon)
+        )
+        return engine.ingest(
+            make_event("weather", time=engine.sim.now, area="st-andrews",
+                       lat=56.34, lon=-2.79, temperature_c=temp)
+        )
+
+    def test_alert_fires_above_threshold(self):
+        sim, engine = self.make_engine()
+        out = self.feed(engine, 27.0)
+        assert len(out) == 1
+        assert out[0]["user"] == "bob"
+        assert out[0]["temperature_c"] == 27.0
+
+    def test_below_threshold_silent(self):
+        sim, engine = self.make_engine()
+        assert self.feed(engine, 20.0) == []
+
+    def test_user_without_threshold_silent(self):
+        sim, engine = self.make_engine()
+        engine.kb.retract("bob", "alert-temp-above")
+        assert self.feed(engine, 30.0) == []
+
+    def test_user_elsewhere_not_alerted(self):
+        sim, engine = self.make_engine()
+        assert self.feed(engine, 30.0, user_lat=-33.9, user_lon=151.2) == []

@@ -1,0 +1,248 @@
+"""Unit tests for the discrete-event kernel, futures, processes, periodics."""
+
+import pytest
+
+from repro.simulation import Future, FutureError, PeriodicTask, Simulator, spawn
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, seen.append, "c")
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        seen = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, seen.append, tag)
+        sim.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(10.0, seen.append, "late")
+        sim.run(until=5.0)
+        assert seen == ["early"]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_for_is_relative(self):
+        sim = Simulator()
+        sim.run_for(4.0)
+        assert sim.now == 4.0
+        sim.run_for(2.0)
+        assert sim.now == 6.0
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(1.0, seen.append, "x")
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run(max_events=4) == 4
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        def outer():
+            seen.append(sim.now)
+            if sim.now < 3:
+                sim.schedule(1.0, outer)
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_named_rngs_are_deterministic_and_independent(self):
+        a1 = Simulator(seed=7).rng_for("alpha").random()
+        a2 = Simulator(seed=7).rng_for("alpha").random()
+        b = Simulator(seed=7).rng_for("beta").random()
+        assert a1 == a2
+        assert a1 != b
+
+    def test_named_rng_independent_of_creation_order(self):
+        sim1 = Simulator(seed=3)
+        sim1.rng_for("x")
+        v1 = sim1.rng_for("y").random()
+        sim2 = Simulator(seed=3)
+        v2 = sim2.rng_for("y").random()
+        assert v1 == v2
+
+
+class TestFuture:
+    def test_result_roundtrip(self):
+        fut = Future()
+        assert not fut.done
+        fut.set_result(42)
+        assert fut.done
+        assert fut.result() == 42
+
+    def test_exception_raised_on_result(self):
+        fut = Future.failed(ValueError("boom"))
+        with pytest.raises(ValueError):
+            fut.result()
+
+    def test_double_set_rejected(self):
+        fut = Future.completed(1)
+        with pytest.raises(FutureError):
+            fut.set_result(2)
+
+    def test_result_before_done_rejected(self):
+        with pytest.raises(FutureError):
+            Future().result()
+
+    def test_callback_after_completion_fires_immediately(self):
+        fut = Future.completed("x")
+        seen = []
+        fut.add_callback(lambda f: seen.append(f.result()))
+        assert seen == ["x"]
+
+    def test_callbacks_fire_once_on_completion(self):
+        fut = Future()
+        seen = []
+        fut.add_callback(lambda f: seen.append(f.result()))
+        fut.add_callback(lambda f: seen.append(f.result()))
+        fut.set_result(5)
+        assert seen == [5, 5]
+
+
+class TestProcess:
+    def test_sleep_and_return(self):
+        sim = Simulator()
+        def proc():
+            yield 2.0
+            yield 3.0
+            return sim.now
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.result() == 5.0
+
+    def test_wait_on_future(self):
+        sim = Simulator()
+        fut = Future()
+        sim.schedule(4.0, fut.set_result, "ready")
+        def proc():
+            value = yield fut
+            return (value, sim.now)
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.result() == ("ready", 4.0)
+
+    def test_future_exception_thrown_into_process(self):
+        sim = Simulator()
+        fut = Future()
+        sim.schedule(1.0, fut.set_exception, KeyError("missing"))
+        def proc():
+            try:
+                yield fut
+            except KeyError:
+                return "caught"
+            return "not caught"
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.result() == "caught"
+
+    def test_uncaught_exception_fails_the_process(self):
+        sim = Simulator()
+        def proc():
+            yield 1.0
+            raise RuntimeError("died")
+        p = spawn(sim, proc())
+        sim.run()
+        assert isinstance(p.exception, RuntimeError)
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+        def inner():
+            yield 2.0
+            return "inner-done"
+        def outer():
+            result = yield spawn(sim, inner())
+            return result
+        p = spawn(sim, outer())
+        sim.run()
+        assert p.result() == "inner-done"
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulator()
+        def proc():
+            yield "nonsense"
+        p = spawn(sim, proc())
+        sim.run()
+        assert isinstance(p.exception, TypeError)
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 2.0, lambda: times.append(sim.now))
+        sim.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        count = []
+        task = PeriodicTask(sim, 1.0, lambda: count.append(1))
+        sim.run(until=3.5)
+        task.stop()
+        sim.run(until=10.0)
+        assert len(count) == 3
+        assert not task.running
+
+    def test_start_delay_override(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 5.0, lambda: times.append(sim.now), start_delay=1.0)
+        sim.run(until=7.0)
+        assert times == [1.0, 6.0]
+
+    def test_jitter_bounds(self):
+        sim = Simulator(seed=1)
+        times = []
+        PeriodicTask(sim, 10.0, lambda: times.append(sim.now), jitter=0.3)
+        sim.run(until=100.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(7.0 <= gap <= 13.0 for gap in gaps)
+        assert len(set(gaps)) > 1  # actually jittered
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 1.0, lambda: None, jitter=1.5)

@@ -1,0 +1,240 @@
+"""Tests for the distributed storage service: put/get, caching, self-healing."""
+
+import pytest
+
+from repro.ids import guid_from_content, random_guid
+from repro.net import FixedLatency, Network
+from repro.overlay import fast_build
+from repro.simulation import Simulator
+from repro.storage import (
+    LruCache,
+    PrimaryStore,
+    StorageConfig,
+    StorageService,
+    attach_storage,
+    count_replicas,
+)
+from repro.storage.maintenance import cache_copies
+from tests.helpers import resolve, resolve_error, run_until
+
+
+def make_storage(count=20, seed=0, config=None):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency=FixedLatency(0.01))
+    nodes = fast_build(sim, network, count)
+    services = attach_storage(nodes, config or StorageConfig())
+    return sim, network, nodes, services
+
+
+class TestLocalStores:
+    def test_primary_put_get(self):
+        store = PrimaryStore()
+        guid = guid_from_content(b"x")
+        store.put(guid, b"x", now=1.0)
+        assert store.get(guid).data == b"x"
+        assert guid in store
+        assert store.bytes_used == 1
+
+    def test_primary_versioning(self):
+        store = PrimaryStore()
+        guid = guid_from_content(b"x")
+        assert store.put(guid, b"x", 0.0).version == 0
+        assert store.put(guid, b"y", 1.0).version == 1
+
+    def test_primary_remove(self):
+        store = PrimaryStore()
+        guid = guid_from_content(b"x")
+        store.put(guid, b"x", 0.0)
+        assert store.remove(guid)
+        assert not store.remove(guid)
+
+    def test_cache_lru_eviction(self):
+        cache = LruCache(capacity_bytes=10)
+        a, b, c = (guid_from_content(bytes([i])) for i in range(3))
+        cache.put(a, b"aaaa", 0.0)
+        cache.put(b, b"bbbb", 0.0)
+        cache.get(a, 0.0)  # touch a so b is LRU
+        cache.put(c, b"cccc", 0.0)
+        assert a in cache
+        assert b not in cache
+        assert c in cache
+
+    def test_cache_ttl_expiry(self):
+        cache = LruCache(capacity_bytes=100, ttl=5.0)
+        guid = guid_from_content(b"x")
+        cache.put(guid, b"x", now=0.0)
+        assert cache.get(guid, now=4.0) == b"x"
+        assert cache.get(guid, now=6.0) is None
+
+    def test_cache_rejects_oversized(self):
+        cache = LruCache(capacity_bytes=4)
+        guid = guid_from_content(b"large")
+        cache.put(guid, b"too large", 0.0)
+        assert guid not in cache
+
+    def test_cache_hit_miss_counters(self):
+        cache = LruCache(capacity_bytes=100)
+        guid = guid_from_content(b"x")
+        cache.get(guid, 0.0)
+        cache.put(guid, b"x", 0.0)
+        cache.get(guid, 0.0)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_cache_invalidate(self):
+        cache = LruCache(capacity_bytes=100)
+        guid = guid_from_content(b"x")
+        cache.put(guid, b"x", 0.0)
+        cache.invalidate(guid)
+        assert guid not in cache
+        assert cache.bytes_used == 0
+
+
+class TestStorageService:
+    def test_put_then_get_roundtrip(self):
+        sim, network, nodes, services = make_storage()
+        data = b"contextual knowledge item"
+        guid = resolve(sim, services[0].put(data))
+        assert guid == guid_from_content(data)
+        fetched = resolve(sim, services[7].get(guid))
+        assert fetched == data
+
+    def test_put_creates_k_replicas(self):
+        sim, network, nodes, services = make_storage(config=StorageConfig(replicas=3))
+        guid = resolve(sim, services[2].put(b"replicated"))
+        sim.run_for(5.0)
+        assert count_replicas(services, guid) == 3
+
+    def test_get_missing_object_fails(self):
+        sim, network, nodes, services = make_storage()
+        missing = random_guid(sim.rng_for("missing"))
+        error = resolve_error(sim, services[0].get(missing))
+        assert isinstance(error, KeyError)
+
+    def test_local_hit_completes_synchronously(self):
+        sim, network, nodes, services = make_storage()
+        data = b"local data"
+        guid = resolve(sim, services[0].put(data))
+        root = next(s for s in services if guid in s.primary)
+        fut = root.get(guid)
+        assert fut.done and fut.result() == data
+        assert root.stats.local_hits == 1
+
+    def test_reader_caches_fetched_data(self):
+        sim, network, nodes, services = make_storage()
+        data = b"cache me"
+        guid = resolve(sim, services[0].put(data))
+        reader = next(s for s in services if guid not in s.primary)
+        resolve(sim, reader.get(guid))
+        assert guid in reader.cache
+
+    def test_promiscuous_caching_spreads_copies(self):
+        sim, network, nodes, services = make_storage(count=40)
+        data = b"popular item"
+        guid = resolve(sim, services[0].put(data))
+        for service in services[1:20]:
+            resolve(sim, service.get(guid))
+        assert cache_copies(services, guid) > 5
+
+    def test_cache_answers_reduce_latency_on_repeat_reads(self):
+        sim, network, nodes, services = make_storage(count=40)
+        data = b"hot object"
+        guid = resolve(sim, services[0].put(data))
+        reader = next(s for s in services if guid not in s.primary)
+        resolve(sim, reader.get(guid))
+        first = reader.stats.get_latencies[-1]
+        resolve(sim, reader.get(guid))
+        second = reader.stats.get_latencies[-1]
+        assert second <= first
+
+    def test_named_put(self):
+        sim, network, nodes, services = make_storage()
+        from repro.ids import guid_from_name
+        guid = guid_from_name("bob-profile")
+        stored = resolve(sim, services[0].put_named(guid, b"profile-v1"))
+        assert stored == guid
+        assert resolve(sim, services[5].get(guid)) == b"profile-v1"
+
+    def test_overwrite_under_same_name(self):
+        sim, network, nodes, services = make_storage()
+        from repro.ids import guid_from_name
+        guid = guid_from_name("mutable")
+        resolve(sim, services[0].put_named(guid, b"v1"))
+        resolve(sim, services[0].put_named(guid, b"v2"))
+        sim.run_for(120.0)  # let audits push the newer version around
+        assert resolve(sim, services[9].get(guid)) == b"v2"
+
+
+class TestSelfHealing:
+    def test_replicas_restored_after_crash(self):
+        config = StorageConfig(replicas=3, audit_interval=10.0)
+        sim, network, nodes, services = make_storage(count=25, config=config)
+        guid = resolve(sim, services[0].put(b"precious"))
+        sim.run_for(5.0)
+        holders_before = [s for s in services if guid in s.primary]
+        assert len(holders_before) == 3
+        holders_before[0].node.crash()
+        sim.run_for(60.0)  # audits + leaf set maintenance repair the loss
+        assert count_replicas(services, guid) >= 3
+
+    def test_data_survives_majority_of_replica_loss(self):
+        config = StorageConfig(replicas=3, audit_interval=10.0)
+        sim, network, nodes, services = make_storage(count=25, config=config)
+        data = b"survivor"
+        guid = resolve(sim, services[0].put(data))
+        sim.run_for(5.0)
+        holders_now = [s for s in services if guid in s.primary]
+        for victim in holders_now[:2]:
+            victim.node.crash()
+        sim.run_for(90.0)
+        alive_reader = next(
+            s for s in services if s.node.alive and guid not in s.primary
+        )
+        assert resolve(sim, alive_reader.get(guid)) == data
+
+    def test_audit_converges_replica_set_to_k(self):
+        config = StorageConfig(replicas=3, audit_interval=5.0)
+        sim, network, nodes, services = make_storage(count=30, config=config)
+        guid = resolve(sim, services[0].put(b"converge"))
+        sim.run_for(60.0)
+        assert count_replicas(services, guid) == 3
+
+
+class TestErasureStorage:
+    def test_erasure_roundtrip(self):
+        sim, network, nodes, services = make_storage(count=25)
+        data = b"erasure coded blob " * 10
+        base = resolve(sim, services[0].put_erasure(data, k=3, n=6))
+        assert resolve(sim, services[12].get_erasure(base, n=6)) == data
+
+    def test_erasure_survives_fragment_loss(self):
+        config = StorageConfig(replicas=1, audit_interval=1e6)  # no healing
+        sim, network, nodes, services = make_storage(count=25, config=config)
+        data = b"fragile but coded"
+        base = resolve(sim, services[0].put_erasure(data, k=2, n=5))
+        # Destroy up to n-k fragment holders outright.
+        killed = 0
+        for index in range(5):
+            frag_guid = StorageService.fragment_guid(base, index)
+            for service in services:
+                if frag_guid in service.primary and killed < 3:
+                    service.node.crash()
+                    killed += 1
+                    break
+        reader = next(s for s in services if s.node.alive)
+        assert resolve(sim, reader.get_erasure(base, n=5)) == data
+
+
+class TestTimeouts:
+    def test_timeout_fails_after_retries(self):
+        config = StorageConfig(request_timeout=1.0, max_retries=1)
+        sim, network, nodes, services = make_storage(count=10, config=config)
+        data = b"unreachable"
+        guid = resolve(sim, services[0].put(data))
+        # Partition the requester away from everyone else.
+        requester = services[1]
+        network.set_partition([{requester.node.addr}])
+        outcomes = []
+        requester.get(guid).add_callback(lambda f: outcomes.append(f.exception))
+        sim.run_for(10.0)
+        assert outcomes and isinstance(outcomes[0], (TimeoutError, KeyError))

@@ -1,0 +1,95 @@
+"""Property-based tests on the time-window buffer (core CEP invariants)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.model import Notification, make_event
+from repro.matching.window import TimeWindowBuffer
+
+# A random stream: (arrival-time gaps, subject ids).
+streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        st.integers(0, 5),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def replay(stream, window_s=30.0, max_items=16):
+    buffer = TimeWindowBuffer(window_s, max_items=max_items)
+    now = 0.0
+    timeline = []
+    for gap, subject in stream:
+        now += gap
+        event = make_event("ping", time=now, subject=f"s{subject}")
+        buffer.add(now, event)
+        timeline.append((now, event))
+    return buffer, now, timeline
+
+
+class TestWindowProperties:
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_recent_only_contains_window_events(self, stream):
+        buffer, now, timeline = replay(stream)
+        cutoff = now - buffer.window_s
+        for event in buffer.recent(now):
+            assert float(event["time"]) >= cutoff
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_recent_is_newest_first(self, stream):
+        buffer, now, _ = replay(stream)
+        times = [float(e["time"]) for e in buffer.recent(now)]
+        assert times == sorted(times, reverse=True)
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_recent_bounded_by_max_items(self, stream):
+        buffer, now, _ = replay(stream, max_items=8)
+        assert len(buffer.recent(now)) <= 8
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_has_one_head_per_subject(self, stream):
+        buffer, now, _ = replay(stream)
+        heads = buffer.recent_distinct(now)
+        subjects = [e["subject"] for e in heads]
+        assert len(subjects) == len(set(subjects))
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_head_is_the_subjects_newest_in_window(self, stream):
+        buffer, now, timeline = replay(stream)
+        cutoff = now - buffer.window_s
+        expected = {}
+        for time, event in timeline:
+            if time >= cutoff:
+                expected[event["subject"]] = time  # later entries overwrite
+        heads = {e["subject"]: float(e["time"]) for e in buffer.recent_distinct(now)}
+        assert heads == expected
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_survives_flooding_by_other_subjects(self, stream):
+        """A quiet subject's head must not be evicted by a flood (the E9
+        property, as an invariant)."""
+        buffer = TimeWindowBuffer(1000.0, max_items=8)
+        buffer.add(0.0, make_event("ping", time=0.0, subject="quiet"))
+        now = 0.0
+        for gap, subject in stream:
+            now += gap
+            buffer.add(now, make_event("ping", time=now, subject=f"loud{subject}"))
+        if now - 1000.0 <= 0.0:  # still inside the window
+            heads = {e["subject"] for e in buffer.recent_distinct(now)}
+            assert "quiet" in heads
+
+    @given(streams, st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_limit_truncates_newest_first(self, stream, limit):
+        buffer, now, _ = replay(stream)
+        full = buffer.recent_distinct(now)
+        limited = buffer.recent_distinct(now, limit=limit)
+        assert limited == full[:limit]

@@ -1,0 +1,201 @@
+"""Tests for the XML model, parser, writer, paths and event codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.model import Notification, make_event
+from repro.xmlkit import (
+    XmlElement,
+    XmlParseError,
+    find,
+    find_all,
+    notification_from_xml,
+    notification_to_xml,
+    parse,
+    to_string,
+)
+
+
+class TestModel:
+    def test_children_and_text(self):
+        root = XmlElement("a")
+        b = root.add_child(XmlElement("b", {"k": "v"}))
+        assert root.child("b") is b
+        assert root.child("missing") is None
+        assert b.get("k") == "v"
+        assert b.get("missing", "d") == "d"
+
+    def test_children_by_tag(self):
+        root = XmlElement("list")
+        for _ in range(3):
+            root.add_child(XmlElement("item"))
+        root.add_child(XmlElement("other"))
+        assert len(root.children_by_tag("item")) == 3
+
+    def test_iter_is_depth_first(self):
+        root = XmlElement("a")
+        b = root.add_child(XmlElement("b"))
+        b.add_child(XmlElement("c"))
+        root.add_child(XmlElement("d"))
+        assert [e.tag for e in root.iter()] == ["a", "b", "c", "d"]
+
+    def test_invalid_tag_rejected(self):
+        with pytest.raises(ValueError):
+            XmlElement("9bad")
+        with pytest.raises(ValueError):
+            XmlElement("")
+
+
+class TestParser:
+    def test_simple_document(self):
+        root = parse('<root a="1"><child>text</child></root>')
+        assert root.tag == "root"
+        assert root.attrs == {"a": "1"}
+        assert root.child("child").text == "text"
+
+    def test_self_closing(self):
+        root = parse("<a><b/><c x='2'/></a>")
+        assert [c.tag for c in root.children] == ["b", "c"]
+        assert root.child("c").attrs["x"] == "2"
+
+    def test_entities(self):
+        root = parse("<a>&lt;tag&gt; &amp; &quot;quote&quot; &#65;&#x42;</a>")
+        assert root.text == '<tag> & "quote" AB'
+
+    def test_entities_in_attributes(self):
+        root = parse('<a title="a &amp; b"/>')
+        assert root.attrs["title"] == "a & b"
+
+    def test_cdata(self):
+        root = parse("<a><![CDATA[<not-xml> & raw]]></a>")
+        assert root.text == "<not-xml> & raw"
+
+    def test_comments_skipped(self):
+        root = parse("<!-- head --><a><!-- inner -->x</a><!-- tail -->")
+        assert root.text == "x"
+
+    def test_prolog_and_doctype_skipped(self):
+        root = parse('<?xml version="1.0"?><!DOCTYPE a><a/>')
+        assert root.tag == "a"
+
+    def test_mismatched_tags_error(self):
+        with pytest.raises(XmlParseError):
+            parse("<a><b></a></b>")
+
+    def test_unterminated_error_has_position(self):
+        with pytest.raises(XmlParseError) as err:
+            parse("<a><b>")
+        assert "line" in str(err.value)
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a/><b/>")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse('<a x="1" x="2"/>')
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a>&nope;</a>")
+
+    def test_nested_structure(self):
+        text = "<p><q><r deep='yes'>core</r></q></p>"
+        root = parse(text)
+        assert root.child("q").child("r").text == "core"
+
+
+class TestWriterRoundtrip:
+    def test_roundtrip_simple(self):
+        root = XmlElement("a", {"x": "1"})
+        root.add_child(XmlElement("b", text="hello & <world>"))
+        reparsed = parse(to_string(root))
+        assert reparsed == root
+
+    def test_pretty_print_contains_newlines(self):
+        root = XmlElement("a")
+        root.add_child(XmlElement("b"))
+        assert "\n" in to_string(root, indent=2)
+        assert parse(to_string(root, indent=2)) == root
+
+    @given(
+        text=st.text(
+            alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=40
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_text_escaping_roundtrip(self, text):
+        root = XmlElement("t", text=text)
+        assert parse(to_string(root)).text.strip() == text.strip()
+
+    @given(value=st.text(alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_attribute_escaping_roundtrip(self, value):
+        root = XmlElement("t", {"a": value})
+        assert parse(to_string(root)).attrs["a"] == value
+
+
+class TestPath:
+    def setup_method(self):
+        self.doc = parse(
+            """
+            <bundle name="b1">
+              <params>
+                <param name="rules" value="r1"/>
+                <param name="window" value="300"/>
+              </params>
+              <data><event type="weather"/></data>
+              <nested><param name="deep" value="x"/></nested>
+            </bundle>
+            """
+        )
+
+    def test_child_path(self):
+        assert find(self.doc, "params").tag == "params"
+        assert find(self.doc, "data/event").attrs["type"] == "weather"
+
+    def test_attribute_predicate(self):
+        hit = find(self.doc, "params/param[@name='window']")
+        assert hit.attrs["value"] == "300"
+
+    def test_positional_predicate(self):
+        assert find(self.doc, "params/param[2]").attrs["name"] == "window"
+        assert find(self.doc, "params/param[3]") is None
+
+    def test_wildcard(self):
+        assert len(find_all(self.doc, "*/param")) == 3
+
+    def test_descendant_search(self):
+        assert len(find_all(self.doc, "//param")) == 3
+        assert find(self.doc, "//param[@name='deep']").attrs["value"] == "x"
+
+    def test_no_match_returns_none(self):
+        assert find(self.doc, "missing/path") is None
+
+
+class TestEventCodec:
+    def test_roundtrip_all_types(self):
+        event = make_event(
+            "weather", time=123.5, area="st-andrews", temp=20, hot=True
+        )
+        recovered = notification_from_xml(notification_to_xml(event))
+        assert recovered == event
+        assert isinstance(recovered["temp"], int)
+        assert isinstance(recovered["hot"], bool)
+        assert isinstance(recovered["time"], float)
+
+    def test_roundtrip_through_text(self):
+        event = make_event("user-location", subject="bob", lat=56.34, lon=-2.79)
+        text = to_string(notification_to_xml(event))
+        assert notification_from_xml(parse(text)) == event
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError):
+            notification_from_xml(XmlElement("not-event"))
+
+    def test_malformed_attr_rejected(self):
+        root = XmlElement("event")
+        root.add_child(XmlElement("attr", {"name": "x"}))
+        with pytest.raises(ValueError):
+            notification_from_xml(root)
