@@ -3,7 +3,16 @@
 Every experiment prints the table the paper's figure/claim implies and
 writes it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
 be cross-checked against a real run (pytest captures stdout, the files
-survive).
+survive; ``results/`` is gitignored).
+
+Conventions: modules are named ``bench_<id>_<slug>.py`` where ``<id>`` is
+``e<n>`` for an experiment reproducing/extending a paper claim (e13 is the
+predicate-index throughput experiment over the matching fabric), ``a<n>``
+for an ablation of one optimisation (a1 covering, a2 KB-guided joins), and
+``fig<n>`` for figure reproductions.  Each module carries one
+``@pytest.mark.benchmark(group="<id>")`` test that emits its table via
+:func:`emit` and asserts the claim's direction (e.g. "indexed beats naive
+at ≥1k subscriptions"), so a benchmark run doubles as a regression gate.
 """
 
 from __future__ import annotations

@@ -25,7 +25,12 @@ CLIENTS = 120
 def run_workload(covering: bool) -> dict:
     sim = Simulator(seed=131)
     network = Network(sim, latency=FixedLatency(0.01))
-    brokers = build_broker_tree(sim, network, BROKERS, covering_enabled=covering)
+    # indexed=False pins this ablation to the seed's naive scan path, so it
+    # isolates the covering optimisation itself; E13 measures the predicate
+    # index against this same un-optimised dispatch.
+    brokers = build_broker_tree(
+        sim, network, BROKERS, covering_enabled=covering, indexed=False
+    )
     clients = [
         SienaClient(sim, network, Position(1.0 + i * 0.01, 1.0), brokers[i % BROKERS])
         for i in range(CLIENTS)

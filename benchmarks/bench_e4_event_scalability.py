@@ -42,7 +42,10 @@ def _publish_all(population) -> None:
 def elvin_load(clients: int) -> dict:
     sim = Simulator(seed=41)
     network = Network(sim, latency=FixedLatency(0.01))
-    server = ElvinServer(sim, network, Position(0.0, 0.0))
+    # indexed=False: E4's architectural comparison measures the central
+    # server's un-optimised matching load (match_operations = filters
+    # scanned), the baseline the predicate index (E13) is judged against.
+    server = ElvinServer(sim, network, Position(0.0, 0.0), indexed=False)
     population = [
         ElvinClient(sim, network, Position(1.0 + i * 0.01, 1.0), server)
         for i in range(clients)

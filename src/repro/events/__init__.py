@@ -12,6 +12,7 @@ disconnected mobile clients (C9, E11).
 from repro.events.model import Notification, make_event
 from repro.events.filters import Constraint, Filter, Op
 from repro.events.covering import constraint_covers, filter_covers
+from repro.events.index import CoveringPoset, PredicateIndex
 from repro.events.subscriptions import Advertisement, Subscription
 from repro.events.broker import BrokerNode, SienaClient, build_broker_tree
 from repro.events.elvin import ElvinClient, ElvinServer
@@ -21,12 +22,14 @@ __all__ = [
     "Advertisement",
     "BrokerNode",
     "Constraint",
+    "CoveringPoset",
     "ElvinClient",
     "ElvinServer",
     "Filter",
     "MobileClient",
     "Notification",
     "Op",
+    "PredicateIndex",
     "SienaClient",
     "Subscription",
     "build_broker_tree",

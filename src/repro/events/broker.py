@@ -4,15 +4,25 @@ Subscriptions propagate through the broker graph with covering-based
 pruning; notifications follow the reverse paths of the subscriptions they
 match.  No broker sees traffic its subtree did not ask for — the property
 that lets the per-broker load stay flat as the population grows (E4).
+
+Dispatch runs through the predicate-indexed matching fabric
+(:mod:`repro.events.index`): publications are routed with a counting
+:class:`~repro.events.index.PredicateIndex` over the subscription store,
+and covering decisions (forwarding suppression, unmasking on removal)
+are :class:`~repro.events.index.CoveringPoset` lookups.  ``indexed=False``
+keeps the seed's linear scans as the measurable ablation baseline
+(benchmark E13), just as ``covering_enabled=False`` keeps the
+no-covering baseline (benchmark A1).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.events.covering import filter_covers
 from repro.events.filters import Filter
+from repro.events.index import CoveringPoset, PredicateIndex
 from repro.events.model import Notification
 from repro.events.subscriptions import Subscription
 from repro.net.geo import WORLD_REGIONS, Position
@@ -76,6 +86,15 @@ class TransferRequest:
 
 @dataclass
 class Transfer:
+    """Proxy handover from the old broker to the new one (Mobikit).
+
+    Carries both the buffered notifications and the client's filters as
+    recorded by the old broker.  The MoveIn normally re-registers the
+    filters (the client carries its own list), but the receiving broker
+    also re-registers ``filters`` defensively so a handover can never
+    strip a subscription even if the MoveIn's list was stale.
+    """
+
     client: Address
     buffered: tuple
     filters: tuple
@@ -86,7 +105,10 @@ class BrokerNode(Host):
 
     ``covering_enabled`` switches Siena's covering optimisation; disabling
     it (exact-duplicate suppression only) is the ablation baseline measured
-    in benchmark A1.
+    in benchmark A1.  ``indexed`` switches the predicate-indexed matching
+    fabric; disabling it restores the seed's linear scans (the baseline
+    measured in benchmark E13).  Both switches preserve delivery
+    semantics exactly — they only change what the dispatch path costs.
     """
 
     def __init__(
@@ -95,9 +117,11 @@ class BrokerNode(Host):
         network: Network,
         position: Position,
         covering_enabled: bool = True,
+        indexed: bool = True,
     ):
         super().__init__(sim, network, position)
         self.covering_enabled = covering_enabled
+        self.indexed = indexed
         self.neighbours: set[Address] = set()
         self.client_addrs: set[Address] = set()
         # Subscriptions by immediate source (neighbour broker or client).
@@ -112,6 +136,29 @@ class BrokerNode(Host):
         self.proxies: dict[Address, list[Notification]] = {}
         self.notifications_processed = 0
         self.notifications_delivered = 0
+        # The matching-fabric structures exist regardless of the switch
+        # (they are cheap when empty); only the indexed path consults them.
+        # Counting index over every stored subscription (payload: the
+        # source it arrived from) — drives _process_publication.
+        self._sub_index = PredicateIndex()
+        self._sub_entry_ids: dict[tuple[Address, Filter], int] = {}
+        # Covering poset over the same store — drives the "what was
+        # the removed filter masking?" query on unsubscribe.
+        self._sub_poset = CoveringPoset()
+        self._sub_poset_ids: dict[tuple[Address, Filter], int] = {}
+        self._sub_sources: dict[Filter, set[Address]] = {}
+        # Per-neighbour posets over the forwarded filter sets — drive
+        # the "is this covered by an already-forwarded one?" query.
+        self._fwd_posets: dict[Address, CoveringPoset] = {}
+        self._fwd_ids: dict[Address, dict[Filter, int]] = {}
+        # Advertisement twins of all of the above.
+        self._adv_index = PredicateIndex()
+        self._adv_entry_ids: dict[tuple[Address, Filter], int] = {}
+        self._adv_poset = CoveringPoset()
+        self._adv_poset_ids: dict[tuple[Address, Filter], int] = {}
+        self._adv_sources: dict[Filter, set[Address]] = {}
+        self._advfwd_posets: dict[Address, CoveringPoset] = {}
+        self._advfwd_ids: dict[Address, dict[Filter, int]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -130,29 +177,55 @@ class BrokerNode(Host):
     # ------------------------------------------------------------------
     def _store_subscription(self, source: Address, filter: Filter) -> None:
         subs = self.subs_by_source.setdefault(source, [])
-        if any(s.filter == filter for s in subs):
-            return
-        subs.append(Subscription.fresh(filter, source))
+        if self.indexed:
+            if source in self._sub_sources.get(filter, ()):
+                return
+            subs.append(Subscription.fresh(filter, source))
+            key = (source, filter)
+            self._sub_entry_ids[key] = self._sub_index.add(filter, payload=source)
+            self._sub_poset_ids[key] = self._sub_poset.add(filter, payload=key)
+            self._sub_sources.setdefault(filter, set()).add(source)
+        else:
+            if any(s.filter == filter for s in subs):
+                return
+            subs.append(Subscription.fresh(filter, source))
         self._propagate_subscription(source, filter)
 
     def _propagate_subscription(self, source: Address, filter: Filter) -> None:
         for neighbour in self.neighbours:
             if neighbour == source:
                 continue
-            already = self.forwarded.setdefault(neighbour, [])
-            if self.covering_enabled:
-                if any(filter_covers(existing, filter) for existing in already):
-                    continue  # covering: the neighbour already gets a superset
-            elif filter in already:
-                continue  # ablation baseline: only exact duplicates pruned
-            already.append(filter)
-            self.send(neighbour, Subscribe(filter), size_bytes=128)
+            self._forward_filter(
+                neighbour, filter, self.forwarded, self._fwd_posets,
+                self._fwd_ids, Subscribe,
+            )
 
     def _remove_subscription(self, source: Address, filter: Filter) -> None:
         subs = self.subs_by_source.get(source, [])
         self.subs_by_source[source] = [s for s in subs if s.filter != filter]
         if not self.subs_by_source[source]:
             del self.subs_by_source[source]
+        if self.indexed:
+            key = (source, filter)
+            if key in self._sub_entry_ids:
+                self._sub_index.remove(self._sub_entry_ids.pop(key))
+                self._sub_poset.remove(self._sub_poset_ids.pop(key))
+                self._drop_source(self._sub_sources, filter, source)
+            for neighbour in self.neighbours:
+                if neighbour == source:
+                    continue
+                self._retract_forwarded(
+                    neighbour,
+                    filter,
+                    store_poset=self._sub_poset,
+                    sources=self._sub_sources,
+                    forwarded=self.forwarded,
+                    posets=self._fwd_posets,
+                    ids_by_neighbour=self._fwd_ids,
+                    retract_msg=Unsubscribe,
+                    restore_msg=Subscribe,
+                )
+            return
         for neighbour in self.neighbours:
             if neighbour == source:
                 continue
@@ -166,37 +239,160 @@ class BrokerNode(Host):
             if filter in already and not any(f == filter for f in remaining):
                 already.remove(filter)
                 self.send(neighbour, Unsubscribe(filter), size_bytes=128)
-                # Re-forward anything the removed filter was masking.
+                # Re-forward anything the removed filter was masking.  The
+                # explicit membership check matters: filter_covers is not
+                # reflexive for range constraints over strings/bools, so
+                # the covering test alone would duplicate such filters.
                 for f in remaining:
+                    if f in already:
+                        continue
                     if not any(filter_covers(existing, f) for existing in already):
                         already.append(f)
                         self.send(neighbour, Subscribe(f), size_bytes=128)
+
+    # ------------------------------------------------------------------
+    # Indexed-fabric helpers (shared by subscriptions and advertisements)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _drop_source(sources: dict[Filter, set[Address]], filter: Filter, source: Address) -> None:
+        members = sources.get(filter)
+        if members is not None:
+            members.discard(source)
+            if not members:
+                del sources[filter]
+
+    def _forward_filter(
+        self,
+        neighbour: Address,
+        filter: Filter,
+        forwarded: dict[Address, list[Filter]],
+        posets: dict[Address, CoveringPoset],
+        ids_by_neighbour: dict[Address, dict[Filter, int]],
+        forward_msg,
+    ) -> None:
+        """Push ``filter`` toward a neighbour unless it is redundant there.
+
+        Under covering, a filter whose notifications the neighbour already
+        receives (some forwarded filter covers it, itself included) is
+        suppressed; with covering disabled only exact duplicates are — the
+        ablation baseline measured in benchmark A1.
+        """
+        already = forwarded.setdefault(neighbour, [])
+        if self.indexed:
+            poset = posets.setdefault(neighbour, CoveringPoset())
+            ids = ids_by_neighbour.setdefault(neighbour, {})
+            if self.covering_enabled and poset.covers_any(filter):
+                return
+            if filter in ids:
+                return
+            ids[filter] = poset.add(filter)
+        else:
+            if self.covering_enabled and any(
+                filter_covers(existing, filter) for existing in already
+            ):
+                return
+            if filter in already:
+                return
+        already.append(filter)
+        self.send(neighbour, forward_msg(filter), size_bytes=128)
+
+    def _retract_forwarded(
+        self,
+        neighbour: Address,
+        filter: Filter,
+        store_poset: CoveringPoset,
+        sources: dict[Filter, set[Address]],
+        forwarded: dict[Address, list[Filter]],
+        posets: dict[Address, CoveringPoset],
+        ids_by_neighbour: dict[Address, dict[Filter, int]],
+        retract_msg,
+        restore_msg,
+    ) -> None:
+        """Withdraw ``filter`` from a neighbour and re-forward what it masked.
+
+        A stored filter can only have been suppressed (never forwarded)
+        because some forwarded filter covered it, so the candidates for
+        re-forwarding are exactly the store poset's ``covered_by`` set of
+        the withdrawn filter — a poset lookup instead of a rescan of the
+        whole store.
+        """
+        already = forwarded.setdefault(neighbour, [])
+        ids = ids_by_neighbour.setdefault(neighbour, {})
+        poset = posets.setdefault(neighbour, CoveringPoset())
+        if filter not in ids:
+            return
+        if any(src != neighbour for src in sources.get(filter, ())):
+            return  # still stored from elsewhere: the neighbour keeps it
+        already.remove(filter)
+        poset.remove(ids.pop(filter))
+        self.send(neighbour, retract_msg(filter), size_bytes=128)
+        for pid in store_poset.covered_by(filter):
+            masked_source, masked = store_poset.payload(pid)
+            if masked_source == neighbour:
+                continue
+            if masked in ids:
+                # Already forwarded in its own right.  This needs an
+                # explicit check: filter_covers is not reflexive for
+                # range constraints over strings/bools, so covers_any
+                # alone would re-append such a filter.
+                continue
+            if poset.covers_any(masked):
+                continue  # still covered by another forwarded filter
+            already.append(masked)
+            ids[masked] = poset.add(masked)
+            self.send(neighbour, restore_msg(masked), size_bytes=128)
 
     # ------------------------------------------------------------------
     # Advertisements
     # ------------------------------------------------------------------
     def _store_advertisement(self, source: Address, filter: Filter) -> None:
         adverts = self.adverts_by_source.setdefault(source, [])
-        if filter in adverts:
-            return
-        adverts.append(filter)
+        if self.indexed:
+            if source in self._adv_sources.get(filter, ()):
+                return
+            adverts.append(filter)
+            key = (source, filter)
+            self._adv_entry_ids[key] = self._adv_index.add(filter, payload=source)
+            self._adv_poset_ids[key] = self._adv_poset.add(filter, payload=key)
+            self._adv_sources.setdefault(filter, set()).add(source)
+        else:
+            if filter in adverts:
+                return
+            adverts.append(filter)
         for neighbour in self.neighbours:
             if neighbour == source:
                 continue
-            already = self.adverts_forwarded.setdefault(neighbour, [])
-            if self.covering_enabled and any(
-                filter_covers(existing, filter) for existing in already
-            ):
-                continue
-            if filter in already:
-                continue
-            already.append(filter)
-            self.send(neighbour, Advertise(filter), size_bytes=128)
+            self._forward_filter(
+                neighbour, filter, self.adverts_forwarded, self._advfwd_posets,
+                self._advfwd_ids, Advertise,
+            )
 
     def _remove_advertisement(self, source: Address, filter: Filter) -> None:
         adverts = self.adverts_by_source.get(source, [])
         if filter in adverts:
             adverts.remove(filter)
+            if self.indexed:
+                key = (source, filter)
+                if key in self._adv_entry_ids:
+                    self._adv_index.remove(self._adv_entry_ids.pop(key))
+                    self._adv_poset.remove(self._adv_poset_ids.pop(key))
+                    self._drop_source(self._adv_sources, filter, source)
+        if self.indexed:
+            for neighbour in self.neighbours:
+                if neighbour == source:
+                    continue
+                self._retract_forwarded(
+                    neighbour,
+                    filter,
+                    store_poset=self._adv_poset,
+                    sources=self._adv_sources,
+                    forwarded=self.adverts_forwarded,
+                    posets=self._advfwd_posets,
+                    ids_by_neighbour=self._advfwd_ids,
+                    retract_msg=Unadvertise,
+                    restore_msg=Advertise,
+                )
+            return
         for neighbour in self.neighbours:
             if neighbour == source:
                 continue
@@ -210,6 +406,17 @@ class BrokerNode(Host):
             if filter in already and filter not in remaining:
                 already.remove(filter)
                 self.send(neighbour, Unadvertise(filter), size_bytes=128)
+                # Re-forward anything the removed advertisement was masking,
+                # mirroring _remove_subscription: without this an
+                # Unadvertise silently strips a neighbour of adverts whose
+                # producers are still live.  The membership check guards
+                # against non-reflexive filter_covers (string/bool ranges).
+                for f in remaining:
+                    if f in already:
+                        continue
+                    if not any(filter_covers(existing, f) for existing in already):
+                        already.append(f)
+                        self.send(neighbour, Advertise(f), size_bytes=128)
 
     def advertisements(self) -> list[Filter]:
         """Every advertisement this broker knows about (all sources)."""
@@ -217,6 +424,8 @@ class BrokerNode(Host):
 
     def advertised(self, notification: Notification) -> bool:
         """Would this notification fall under some known advertisement?"""
+        if self.indexed:
+            return bool(self._adv_index.match(notification))
         return any(f.matches(notification) for f in self.advertisements())
 
     # ------------------------------------------------------------------
@@ -225,18 +434,32 @@ class BrokerNode(Host):
     def _process_publication(self, source: Address, notification: Notification) -> None:
         self.notifications_processed += 1
         size = notification.size_bytes()
+        if self.indexed:
+            matched = self._sub_index.match(notification)
+            if not matched:
+                return
+            index = self._sub_index
+            interested = {index.payload(fid) for fid in matched}
+            for dest in list(self.subs_by_source):
+                if dest == source or dest not in interested:
+                    continue
+                self._deliver(dest, notification, size)
+            return
         for dest, subs in list(self.subs_by_source.items()):
             if dest == source:
                 continue
             if not any(s.filter.matches(notification) for s in subs):
                 continue
-            if dest in self.proxies:
-                self.proxies[dest].append(notification)  # buffer for the mobile client
-            elif dest in self.client_addrs:
-                self.notifications_delivered += 1
-                self.send(dest, Notify(notification), size_bytes=size)
-            elif dest in self.neighbours:
-                self.send(dest, Publish(notification), size_bytes=size)
+            self._deliver(dest, notification, size)
+
+    def _deliver(self, dest: Address, notification: Notification, size: int) -> None:
+        if dest in self.proxies:
+            self.proxies[dest].append(notification)  # buffer for the mobile client
+        elif dest in self.client_addrs:
+            self.notifications_delivered += 1
+            self.send(dest, Notify(notification), size_bytes=size)
+        elif dest in self.neighbours:
+            self.send(dest, Publish(notification), size_bytes=size)
 
     # ------------------------------------------------------------------
     # Mobility (Mobikit §3: static proxies for mobile entities)
@@ -265,9 +488,23 @@ class BrokerNode(Host):
         self.send(msg.new_broker, Transfer(msg.client, buffered, filters), size_bytes=512)
 
     def _handle_transfer(self, msg: Transfer) -> None:
+        # Defensive re-registration: the Transfer is self-contained, so
+        # the handover holds even if the MoveIn carried a stale filter
+        # list (registering an already-known filter is a no-op).  Only
+        # while the client is still attached here, though — a late
+        # Transfer for a client that has already moved on again must not
+        # resurrect it with ghost subscriptions.
+        if msg.client in self.client_addrs:
+            for filter in msg.filters:
+                self._store_subscription(msg.client, filter)
         for notification in msg.buffered:
-            self.notifications_delivered += 1
-            self.send(msg.client, Notify(notification), size_bytes=notification.size_bytes())
+            if msg.client in self.proxies:
+                # The client went dark again before the handover landed:
+                # keep buffering rather than sending into the void.
+                self.proxies[msg.client].append(notification)
+            else:
+                self.notifications_delivered += 1
+                self.send(msg.client, Notify(notification), size_bytes=notification.size_bytes())
 
     def _flush_proxy(self, client: Address) -> None:
         for notification in self.proxies.pop(client, []):
@@ -349,6 +586,7 @@ def build_broker_tree(
     count: int,
     branching: int = 3,
     covering_enabled: bool = True,
+    indexed: bool = True,
 ) -> list[BrokerNode]:
     """A tree-shaped (hence acyclic) broker overlay spread across regions."""
     rng = sim.rng_for("broker-build")
@@ -358,6 +596,7 @@ def build_broker_tree(
             network,
             WORLD_REGIONS[i % len(WORLD_REGIONS)].random_position(rng),
             covering_enabled=covering_enabled,
+            indexed=indexed,
         )
         for i in range(count)
     ]

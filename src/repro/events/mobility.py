@@ -5,6 +5,14 @@ behalf of the mobile entity when the mobile entity is disconnected from the
 pub/sub system."  A :class:`MobileClient` performs a move-out before going
 dark; its broker buffers matching notifications in a proxy and hands them
 over (move-in) wherever the client reappears.
+
+Filter handover happens twice, deliberately: the ``MoveIn`` carries the
+client's own filter list (the fast path — the new broker subscribes
+before the old broker is even contacted), and the ``Transfer`` from the
+old broker carries the filters *it* had recorded alongside the buffered
+notifications.  The receiving broker re-registers the Transfer's filters
+defensively (a no-op for filters the MoveIn already delivered), so the
+subscription survives even a stale or empty MoveIn list.
 """
 
 from __future__ import annotations

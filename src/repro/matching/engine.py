@@ -43,6 +43,7 @@ class MatchingEngine:
         rules: tuple | list = (),
         extras: dict | None = None,
         kb_guided_joins: bool = True,
+        indexed: bool = True,
     ):
         self.sim = sim
         self.kb = kb
@@ -50,8 +51,14 @@ class MatchingEngine:
         # Ablation switch (benchmark A2): without KB guidance the join
         # enumerates raw per-entity pools under the combination budget.
         self.kb_guided_joins = kb_guided_joins
+        # Event→pattern pinning via the matching fabric: patterns are
+        # bucketed by their (exact-match) event type, so an arriving
+        # event touches only the rules that could possibly pin it.
+        # ``indexed=False`` restores the seed's every-rule scan.
+        self.indexed = indexed
         self.rules: dict[str, Rule] = {}
         self._buffers: dict[str, dict[str, TimeWindowBuffer]] = {}
+        self._patterns_by_type: dict[str, list[tuple[str, object]]] = {}
         self._last_fired: dict[tuple, float] = {}
         self.stats = EngineStats()
         for rule in rules:
@@ -66,12 +73,25 @@ class MatchingEngine:
             pattern.alias: TimeWindowBuffer(rule.window_s)
             for pattern in rule.events
         }
+        for pattern in rule.events:
+            self._patterns_by_type.setdefault(pattern.event_type, []).append(
+                (rule.name, pattern)
+            )
 
     def remove_rule(self, name: str) -> bool:
         if name not in self.rules:
             return False
-        del self.rules[name]
+        rule = self.rules.pop(name)
         del self._buffers[name]
+        for event_type in {pattern.event_type for pattern in rule.events}:
+            kept = [
+                entry for entry in self._patterns_by_type[event_type]
+                if entry[0] != name
+            ]
+            if kept:
+                self._patterns_by_type[event_type] = kept
+            else:
+                del self._patterns_by_type[event_type]
         return True
 
     @property
@@ -88,10 +108,24 @@ class MatchingEngine:
         self.stats.events_in += 1
         now = self.sim.now
         out: list[Notification] = []
-        for rule in list(self.rules.values()):
-            hit_aliases = [p.alias for p in rule.events if p.matches(event)]
-            if not hit_aliases:
-                continue
+        if self.indexed:
+            # The per-type bucket lists patterns in rule-registration order,
+            # so iterating the hits directly preserves the rule order of the
+            # naive scan while touching only the rules the event pins.
+            hits_by_rule: dict[str, list[str]] = {}
+            for rule_name, pattern in self._patterns_by_type.get(event.event_type, ()):
+                if all(c.matches(event) for c in pattern.constraints):
+                    hits_by_rule.setdefault(rule_name, []).append(pattern.alias)
+            rule_hits = [
+                (self.rules[name], aliases) for name, aliases in hits_by_rule.items()
+            ]
+        else:
+            rule_hits = []
+            for rule in list(self.rules.values()):
+                hit_aliases = [p.alias for p in rule.events if p.matches(event)]
+                if hit_aliases:
+                    rule_hits.append((rule, hit_aliases))
+        for rule, hit_aliases in rule_hits:
             buffers = self._buffers[rule.name]
             for alias in hit_aliases:
                 buffers[alias].add(now, event)

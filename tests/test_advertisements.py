@@ -1,5 +1,7 @@
 """Tests for producer advertisements (§3)."""
 
+import pytest
+
 from repro.events.broker import SienaClient, build_broker_tree
 from repro.events.filters import Filter, eq, gt, type_is
 from repro.events.model import make_event
@@ -7,10 +9,12 @@ from repro.net import FixedLatency, Network, Position
 from repro.simulation import Simulator
 
 
-def make_world(brokers=4, seed=0, covering=True):
+def make_world(brokers=4, seed=0, covering=True, indexed=True):
     sim = Simulator(seed=seed)
     network = Network(sim, latency=FixedLatency(0.01))
-    tree = build_broker_tree(sim, network, brokers, covering_enabled=covering)
+    tree = build_broker_tree(
+        sim, network, brokers, covering_enabled=covering, indexed=indexed
+    )
     return sim, network, tree
 
 
@@ -67,6 +71,26 @@ class TestAdvertisements:
         producer.advertise(Filter(type_is("gsm-location")))
         sim.run_for(2.0)
         assert len(edge.adverts_forwarded[brokers[0].addr]) == before + 1
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_unadvertise_reexposes_masked_advertisement(self, indexed):
+        """Withdrawing a broad advertisement re-forwards the narrow ones it
+        was masking under covering — the neighbour still needs them."""
+        sim, network, brokers = make_world(brokers=2, indexed=indexed)
+        edge = brokers[1]
+        broad_producer = SienaClient(sim, network, Position(1, 1), edge)
+        narrow_producer = SienaClient(sim, network, Position(1, 2), edge)
+        broad = Filter(type_is("weather"))
+        narrow = Filter(type_is("weather"), eq("area", "st-andrews"))
+        broad_producer.advertise(broad)
+        sim.run_for(2.0)
+        narrow_producer.advertise(narrow)  # covered: not forwarded upstream
+        sim.run_for(2.0)
+        assert narrow not in brokers[0].advertisements()
+        broad_producer.unadvertise(broad)
+        sim.run_for(2.0)
+        assert broad not in brokers[0].advertisements()
+        assert narrow in brokers[0].advertisements()
 
     def test_multiple_producers_coexist(self):
         sim, network, brokers = make_world()

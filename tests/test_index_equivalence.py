@@ -1,0 +1,456 @@
+"""Seeded randomized equivalence: the indexed fabric ≡ the naive scans.
+
+The predicate index and covering poset are only admissible if they are
+*exact*: ``PredicateIndex.match`` must return precisely the filters a
+naive ``Filter.matches`` scan returns, and the poset's covering answers
+must equal the pairwise ``filter_covers`` scan, across all ten operators
+and under add/remove churn.  Broker-level tests then assert that indexed
+and naive broker networks (and Elvin servers, and matching engines)
+deliver identical notification sets under subscribe/unsubscribe/move
+churn.
+"""
+
+import random
+
+import pytest
+
+from repro.events.broker import MoveIn, SienaClient, Transfer, build_broker_tree
+from repro.events.covering import filter_covers
+from repro.events.elvin import ElvinClient, ElvinServer
+from repro.events.filters import Constraint, Filter, Op
+from repro.events.index import CoveringPoset, PredicateIndex
+from repro.events.mobility import MobileClient
+from repro.events.model import Notification, make_event
+from repro.knowledge.base import KnowledgeBase
+from repro.matching.engine import MatchingEngine
+from repro.matching.patterns import EventPattern
+from repro.matching.rules import Rule
+from repro.net import FixedLatency, Network, Position
+from repro.simulation import Simulator
+
+ATTRS = ["type", "subject", "temp", "label", "flag", "count", "url"]
+STRINGS = ["", "a", "b", "ab", "ba", "abc", "bab", "aab", "cab", "abcab"]
+STRING_OPS = (Op.PREFIX, Op.SUFFIX, Op.CONTAINS)
+
+
+def random_value(rng: random.Random):
+    kind = rng.randrange(4)
+    if kind == 0:
+        return rng.choice(STRINGS)
+    if kind == 1:
+        return rng.randint(-3, 3)
+    if kind == 2:
+        return round(rng.uniform(-3.0, 3.0), 1)
+    return rng.random() < 0.5
+
+
+def random_constraint(rng: random.Random) -> Constraint:
+    name = rng.choice(ATTRS)
+    op = rng.choice(list(Op))
+    if op is Op.EXISTS:
+        return Constraint(name, op)
+    if op in STRING_OPS:
+        return Constraint(name, op, rng.choice(STRINGS))
+    return Constraint(name, op, random_value(rng))
+
+
+def random_filter(rng: random.Random) -> Filter:
+    return Filter(*(random_constraint(rng) for _ in range(rng.randint(1, 4))))
+
+
+def random_notification(rng: random.Random) -> Notification:
+    names = rng.sample(ATTRS, rng.randint(1, 5))
+    return Notification({name: random_value(rng) for name in names})
+
+
+class TestPredicateIndexEquivalence:
+    def test_match_equals_naive_scan(self):
+        rng = random.Random(1313)
+        filters = [random_filter(rng) for _ in range(1000)]
+        # The workload must exercise every operator for the claim to mean
+        # anything.
+        ops_used = {c.op for f in filters for c in f.constraints}
+        assert ops_used == set(Op)
+        index = PredicateIndex()
+        fids = [index.add(f) for f in filters]
+        for _ in range(300):
+            notification = random_notification(rng)
+            expected = {
+                fid for fid, f in zip(fids, filters) if f.matches(notification)
+            }
+            assert index.match(notification) == expected
+
+    def test_match_equals_naive_scan_under_churn(self):
+        rng = random.Random(97)
+        index = PredicateIndex()
+        live: dict[int, Filter] = {}
+        for step in range(1200):
+            roll = rng.random()
+            if roll < 0.45 or not live:
+                f = random_filter(rng)
+                live[index.add(f)] = f
+            elif roll < 0.7:
+                fid = rng.choice(list(live))
+                del live[fid]
+                index.remove(fid)
+            else:
+                notification = random_notification(rng)
+                expected = {
+                    fid for fid, f in live.items() if f.matches(notification)
+                }
+                assert index.match(notification) == expected
+        assert len(index) == len(live)
+
+    def test_duplicate_constraints_count_once_per_occurrence(self):
+        c = Constraint("temp", Op.GT, 1)
+        f = Filter(c, c)
+        index = PredicateIndex()
+        fid = index.add(f)
+        assert index.match(Notification({"temp": 2})) == {fid}
+        assert index.match(Notification({"temp": 0})) == set()
+        index.remove(fid)
+        assert index.match(Notification({"temp": 2})) == set()
+
+    def test_payloads_follow_entries(self):
+        index = PredicateIndex()
+        fid = index.add(Filter(Constraint("type", Op.EQ, "x")), payload="owner")
+        assert index.payload(fid) == "owner"
+        assert index.remove(fid) == "owner"
+
+
+class TestCoveringPosetEquivalence:
+    def test_queries_equal_pairwise_scan(self):
+        rng = random.Random(411)
+        filters = [random_filter(rng) for _ in range(300)]
+        poset = CoveringPoset()
+        pids = [poset.add(f) for f in filters]
+        probes = [random_filter(rng) for _ in range(60)] + filters[::10]
+        for probe in probes:
+            expected_covering = [
+                pid for pid, f in zip(pids, filters) if filter_covers(f, probe)
+            ]
+            expected_covered = [
+                pid for pid, f in zip(pids, filters) if filter_covers(probe, f)
+            ]
+            assert poset.covering(probe) == expected_covering
+            assert poset.covered_by(probe) == expected_covered
+            assert poset.covers_any(probe) == bool(expected_covering)
+
+    def test_queries_equal_pairwise_scan_under_churn(self):
+        rng = random.Random(42)
+        poset = CoveringPoset()
+        live: dict[int, Filter] = {}
+        for step in range(600):
+            roll = rng.random()
+            if roll < 0.45 or not live:
+                f = random_filter(rng)
+                live[poset.add(f)] = f
+            elif roll < 0.65:
+                pid = rng.choice(list(live))
+                del live[pid]
+                poset.remove(pid)
+            else:
+                probe = random_filter(rng)
+                expected = [
+                    pid for pid, f in sorted(live.items())
+                    if filter_covers(probe, f)
+                ]
+                assert poset.covered_by(probe) == expected
+                expected_any = any(filter_covers(f, probe) for f in live.values())
+                assert poset.covers_any(probe) == expected_any
+
+
+def _delivery_key(notification):
+    return tuple(sorted((k, repr(v)) for k, v in notification.items()))
+
+
+def _run_broker_churn(indexed: bool):
+    """A scripted subscribe/publish/unsubscribe/move workload."""
+    rng = random.Random(2026)
+    sim = Simulator(seed=7)
+    network = Network(sim, latency=FixedLatency(0.01))
+    brokers = build_broker_tree(sim, network, 5, indexed=indexed)
+    clients = [
+        SienaClient(sim, network, Position(1, 1 + i), brokers[i % 5])
+        for i in range(8)
+    ]
+    mobile = MobileClient(sim, network, Position(9, 9), brokers[1])
+    rooms = ["lab", "cafe", "atrium"]
+    filters = []
+    for i, client in enumerate(clients):
+        broad = Filter(Constraint("type", Op.EQ, "presence"))
+        narrow = Filter(
+            Constraint("type", Op.EQ, "presence"),
+            Constraint("room", Op.EQ, rooms[i % 3]),
+            Constraint("strength", Op.GT, float(i % 4)),
+        )
+        # String-range filters are deliberately in the mix: filter_covers
+        # is not reflexive for them, which the restore paths must survive.
+        string_range = Filter(Constraint("room", Op.GT, "b"))
+        chosen = (broad, narrow, string_range)[i % 4 % 3]
+        filters.append(chosen)
+        client.subscribe(chosen)
+    mobile.subscribe(Filter(Constraint("room", Op.PREFIX, "ca")))
+    # An EXISTS filter covering the string-range ones, withdrawn later.
+    coverer = SienaClient(sim, network, Position(3, 3), brokers[2])
+    coverer.subscribe(Filter(Constraint("room", Op.EXISTS)))
+    # Advertisement churn: broad advert masks a narrow one, then leaves.
+    producer = SienaClient(sim, network, Position(4, 4), brokers[3])
+    adv_broad = Filter(Constraint("type", Op.EQ, "presence"))
+    adv_narrow = Filter(
+        Constraint("type", Op.EQ, "presence"), Constraint("room", Op.GT, "b")
+    )
+    producer.advertise(adv_broad)
+    sim.run_for(2.0)
+    producer.advertise(adv_narrow)
+    sim.run_for(2.0)
+
+    def burst(count):
+        for _ in range(count):
+            publisher = rng.choice(clients)
+            publisher.publish(
+                make_event(
+                    "presence",
+                    subject=f"user{rng.randrange(6)}",
+                    room=rng.choice(rooms),
+                    strength=round(rng.uniform(0.0, 5.0), 2),
+                )
+            )
+        sim.run_for(2.0)
+
+    burst(25)
+    # Covering churn: the broad subscribers leave, unmasking the narrow.
+    for i in (0, 4):
+        clients[i].unsubscribe(filters[i])
+    coverer.unsubscribe(Filter(Constraint("room", Op.EXISTS)))
+    producer.unadvertise(adv_broad)
+    sim.run_for(2.0)
+    burst(25)
+    # Churn the unmasked filters themselves: unsubscribe + re-subscribe a
+    # string-range filter (a stale forwarded duplicate would eat this).
+    clients[2].unsubscribe(filters[2])
+    sim.run_for(2.0)
+    clients[2].subscribe(filters[2])
+    sim.run_for(2.0)
+    burst(25)
+    # Mobility churn: buffered handover across brokers.
+    mobile.move_out()
+    sim.run_for(1.0)
+    burst(10)
+    mobile.move_in(brokers[4])
+    sim.run_for(2.0)
+    burst(10)
+    everyone = clients + [mobile]
+    deliveries = [sorted(_delivery_key(n) for _, n in c.received) for c in everyone]
+    adverts = [sorted(repr(f) for f in b.advertisements()) for b in brokers]
+    forwarded_ok = all(
+        len(filters) == len(set(filters))
+        for b in brokers
+        for filters in list(b.forwarded.values()) + list(b.adverts_forwarded.values())
+    )
+    return deliveries, adverts, forwarded_ok
+
+
+class TestBrokerEquivalence:
+    def test_indexed_and_naive_brokers_deliver_identically(self):
+        indexed_runs = _run_broker_churn(True)
+        naive_runs = _run_broker_churn(False)
+        assert indexed_runs[0] == naive_runs[0]  # per-client deliveries
+        assert indexed_runs[1] == naive_runs[1]  # per-broker advert stores
+        # Neither mode may leave duplicate entries in a forwarded set.
+        assert indexed_runs[2] and naive_runs[2]
+
+    def test_indexed_and_naive_elvin_deliver_identically(self):
+        def run(indexed):
+            rng = random.Random(5)
+            sim = Simulator(seed=3)
+            network = Network(sim, latency=FixedLatency(0.01))
+            server = ElvinServer(sim, network, Position(0, 0), indexed=indexed)
+            clients = [
+                ElvinClient(sim, network, Position(1, i), server) for i in range(6)
+            ]
+            subs = [random_filter(rng) for _ in clients]
+            for client, f in zip(clients, subs):
+                client.subscribe(f)
+            sim.run_for(1.0)
+            for _ in range(40):
+                rng.choice(clients).publish(random_notification(rng))
+            sim.run_for(2.0)
+            for client, f in zip(clients[:3], subs[:3]):
+                client.unsubscribe(f)
+            sim.run_for(1.0)
+            for _ in range(40):
+                rng.choice(clients).publish(random_notification(rng))
+            sim.run_for(2.0)
+            return [sorted(_delivery_key(n) for _, n in c.received) for c in clients]
+
+        assert run(True) == run(False)
+
+
+class TestNonReflexiveCoveringRestore:
+    """filter_covers is not reflexive for range constraints over strings
+    (and bools): GT('x','a') does not cover itself.  The masked-restore
+    paths must not duplicate such filters when a covering filter leaves."""
+
+    @pytest.mark.parametrize("indexed", [True, False])
+    def test_unsubscribe_of_coverer_does_not_duplicate_forwarded(self, indexed):
+        sim = Simulator(seed=0)
+        network = Network(sim, latency=FixedLatency(0.01))
+        brokers = build_broker_tree(sim, network, 2, indexed=indexed)
+        edge, root = brokers[1], brokers[0]
+        narrow_sub = SienaClient(sim, network, Position(1, 1), edge)
+        broad_sub = SienaClient(sim, network, Position(1, 2), edge)
+        string_range = Filter(Constraint("x", Op.GT, "a"))
+        coverer = Filter(Constraint("x", Op.EXISTS))
+        narrow_sub.subscribe(string_range)
+        sim.run_for(1.0)
+        broad_sub.subscribe(coverer)
+        sim.run_for(1.0)
+        broad_sub.unsubscribe(coverer)
+        sim.run_for(1.0)
+        assert edge.forwarded[root.addr].count(string_range) == 1
+        # The surviving subscription must still deliver after re-subscribe
+        # churn (a stale duplicate in the forwarded set would eat it).
+        narrow_sub.unsubscribe(string_range)
+        sim.run_for(1.0)
+        narrow_sub.subscribe(string_range)
+        sim.run_for(1.0)
+        publisher = SienaClient(sim, network, Position(2, 2), root)
+        publisher.publish(make_event("t", x="b"))
+        sim.run_for(1.0)
+        assert len(narrow_sub.received) == 1
+
+
+class TestElvinDedupe:
+    def test_repeated_subscribe_registers_once(self):
+        sim = Simulator(seed=0)
+        network = Network(sim, latency=FixedLatency(0.01))
+        server = ElvinServer(sim, network, Position(0, 0))
+        sub = ElvinClient(sim, network, Position(1, 1), server)
+        pub = ElvinClient(sim, network, Position(2, 2), server)
+        f = Filter(Constraint("type", Op.EQ, "news"))
+        sub.subscribe(f)
+        sub.subscribe(f)
+        sim.run_for(1.0)
+        assert server.subscriptions[sub.addr] == [f]
+        pub.publish(make_event("news"))
+        sim.run_for(1.0)
+        assert len(sub.received) == 1
+        # One unsubscribe fully withdraws the (single) registration.
+        sub.unsubscribe(f)
+        sim.run_for(1.0)
+        pub.publish(make_event("news"))
+        sim.run_for(1.0)
+        assert len(sub.received) == 1
+
+
+class TestTransferCarriesFilters:
+    def test_transfer_reregisters_filters_despite_stale_movein(self):
+        """The Transfer is self-contained: a handover whose MoveIn carried
+        no filters still re-establishes the subscription at the new broker."""
+        sim = Simulator(seed=1)
+        network = Network(sim, latency=FixedLatency(0.01))
+        brokers = build_broker_tree(sim, network, 3)
+        mobile = MobileClient(sim, network, Position(9, 9), brokers[1])
+        pub = SienaClient(sim, network, Position(2, 2), brokers[2])
+        mobile.subscribe(Filter(Constraint("type", Op.EQ, "mail")))
+        sim.run_for(1.0)
+        old_broker = mobile.broker_addr
+        mobile.move_out()
+        sim.run_for(1.0)
+        pub.publish(make_event("mail", n=1))
+        sim.run_for(1.0)
+        # Hand-rolled move-in with a stale (empty) filter list.
+        mobile.recover()
+        mobile.broker_addr = brokers[0].addr
+        mobile.connected = True
+        mobile.send(brokers[0].addr, MoveIn(mobile.addr, old_broker, ()), size_bytes=256)
+        sim.run_for(2.0)
+        assert [n["n"] for _, n in mobile.received] == [1]  # buffered handover
+        pub.publish(make_event("mail", n=2))
+        sim.run_for(2.0)
+        # Without the Transfer's filters the new broker would have no
+        # subscription for the client and n=2 would be lost.
+        assert sorted(n["n"] for _, n in mobile.received) == [1, 2]
+
+    def test_late_transfer_does_not_resurrect_departed_client(self):
+        """A Transfer arriving for a client that already moved on again
+        must not re-attach it or register ghost subscriptions."""
+        sim = Simulator(seed=2)
+        network = Network(sim, latency=FixedLatency(0.01))
+        brokers = build_broker_tree(sim, network, 3)
+        mobile = MobileClient(sim, network, Position(9, 9), brokers[1])
+        other = SienaClient(sim, network, Position(2, 2), brokers[2])
+        f = Filter(Constraint("type", Op.EQ, "mail"))
+        mobile.subscribe(f)
+        sim.run_for(1.0)
+        # A stale Transfer lands at a broker the client is not attached to.
+        other.send(brokers[2].addr, Transfer(mobile.addr, (), (f,)), size_bytes=512)
+        sim.run_for(1.0)
+        assert mobile.addr not in brokers[2].client_addrs
+        assert mobile.addr not in brokers[2].subs_by_source
+        # Delivery still flows only through the live attachment.
+        other.publish(make_event("mail", n=1))
+        sim.run_for(1.0)
+        assert [n["n"] for _, n in mobile.received] == [1]
+
+    def test_buffered_handover_survives_immediate_second_moveout(self):
+        """Buffered notifications in a Transfer that lands while the client
+        is dark again are re-buffered in the proxy, not lost."""
+        sim = Simulator(seed=3)
+        network = Network(sim, latency=FixedLatency(0.01))
+        brokers = build_broker_tree(sim, network, 3)
+        mobile = MobileClient(sim, network, Position(9, 9), brokers[1])
+        pub = SienaClient(sim, network, Position(2, 2), brokers[2])
+        mobile.subscribe(Filter(Constraint("type", Op.EQ, "mail")))
+        sim.run_for(1.0)
+        mobile.move_out()
+        sim.run_for(1.0)
+        pub.publish(make_event("mail", n=1))  # buffered at the old broker
+        sim.run_for(1.0)
+        mobile.move_in(brokers[0])
+        mobile.move_out()  # goes dark again before the Transfer arrives
+        sim.run_for(2.0)
+        assert mobile.received == []
+        mobile.move_in(brokers[0])
+        sim.run_for(2.0)
+        assert [n["n"] for _, n in mobile.received] == [1]
+
+
+class TestEngineEquivalence:
+    def test_indexed_and_naive_engines_synthesize_identically(self):
+        def run(indexed):
+            rng = random.Random(19)
+            sim = Simulator(seed=2)
+            rules = [
+                Rule(
+                    name="pair",
+                    events=(
+                        EventPattern("a", "alpha"),
+                        EventPattern("b", "beta", (Constraint("level", Op.GT, 2),)),
+                    ),
+                    window_s=30.0,
+                    action=lambda b, c: make_event(
+                        "pair-hit", a=b["a"]["subject"], b=b["b"]["subject"]
+                    ),
+                ),
+                Rule(
+                    name="solo",
+                    events=(EventPattern("x", "gamma"),),
+                    window_s=10.0,
+                    action=lambda b, c: make_event("solo-hit", who=b["x"]["subject"]),
+                ),
+            ]
+            engine = MatchingEngine(sim, KnowledgeBase(), rules, indexed=indexed)
+            out = []
+            for step in range(120):
+                event = make_event(
+                    rng.choice(["alpha", "beta", "gamma", "delta"]),
+                    subject=f"user{rng.randrange(4)}",
+                    level=rng.randrange(6),
+                )
+                out.extend(_delivery_key(n) for n in engine.ingest(event))
+                sim.run_for(1.0)
+            return out, engine.stats.matches, engine.stats.events_in
+
+        assert run(True) == run(False)
