@@ -17,6 +17,7 @@ at ≥1k subscriptions"), so a benchmark run doubles as a regression gate.
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -44,6 +45,21 @@ def emit(experiment: str, title: str, headers: list[str], rows: list[list]) -> s
     with open(path, "w") as fh:
         fh.write(table + "\n")
     return table
+
+
+def emit_json(experiment: str, payload: dict) -> str:
+    """Persist machine-readable results under benchmarks/results/.
+
+    A curated copy of one run is committed as ``benchmarks/BENCH_<id>.json``
+    to start the trajectory later PRs compare against (``results/`` itself
+    is gitignored).
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def fmt(value: float, digits: int = 2) -> str:

@@ -11,32 +11,48 @@ class KnowledgeBase:
     Queries use ``None`` as a wildcard:
     ``kb.query(subject="bob", predicate=None)`` returns everything known
     about Bob (valid at the query time, when one is given).
+
+    Subjects are indexed under ``str(subject)``: sensor feeds legitimately
+    produce facts keyed by numeric ids, and ``kb.query(subject=7)`` and
+    ``kb.query(subject="7")`` must find them either way.  ``version``
+    counts successful mutations, so callers (the matching engine's link
+    memo) can stamp cached query results.
     """
 
     def __init__(self) -> None:
         self._facts: set[Fact] = set()
         self._by_subject: dict[str, set[Fact]] = {}
         self._by_predicate: dict[str, set[Fact]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Increments on every successful ``add``/``remove``."""
+        return self._version
 
     def add(self, fact: Fact) -> bool:
         if fact in self._facts:
             return False
         self._facts.add(fact)
-        self._by_subject.setdefault(fact.subject, set()).add(fact)
+        self._by_subject.setdefault(str(fact.subject), set()).add(fact)
         self._by_predicate.setdefault(fact.predicate, set()).add(fact)
+        self._version += 1
         return True
 
     def remove(self, fact: Fact) -> bool:
         if fact not in self._facts:
             return False
         self._facts.discard(fact)
-        self._by_subject.get(fact.subject, set()).discard(fact)
+        self._by_subject.get(str(fact.subject), set()).discard(fact)
         self._by_predicate.get(fact.predicate, set()).discard(fact)
+        self._version += 1
         return True
 
     def retract(self, subject: str, predicate: str) -> int:
         """Remove every fact with the given subject and predicate."""
-        victims = [f for f in self._by_subject.get(subject, ()) if f.predicate == predicate]
+        victims = [
+            f for f in self._by_subject.get(str(subject), ()) if f.predicate == predicate
+        ]
         for fact in victims:
             self.remove(fact)
         return len(victims)
@@ -57,11 +73,11 @@ class KnowledgeBase:
     ) -> list[Fact]:
         """All facts matching the non-None fields, valid at ``at_time``."""
         if subject is not None and predicate is not None:
-            candidates = self._by_subject.get(subject, set()) & self._by_predicate.get(
+            candidates = self._by_subject.get(str(subject), set()) & self._by_predicate.get(
                 predicate, set()
             )
         elif subject is not None:
-            candidates = self._by_subject.get(subject, set())
+            candidates = self._by_subject.get(str(subject), set())
         elif predicate is not None:
             candidates = self._by_predicate.get(predicate, set())
         else:
@@ -73,7 +89,7 @@ class KnowledgeBase:
             if at_time is not None and not fact.valid_at(at_time):
                 continue
             out.append(fact)
-        out.sort(key=lambda f: (f.subject, f.predicate, str(f.object)))
+        out.sort(key=lambda f: (str(f.subject), f.predicate, str(f.object)))
         return out
 
     def value(

@@ -16,7 +16,7 @@ from typing import Any
 
 from repro.events.model import Notification
 from repro.knowledge.base import KnowledgeBase
-from repro.matching.patterns import Bindings, resolve_operand
+from repro.matching.patterns import Bindings, Ref, resolve_operand
 from repro.matching.rules import Rule, RuleContext
 from repro.matching.window import TimeWindowBuffer
 from repro.simulation import Simulator
@@ -31,6 +31,13 @@ class EngineStats:
     guard_errors: int = 0
     suppressed_by_cooldown: int = 0
     match_latencies: list = field(default_factory=list)
+    # Window entries materialized across all enumeration levels: the work
+    # the subject index is meant to cut (full-window heads scanned when
+    # naive, keyed hits when indexed).
+    window_scanned: int = 0
+    # KB link-query traffic: actual kb.query calls vs memo hits.
+    kb_link_queries: int = 0
+    kb_link_memo_hits: int = 0
 
 
 class MatchingEngine:
@@ -44,6 +51,7 @@ class MatchingEngine:
         extras: dict | None = None,
         kb_guided_joins: bool = True,
         indexed: bool = True,
+        indexed_windows: bool = True,
     ):
         self.sim = sim
         self.kb = kb
@@ -56,10 +64,21 @@ class MatchingEngine:
         # event touches only the rules that could possibly pin it.
         # ``indexed=False`` restores the seed's every-rule scan.
         self.indexed = indexed
+        # Ablation switch (benchmarks A2/E9): with ``indexed_windows`` a
+        # KB-guided enumeration level does keyed per-subject lookups into
+        # the window buffer; ``False`` restores the materialize-the-whole-
+        # window-and-filter scan.  Both modes synthesize identical events
+        # (tests/test_join_equivalence.py enforces it).
+        self.indexed_windows = indexed_windows
         self.rules: dict[str, Rule] = {}
         self._buffers: dict[str, dict[str, TimeWindowBuffer]] = {}
         self._patterns_by_type: dict[str, list[tuple[str, object]]] = {}
         self._last_fired: dict[tuple, float] = {}
+        # (kb.version, now)-stamped memo of link queries, so the repeated
+        # enumeration levels of one correlation pass (and same-instant
+        # events) don't re-ask the knowledge base per candidate.
+        self._kb_memo: dict[tuple, frozenset] = {}
+        self._kb_memo_stamp: tuple | None = None
         self.stats = EngineStats()
         for rule in rules:
             self.add_rule(rule)
@@ -70,7 +89,9 @@ class MatchingEngine:
             raise ValueError(f"duplicate rule: {rule.name}")
         self.rules[rule.name] = rule
         self._buffers[rule.name] = {
-            pattern.alias: TimeWindowBuffer(rule.window_s)
+            pattern.alias: TimeWindowBuffer(
+                rule.window_s, max_items=rule.max_window_items
+            )
             for pattern in rule.events
         }
         for pattern in rule.events:
@@ -190,20 +211,27 @@ class MatchingEngine:
         allowed = self._linked_subjects(rule, bound, pattern.alias, now)
         if allowed is not None and not allowed:
             return  # the knowledge base relates nobody: no combination can match
-        pool = self._buffers[rule.name][pattern.alias].recent_distinct(
-            now, limit=None if allowed is not None else per_pool_limit
-        )
-        taken = 0
+        buffer = self._buffers[rule.name][pattern.alias]
+        if allowed is None:
+            # No KB restriction: a budgeted sample of per-entity heads.
+            pool = buffer.recent_distinct(now, limit=per_pool_limit)
+            self.stats.window_scanned += len(pool)
+        elif self.indexed_windows:
+            # Keyed lookups: O(|allowed|) instead of O(window) per level.
+            pool = buffer.heads_for_subjects(now, allowed)
+            self.stats.window_scanned += len(pool)
+        else:
+            heads = buffer.recent_distinct(now, limit=None)
+            self.stats.window_scanned += len(heads)
+            pool = [
+                event
+                for event in heads
+                if event.get("subject") is not None
+                and str(event.get("subject")) in allowed
+            ]
         for event in pool:
             if budget[0] <= 0:
                 return
-            if allowed is not None:
-                subject = event.get("subject")
-                if subject is None or str(subject) not in allowed:
-                    continue
-            elif taken >= per_pool_limit:
-                break
-            taken += 1
             bound[pattern.alias] = event
             self._enumerate(
                 rule, patterns, index + 1, bound, now, per_pool_limit, budget, out
@@ -218,11 +246,9 @@ class MatchingEngine:
         Returns None when no fact pattern links the target to an already
         bound alias (no restriction applies).
         """
-        from repro.matching.patterns import Ref
-
         if not self.kb_guided_joins:
             return None
-        allowed: set | None = None
+        allowed: frozenset | set | None = None
         for fact in rule.facts:
             s_ref = fact.subject if isinstance(fact.subject, Ref) else None
             o_ref = fact.object if isinstance(fact.object, Ref) else None
@@ -234,27 +260,54 @@ class MatchingEngine:
                 anchor = bound[s_ref.alias].get("subject")
                 if anchor is None:
                     continue
-                values = {
-                    str(f.object)
-                    for f in self.kb.query(
-                        subject=str(anchor), predicate=fact.predicate, at_time=now
-                    )
-                }
-                allowed = values if allowed is None else allowed & values
+                values = self._kb_linked("fwd", str(anchor), fact.predicate, now)
             elif o_ref.alias in bound and s_ref.alias == target_alias:
                 anchor = bound[o_ref.alias].get("subject")
                 if anchor is None:
                     continue
-                values = {
-                    f.subject
-                    for f in self.kb.query(
-                        predicate=fact.predicate,
-                        object=str(anchor),
-                        at_time=now,
-                    )
-                }
-                allowed = values if allowed is None else allowed & values
+                values = self._kb_linked("rev", str(anchor), fact.predicate, now)
+            else:
+                continue
+            allowed = values if allowed is None else allowed & values
         return allowed
+
+    def _kb_linked(
+        self, direction: str, anchor: str, predicate: str, now: float
+    ) -> frozenset:
+        """Subject strings the KB links to ``anchor`` via ``predicate``.
+
+        Both directions normalise through ``str`` so non-string subjects
+        and objects (ints from sensor ids) survive the ``allowed``
+        intersection against ``str(event subject)``.  Results are memoized
+        under a (kb.version, now) stamp: facts carry validity intervals,
+        so a cached answer is only exact while both the KB contents and
+        the query instant are unchanged.
+        """
+        stamp = (self.kb.version, now)
+        if stamp != self._kb_memo_stamp:
+            self._kb_memo.clear()
+            self._kb_memo_stamp = stamp
+        key = (direction, anchor, predicate)
+        cached = self._kb_memo.get(key)
+        if cached is not None:
+            self.stats.kb_link_memo_hits += 1
+            return cached
+        self.stats.kb_link_queries += 1
+        if direction == "fwd":
+            cached = frozenset(
+                str(f.object)
+                for f in self.kb.query(
+                    subject=anchor, predicate=predicate, at_time=now
+                )
+            )
+        else:
+            cached = frozenset(
+                str(f.subject)
+                for f in self.kb.query(predicate=predicate, at_time=now)
+                if str(f.object) == anchor
+            )
+        self._kb_memo[key] = cached
+        return cached
 
     def _evaluate(
         self, rule: Rule, bindings: Bindings, now: float
@@ -294,19 +347,28 @@ class MatchingEngine:
         for pattern in rule.facts:
             try:
                 subject = resolve_operand(pattern.subject, bindings)
+                expected = (
+                    resolve_operand(pattern.object, bindings)
+                    if pattern.object is not None
+                    else None
+                )
             except Exception:
                 self.stats.guard_errors += 1
                 return False
-            expected = (
-                resolve_operand(pattern.object, bindings)
-                if pattern.object is not None
-                else None
-            )
             facts = self.kb.query(
                 subject=str(subject), predicate=pattern.predicate, at_time=now
             )
             if expected is not None:
-                facts = [f for f in facts if f.object == expected]
+                if isinstance(pattern.object, Ref) and pattern.object.attr == "subject":
+                    # Subject references are identity-like and str-normalised
+                    # everywhere else in the engine (the allowed sets, the
+                    # correlation keys), so resolution must match the same
+                    # way or int-subject facts admitted by the KB-guided
+                    # enumeration would be silently rejected here.
+                    expected_key = str(expected)
+                    facts = [f for f in facts if str(f.object) == expected_key]
+                else:
+                    facts = [f for f in facts if f.object == expected]
             if facts:
                 bindings[pattern.alias] = facts[0].object
             elif pattern.required:

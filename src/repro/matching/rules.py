@@ -44,6 +44,9 @@ class Rule:
     cooldown_s: float = 0.0
     correlation_key: KeyFn | None = None
     max_combinations: int = 128
+    # Per-pattern window buffer capacity (entries, not entities): bounds
+    # engine memory per alias against runaway sources.
+    max_window_items: int = 256
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -52,6 +55,8 @@ class Rule:
             raise ValueError(f"rule {self.name!r} needs at least one event pattern")
         if self.window_s <= 0:
             raise ValueError(f"rule {self.name!r} needs a positive window")
+        if self.max_window_items <= 0:
+            raise ValueError(f"rule {self.name!r} needs a positive window capacity")
         aliases = [p.alias for p in self.events] + [p.alias for p in self.facts]
         if len(aliases) != len(set(aliases)):
             raise ValueError(f"rule {self.name!r} has duplicate aliases")

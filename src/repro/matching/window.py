@@ -1,8 +1,22 @@
-"""Sliding time-window buffers for event correlation."""
+"""Sliding time-window buffers for event correlation.
+
+Besides the raw entry deque, the buffer maintains two incremental
+subject-keyed indexes so KB-guided joins can do keyed lookups instead of
+materializing and filtering the whole window per enumeration level:
+
+- ``_by_subject``: ``str(subject)`` → the subject's entries currently in
+  the buffer (a per-subject mirror of ``_entries``, oldest→newest),
+  maintained under ``add``, time eviction and ``max_items`` truncation.
+- ``_heads``: ``str(subject)`` → {entity key → that entity's latest
+  ``(time, event)``}, the subject-keyed view of ``_latest``.  Like
+  ``_latest`` it is bounded by the window only, so a flood of other
+  subjects' events cannot push a quiet subject's head out of reach.
+"""
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Any, Iterable
 
 from repro.events.model import Notification
 
@@ -24,26 +38,98 @@ class TimeWindowBuffer:
         # Latest event per entity, bounded by the window only: a flood of
         # other entities' events must not evict a quiet entity's state.
         self._latest: dict = {}
+        # Entity key → rank of its first appearance in _latest.  Iteration
+        # order of _latest is ascending rank, so sorting any subset of
+        # heads by (-time, rank) reproduces recent_distinct's order (a
+        # stable sort by -time over _latest's insertion order) exactly.
+        self._first_seq: dict = {}
+        self._seq = 0
+        # Subject-keyed indexes (see module docstring).
+        self._by_subject: dict[str, deque[tuple[float, Notification]]] = {}
+        self._heads: dict[str, dict[Any, tuple[float, Notification]]] = {}
+        # Entity key → the subject string its head is filed under in _heads.
+        self._entity_subject: dict[Any, str] = {}
+        # Adaptive prune threshold for the window-bounded head maps: a
+        # fixed 2*max_items bar would trigger a full O(live) rebuild on
+        # EVERY add once the window holds that many live entities, so the
+        # bar re-arms at 2× the surviving population after each prune
+        # (amortized O(1) per add; queries filter by cutoff regardless).
+        self._prune_at = 2 * max_items
 
     @staticmethod
     def _entity_key(event: Notification):
         return event.get("subject") or event.get("area") or id(event)
 
+    @staticmethod
+    def _subject_key(event: Notification) -> str | None:
+        subject = event.get("subject")
+        return None if subject is None else str(subject)
+
     def add(self, time: float, event: Notification) -> None:
         self._entries.append((time, event))
+        skey = self._subject_key(event)
+        if skey is not None:
+            self._by_subject.setdefault(skey, deque()).append((time, event))
         if len(self._entries) > self.max_items:
-            self._entries.popleft()
-        self._latest[self._entity_key(event)] = (time, event)
+            self._drop_oldest()
+        ekey = self._entity_key(event)
+        if ekey not in self._latest:
+            self._seq += 1
+            self._first_seq[ekey] = self._seq
+        self._latest[ekey] = (time, event)
+        old_skey = self._entity_subject.get(ekey)
+        if old_skey is not None and old_skey != skey:
+            self._drop_head(old_skey, ekey)
+        if skey is not None:
+            self._entity_subject[ekey] = skey
+            self._heads.setdefault(skey, {})[ekey] = (time, event)
+        elif old_skey is not None:
+            del self._entity_subject[ekey]
         self.evict(time)
+
+    def _drop_oldest(self) -> None:
+        """Pop the globally oldest entry and its subject-index mirror."""
+        time, event = self._entries.popleft()
+        skey = self._subject_key(event)
+        if skey is None:
+            return
+        bucket = self._by_subject.get(skey)
+        # Additions go to _entries and the subject deque in lockstep and
+        # removals only ever take the oldest, so the mirror entry is the
+        # bucket's leftmost.
+        if bucket and bucket[0][1] is event:
+            bucket.popleft()
+            if not bucket:
+                del self._by_subject[skey]
+
+    def _drop_head(self, skey: str, ekey: Any) -> None:
+        bucket = self._heads.get(skey)
+        if bucket is not None:
+            bucket.pop(ekey, None)
+            if not bucket:
+                del self._heads[skey]
 
     def evict(self, now: float) -> None:
         cutoff = now - self.window_s
         while self._entries and self._entries[0][0] < cutoff:
-            self._entries.popleft()
-        if len(self._latest) > 2 * self.max_items:
+            self._drop_oldest()
+        if len(self._latest) > self._prune_at:
             self._latest = {
                 key: (t, e) for key, (t, e) in self._latest.items() if t >= cutoff
             }
+            self._first_seq = {
+                key: seq for key, seq in self._first_seq.items() if key in self._latest
+            }
+            self._entity_subject = {
+                key: skey
+                for key, skey in self._entity_subject.items()
+                if key in self._latest
+            }
+            heads: dict[str, dict[Any, tuple[float, Notification]]] = {}
+            for ekey, skey in self._entity_subject.items():
+                heads.setdefault(skey, {})[ekey] = self._latest[ekey]
+            self._heads = heads
+            self._prune_at = max(2 * self.max_items, 2 * len(self._latest))
 
     def recent(self, now: float, limit: int | None = None) -> list[Notification]:
         """Events still inside the window, newest first."""
@@ -72,6 +158,48 @@ class TimeWindowBuffer:
         )
         heads = [event for _, event in live]
         return heads if limit is None else heads[:limit]
+
+    # -- subject-keyed lookups -----------------------------------------
+    def subjects(self, now: float) -> set[str]:
+        """Subject strings with at least one entry still in the buffer."""
+        self.evict(now)
+        return set(self._by_subject)
+
+    def recent_for_subject(
+        self, now: float, subject, limit: int | None = None
+    ) -> list[Notification]:
+        """One subject's buffered entries, newest first, by keyed lookup.
+
+        Equivalent to filtering :meth:`recent` on ``str(subject)`` but in
+        O(hits) instead of O(window).
+        """
+        self.evict(now)
+        bucket = self._by_subject.get(str(subject))
+        if not bucket:
+            return []
+        events = [event for _, event in reversed(bucket)]
+        return events if limit is None else events[:limit]
+
+    def heads_for_subjects(
+        self, now: float, subjects: Iterable[str]
+    ) -> list[Notification]:
+        """Per-entity heads whose subject string is in ``subjects``.
+
+        Exactly ``recent_distinct(now)`` filtered to those subjects — same
+        events, same newest-first order — but served by keyed lookups, so
+        the cost scales with the correlated set, not the window population.
+        """
+        cutoff = now - self.window_s
+        live = []
+        for skey in set(subjects):
+            bucket = self._heads.get(skey)
+            if not bucket:
+                continue
+            for ekey, (time, event) in bucket.items():
+                if time >= cutoff:
+                    live.append((-time, self._first_seq[ekey], event))
+        live.sort(key=lambda item: (item[0], item[1]))
+        return [event for _, _, event in live]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,275 @@
+"""Seeded randomized equivalence: subject-indexed join windows ≡ naive scans.
+
+The per-subject window index is only admissible if a KB-guided enumeration
+level served by keyed lookups yields *exactly* the candidate pool the naive
+materialize-and-filter scan yields — same events, same newest-first order —
+because enumeration order decides which combinations consume the budget,
+which binding fires first, and therefore what the cooldown suppresses.  The
+suite drives indexed-window and naive engines through identical randomized
+workloads (random rules, KB churn with validity intervals, window expiry,
+``max_window_items`` overflow, int/str/absent subjects) and requires
+identical synthesized-event streams and identical engine stats.
+"""
+
+import random
+
+import pytest
+
+from repro.events.filters import Constraint, Op
+from repro.events.model import make_event
+from repro.knowledge import Fact, KnowledgeBase
+from repro.matching.engine import MatchingEngine
+from repro.matching.patterns import EventPattern, FactPattern, Ref
+from repro.matching.rules import Rule
+from repro.simulation import Simulator
+
+EVENT_TYPES = ["alpha", "beta", "gamma", "delta", "noise"]
+PREDICATES = ["knows", "paired", "near"]
+# 3 and "3" collide under str(): several distinct entities may share one
+# subject string, and both engines must enumerate every one of them.
+SUBJECTS = [1, 2, 3, 7, 9, "u1", "u2", "3", "s0"]
+
+
+def _delivery_key(notification):
+    return tuple(sorted((k, repr(v)) for k, v in notification.items()))
+
+
+def _hit_action(rule_name):
+    def action(bindings, ctx):
+        attrs = {"rule": rule_name}
+        for alias in ("a", "b", "c"):
+            event = bindings.get(alias)
+            if event is not None:
+                attrs[alias] = str(event.get("subject", "?"))
+        return make_event("hit", **attrs)
+
+    return action
+
+
+def _random_link(rng, source: str, target: str) -> FactPattern:
+    """A fact pattern linking two event aliases by subject, either way."""
+    predicate = rng.choice(PREDICATES)
+    if rng.random() < 0.5:
+        subject, object_ = Ref(source, "subject"), Ref(target, "subject")
+    else:
+        subject, object_ = Ref(target, "subject"), Ref(source, "subject")
+    return FactPattern(
+        f"link_{source}_{target}",
+        subject=subject,
+        predicate=predicate,
+        object=object_,
+        required=rng.random() < 0.7,
+    )
+
+
+def _random_rules(seed: int) -> list[Rule]:
+    rng = random.Random(seed)
+    rules = []
+    for index in range(6):
+        n_patterns = rng.choice([2, 2, 3])
+        aliases = ["a", "b", "c"][:n_patterns]
+        events = []
+        for alias in aliases:
+            constraints = ()
+            if rng.random() < 0.3:
+                constraints = (Constraint("level", Op.GT, rng.randrange(4)),)
+            events.append(EventPattern(alias, rng.choice(EVENT_TYPES), constraints))
+        facts = []
+        if rng.random() < 0.85:
+            facts.append(_random_link(rng, "a", "b"))
+        if n_patterns == 3 and rng.random() < 0.7:
+            facts.append(_random_link(rng, rng.choice(["a", "b"]), "c"))
+        guards = ()
+        if n_patterns >= 2 and rng.random() < 0.5:
+            guards = (
+                lambda b, c: str(b["a"].get("subject")) != str(b["b"].get("subject")),
+            )
+        rules.append(
+            Rule(
+                name=f"r{index}",
+                events=tuple(events),
+                window_s=rng.choice([8.0, 20.0, 60.0]),
+                facts=tuple(facts),
+                guards=guards,
+                action=_hit_action(f"r{index}"),
+                cooldown_s=rng.choice([0.0, 0.0, 15.0]),
+                max_combinations=rng.choice([8, 32, 128]),
+                max_window_items=rng.choice([4, 16, 256]),
+            )
+        )
+    return rules
+
+
+def _random_fact(rng, now: float) -> Fact:
+    subject = rng.choice([s for s in SUBJECTS if s])  # Fact forbids falsy subjects
+    object_ = rng.choice(SUBJECTS)
+    if rng.random() < 0.5:
+        object_ = str(object_)
+    if rng.random() < 0.3:
+        return Fact(
+            subject,
+            rng.choice(PREDICATES),
+            object_,
+            valid_from=now - rng.uniform(0.0, 10.0),
+            valid_to=now + rng.uniform(1.0, 40.0),
+        )
+    return Fact(subject, rng.choice(PREDICATES), object_)
+
+
+def _random_event(rng, now: float):
+    attrs = {"level": rng.randrange(6)}
+    roll = rng.random()
+    if roll < 0.75:
+        attrs["subject"] = rng.choice(SUBJECTS)
+    elif roll < 0.82:
+        attrs["subject"] = 0  # falsy subject: entity key falls back to area/id
+        if rng.random() < 0.5:
+            attrs["area"] = f"zone{rng.randrange(3)}"
+    elif roll < 0.92:
+        attrs["area"] = f"zone{rng.randrange(3)}"
+    return make_event(rng.choice(EVENT_TYPES), time=now, **attrs)
+
+
+def _run_workload(seed: int, indexed_windows: bool):
+    rng = random.Random(seed * 7919)
+    sim = Simulator(seed=seed)
+    kb = KnowledgeBase()
+    engine = MatchingEngine(
+        sim, kb, _random_rules(seed), indexed_windows=indexed_windows
+    )
+    live_facts: list[Fact] = []
+    out = []
+    for step in range(300):
+        roll = rng.random()
+        if roll < 0.12:
+            fact = _random_fact(rng, sim.now)
+            if kb.add(fact):
+                live_facts.append(fact)
+        elif roll < 0.18 and live_facts:
+            kb.remove(live_facts.pop(rng.randrange(len(live_facts))))
+        elif roll < 0.21 and live_facts:
+            victim = rng.choice(live_facts)
+            kb.retract(victim.subject, victim.predicate)
+            live_facts = [f for f in kb.query()]
+        for notification in engine.ingest(_random_event(rng, sim.now)):
+            out.append((step, _delivery_key(notification)))
+        # Mostly small gaps; occasional jumps past every rule's window.
+        sim.run_for(90.0 if rng.random() < 0.03 else rng.uniform(0.0, 2.5))
+    stats = engine.stats
+    return out, (
+        stats.events_in,
+        stats.candidate_joins,
+        stats.matches,
+        stats.synthesized,
+        stats.suppressed_by_cooldown,
+        stats.guard_errors,
+    )
+
+
+class TestJoinEquivalence:
+    @pytest.mark.parametrize("seed", [11, 29, 47, 83, 131])
+    def test_indexed_and_naive_windows_synthesize_identically(self, seed):
+        indexed_out, indexed_stats = _run_workload(seed, True)
+        naive_out, naive_stats = _run_workload(seed, False)
+        assert indexed_out == naive_out
+        assert indexed_stats == naive_stats
+
+    def test_workloads_actually_fire(self):
+        """Guard against vacuous equivalence: the seeds must produce hits."""
+        fired = sum(len(_run_workload(seed, True)[0]) for seed in [11, 29, 47])
+        assert fired > 0
+
+
+class TestIntSubjectLinking:
+    """Regression for the asymmetric coercion in ``_linked_subjects``: the
+    reverse direction used to collect raw ``f.subject``, so facts whose
+    subjects are ints (sensor ids) silently failed the intersection with
+    ``str(event subject)`` and the correlation never fired."""
+
+    def _engine(self, indexed_windows):
+        sim = Simulator(seed=5)
+        kb = KnowledgeBase()
+        # An int-subject, int-object fact: sensor 9 is paired with sensor 7.
+        kb.add(Fact(9, "paired", 7))
+        rule = Rule(
+            name="paired-sensors",
+            events=(EventPattern("a", "ping"), EventPattern("b", "pong")),
+            window_s=60.0,
+            facts=(
+                FactPattern(
+                    "l",
+                    subject=Ref("b", "subject"),
+                    predicate="paired",
+                    object=Ref("a", "subject"),
+                ),
+            ),
+            action=lambda b, c: make_event(
+                "pair-hit", a=str(b["a"]["subject"]), b=str(b["b"]["subject"])
+            ),
+        )
+        return sim, MatchingEngine(sim, kb, [rule], indexed_windows=indexed_windows)
+
+    @pytest.mark.parametrize("indexed_windows", [True, False])
+    def test_reverse_direction_links_int_subjects(self, indexed_windows):
+        # ping first: the pong arrival resolves the forward direction.
+        sim, engine = self._engine(indexed_windows)
+        engine.ingest(make_event("ping", time=sim.now, subject=7))
+        out = engine.ingest(make_event("pong", time=sim.now, subject=9))
+        assert [(e["a"], e["b"]) for e in out] == [("7", "9")]
+        # pong first: the ping arrival takes the reverse direction, which
+        # must coerce the fact's int subject before intersecting.
+        sim, engine = self._engine(indexed_windows)
+        engine.ingest(make_event("pong", time=sim.now, subject=9))
+        out = engine.ingest(make_event("ping", time=sim.now, subject=7))
+        assert [(e["a"], e["b"]) for e in out] == [("7", "9")]
+
+    @pytest.mark.parametrize("indexed_windows", [True, False])
+    def test_unrelated_int_subjects_stay_pruned(self, indexed_windows):
+        sim, engine = self._engine(indexed_windows)
+        engine.ingest(make_event("pong", time=sim.now, subject=9))
+        assert engine.ingest(make_event("ping", time=sim.now, subject=8)) == []
+
+    @pytest.mark.parametrize("indexed_windows", [True, False])
+    def test_fact_resolution_matches_mixed_type_subjects(self, indexed_windows):
+        """A candidate admitted by the str-normalised guidance must not be
+        silently rejected at fact resolution: the event subject arrives as
+        the string form '7' while the fact object is the int 7."""
+        sim, engine = self._engine(indexed_windows)
+        engine.ingest(make_event("ping", time=sim.now, subject="7"))
+        out = engine.ingest(make_event("pong", time=sim.now, subject="9"))
+        assert [(e["a"], e["b"]) for e in out] == [("7", "9")]
+
+
+class TestKbLinkMemo:
+    def test_memo_spares_repeat_queries_and_tracks_kb_version(self):
+        sim = Simulator(seed=1)
+        kb = KnowledgeBase()
+        kb.add(Fact("bob", "knows", "anna"))
+        rule = Rule(
+            name="meet",
+            events=(EventPattern("a", "loc"), EventPattern("b", "loc")),
+            window_s=60.0,
+            facts=(
+                FactPattern(
+                    "l",
+                    subject=Ref("a", "subject"),
+                    predicate="knows",
+                    object=Ref("b", "subject"),
+                ),
+            ),
+            guards=(lambda b, c: b["a"]["subject"] != b["b"]["subject"],),
+            action=lambda b, c: make_event(
+                "hit", a=b["a"]["subject"], b=b["b"]["subject"]
+            ),
+        )
+        engine = MatchingEngine(sim, kb, [rule])
+        engine.ingest(make_event("loc", time=sim.now, subject="anna"))
+        # Same instant, repeated anchors: one real query, the rest memoized.
+        for _ in range(5):
+            engine.ingest(make_event("loc", time=sim.now, subject="bob"))
+        assert engine.stats.kb_link_memo_hits > 0
+        baseline = engine.stats.kb_link_queries
+        # A KB mutation bumps version and invalidates the memo.
+        kb.add(Fact("bob", "knows", "carol"))
+        engine.ingest(make_event("loc", time=sim.now, subject="bob"))
+        assert engine.stats.kb_link_queries > baseline

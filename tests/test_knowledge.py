@@ -93,6 +93,35 @@ class TestKnowledgeBase:
         assert Fact("anna", "knows", "bob") in self.kb
         assert Fact("anna", "knows", "carol") not in self.kb
 
+    def test_version_counts_successful_mutations_only(self):
+        kb = KnowledgeBase()
+        assert kb.version == 0
+        kb.add(Fact("bob", "likes", "ice-cream"))
+        assert kb.version == 1
+        kb.add(Fact("bob", "likes", "ice-cream"))  # duplicate: no-op
+        assert kb.version == 1
+        kb.remove(Fact("bob", "likes", "ice-cream"))
+        assert kb.version == 2
+        kb.remove(Fact("bob", "likes", "ice-cream"))  # absent: no-op
+        assert kb.version == 2
+        kb.add(Fact("bob", "knows", "anna"))
+        kb.retract("bob", "knows")
+        assert kb.version == 4
+
+    def test_int_subjects_index_under_their_string(self):
+        """Sensor feeds key facts by numeric id; lookups must find them
+        whether the caller passes the int or its string form."""
+        kb = KnowledgeBase()
+        kb.add(Fact(7, "paired", 9))
+        assert kb.query(subject=7) == [Fact(7, "paired", 9)]
+        assert kb.query(subject="7") == [Fact(7, "paired", 9)]
+        assert kb.query(subject="7", predicate="paired")[0].object == 9
+        # Mixed int/str subjects sort without blowing up.
+        kb.add(Fact("anna", "knows", "bob"))
+        assert len(kb.query()) == 2
+        assert kb.retract(7, "paired") == 1
+        assert kb.query(subject="7") == []
+
 
 class TestDistributedKnowledgeBase:
     def make_dkb(self, count=15):

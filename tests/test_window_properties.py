@@ -93,3 +93,125 @@ class TestWindowProperties:
         full = buffer.recent_distinct(now)
         limited = buffer.recent_distinct(now, limit=limit)
         assert limited == full[:limit]
+
+
+# Richer streams for the subject index: int subjects (sensor ids), str
+# subjects, the 3/"3" str() collision, falsy subjects, area-only and
+# attribute-less events — every head-keying edge the engine can produce.
+mixed_streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        st.integers(0, 7),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def mixed_event(kind: int, now: float):
+    if kind <= 2:
+        return make_event("ping", time=now, subject=f"s{kind}")
+    if kind == 3:
+        return make_event("ping", time=now, subject=3)
+    if kind == 4:
+        return make_event("ping", time=now, subject="3")  # collides with 3
+    if kind == 5:
+        return make_event("ping", time=now, subject=0, area="zone")  # falsy
+    if kind == 6:
+        return make_event("ping", time=now, area="zone")  # no subject
+    return make_event("ping", time=now)  # neither subject nor area
+
+
+def replay_mixed(stream, window_s=30.0, max_items=8):
+    """Small max_items so truncation churns the subject index constantly."""
+    buffer = TimeWindowBuffer(window_s, max_items=max_items)
+    now = 0.0
+    for gap, kind in stream:
+        now += gap
+        buffer.add(now, mixed_event(kind, now))
+    return buffer, now
+
+
+class TestSubjectIndexProperties:
+    @given(mixed_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_keyed_lookup_agrees_with_entries_scan(self, stream):
+        """recent_for_subject ≡ brute-force filter of _entries, per subject."""
+        buffer, now = replay_mixed(stream)
+        buffer.evict(now)
+        seen = {str(e["subject"]) for _, e in buffer._entries if "subject" in e}
+        for subject in seen | {"never-seen"}:
+            expected = [
+                event
+                for _, event in reversed(buffer._entries)
+                if "subject" in event and str(event["subject"]) == subject
+            ]
+            assert buffer.recent_for_subject(now, subject) == expected
+
+    @given(mixed_streams, st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_keyed_lookup_limit_truncates_newest_first(self, stream, limit):
+        buffer, now = replay_mixed(stream)
+        for subject in buffer.subjects(now):
+            full = buffer.recent_for_subject(now, subject)
+            assert buffer.recent_for_subject(now, subject, limit=limit) == full[:limit]
+
+    @given(mixed_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_heads_lookup_equals_filtered_recent_distinct(self, stream):
+        """The engine's keyed path: heads_for_subjects must return exactly
+        recent_distinct filtered to the subject set, in the same order."""
+        buffer, now = replay_mixed(stream)
+        all_subjects = {
+            "s0", "s1", "s2", "3", "0", "never-seen",
+        }
+        for subset in (all_subjects, {"3"}, {"0", "s1"}, {"never-seen"}, set()):
+            expected = [
+                event
+                for event in buffer.recent_distinct(now)
+                if event.get("subject") is not None
+                and str(event.get("subject")) in subset
+            ]
+            assert buffer.heads_for_subjects(now, subset) == expected
+
+    @given(mixed_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_heads_lookup_ignores_duplicate_subjects(self, stream):
+        buffer, now = replay_mixed(stream)
+        once = buffer.heads_for_subjects(now, {"s1", "3"})
+        assert buffer.heads_for_subjects(now, ["s1", "3", "s1", "3"]) == once
+
+    @given(mixed_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_no_stale_subjects_survive_eviction(self, stream):
+        buffer, now = replay_mixed(stream)
+        live = buffer.subjects(now)
+        actual = {str(e["subject"]) for _, e in buffer._entries if "subject" in e}
+        assert live == actual
+        # Heads never resurrect expired events either.
+        cutoff = now - buffer.window_s
+        for event in buffer.heads_for_subjects(now, live | {"s0", "3", "0"}):
+            assert float(event["time"]) >= cutoff
+
+    @given(mixed_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_index_empties_after_window_passes(self, stream):
+        buffer, now = replay_mixed(stream)
+        later = now + buffer.window_s + 1.0
+        assert buffer.subjects(later) == set()
+        assert buffer.heads_for_subjects(later, {"s0", "s1", "s2", "3", "0"}) == []
+        assert buffer.recent_for_subject(later, "s0") == []
+
+    @given(mixed_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_recent_distinct_unchanged_by_index_maintenance(self, stream):
+        """recent_distinct ordering and bounds: still the per-entity heads
+        sorted newest first, flood-proof against max_items truncation."""
+        buffer, now = replay_mixed(stream)
+        heads = buffer.recent_distinct(now)
+        times = [float(e["time"]) for e in heads]
+        assert times == sorted(times, reverse=True)
+        cutoff = now - buffer.window_s
+        assert all(t >= cutoff for t in times)
+        keys = [TimeWindowBuffer._entity_key(e) for e in heads]
+        assert len(keys) == len(set(keys))
