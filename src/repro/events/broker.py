@@ -13,15 +13,43 @@ are :class:`~repro.events.index.CoveringPoset` lookups.  ``indexed=False``
 keeps the seed's linear scans as the measurable ablation baseline
 (benchmark E13), just as ``covering_enabled=False`` keeps the
 no-covering baseline (benchmark A1).
+
+Two routing behaviours complete Siena's advertisement/subscription
+interaction:
+
+* **Advertisement-pruned subscription forwarding** (``adv_pruned=True``)
+  — a subscription travels toward a neighbour only when that
+  neighbour's subtree has advertised a filter intersecting it
+  (:func:`~repro.events.filters.filters_intersect`; a ``False``
+  intersection answer is exact, so pruning can never lose advertised
+  traffic).  An advertisement arriving later re-forwards the
+  subscriptions it unblocks; an unadvertise retracts the subscriptions
+  the withdrawn filter alone was justifying.  Producers must advertise
+  before publishing for deliveries to be mode-independent — the Siena
+  contract — and the E5 benchmark quantifies the Subscribe-forwarding
+  reduction on producer-sparse trees.
+
+* **Dynamic topologies** — :meth:`BrokerNode.connect` exchanges the
+  complete current subscription/advertisement state between the two
+  brokers (advertisements first, so pruning decisions on the far side
+  see them), letting subtrees join after traffic has started and still
+  converge to delivery-equivalent routing state;
+  :meth:`BrokerNode.disconnect` withdraws everything the departing link
+  carried, propagating the retractions onward.
+
+``tests/test_broker_topology_equivalence.py`` holds all of it to
+randomized delivery equivalence across {naive, indexed,
+indexed+adv_pruned} and across join orders.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.events.covering import filter_covers
-from repro.events.filters import Filter
+from repro.events.filters import Filter, filters_intersect
 from repro.events.index import CoveringPoset, PredicateIndex
 from repro.events.model import Notification
 from repro.events.subscriptions import Subscription
@@ -109,6 +137,10 @@ class BrokerNode(Host):
     fabric; disabling it restores the seed's linear scans (the baseline
     measured in benchmark E13).  Both switches preserve delivery
     semantics exactly — they only change what the dispatch path costs.
+    ``adv_pruned`` switches advertisement-pruned subscription forwarding
+    (benchmark E5's ablation): deliveries stay identical for traffic
+    whose producers advertise before publishing; unadvertised traffic is
+    only guaranteed to reach subscribers sharing the producer's broker.
     """
 
     def __init__(
@@ -118,10 +150,15 @@ class BrokerNode(Host):
         position: Position,
         covering_enabled: bool = True,
         indexed: bool = True,
+        adv_pruned: bool = False,
     ):
         super().__init__(sim, network, position)
         self.covering_enabled = covering_enabled
         self.indexed = indexed
+        self.adv_pruned = adv_pruned
+        # Broker→neighbour control traffic by message type — the E5
+        # benchmark reads the Subscribe row to price routing-table upkeep.
+        self.control_counts: Counter[str] = Counter()
         self.neighbours: set[Address] = set()
         self.client_addrs: set[Address] = set()
         # Subscriptions by immediate source (neighbour broker or client).
@@ -159,15 +196,79 @@ class BrokerNode(Host):
         self._adv_sources: dict[Filter, set[Address]] = {}
         self._advfwd_posets: dict[Address, CoveringPoset] = {}
         self._advfwd_ids: dict[Address, dict[Filter, int]] = {}
+        # Per-source posets over the advertisements received *from* each
+        # source — the "does this subtree produce anything the
+        # subscription wants?" query behind advertisement pruning.
+        self._adv_in: dict[Address, CoveringPoset] = {}
+        self._adv_in_ids: dict[tuple[Address, Filter], int] = {}
 
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
     def connect(self, other: "BrokerNode") -> None:
+        """Link two brokers and exchange their full routing state.
+
+        Each side pushes every advertisement and subscription it stores
+        (advertisements first, so advertisement-pruned forwarding
+        decisions on the receiving side can already see them), exactly
+        as if the filters were arriving fresh — covering suppression
+        and pruning apply as usual.  A subtree connected after traffic
+        has started therefore converges to the same delivery behaviour
+        as one present from the start.
+        """
         self.neighbours.add(other.addr)
         other.neighbours.add(self.addr)
         self.forwarded.setdefault(other.addr, [])
         other.forwarded.setdefault(self.addr, [])
+        self._sync_new_neighbour(other.addr)
+        other._sync_new_neighbour(self.addr)
+
+    def disconnect(self, other: "BrokerNode") -> None:
+        """Tear down the link and withdraw the state it carried.
+
+        Both ends drop what they forwarded across the link, remove the
+        subscriptions/advertisements the departing neighbour had sent,
+        and propagate the retractions onward — the inverse of
+        :meth:`connect`'s state exchange.
+        """
+        self.neighbours.discard(other.addr)
+        other.neighbours.discard(self.addr)
+        self._forget_neighbour(other.addr)
+        other._forget_neighbour(self.addr)
+
+    def _sync_new_neighbour(self, neighbour: Address) -> None:
+        for source, filters in list(self.adverts_by_source.items()):
+            if source == neighbour:
+                continue
+            for filter in list(filters):
+                self._forward_filter(
+                    neighbour, filter, self.adverts_forwarded,
+                    self._advfwd_posets, self._advfwd_ids, Advertise,
+                )
+        for source, subs in list(self.subs_by_source.items()):
+            if source == neighbour:
+                continue
+            for sub in list(subs):
+                if self._sub_blocked(neighbour, sub.filter):
+                    continue  # re-forwarded if their advertisements arrive
+                self._forward_filter(
+                    neighbour, sub.filter, self.forwarded, self._fwd_posets,
+                    self._fwd_ids, Subscribe,
+                )
+
+    def _forget_neighbour(self, neighbour: Address) -> None:
+        self.forwarded.pop(neighbour, None)
+        self._fwd_posets.pop(neighbour, None)
+        self._fwd_ids.pop(neighbour, None)
+        self.adverts_forwarded.pop(neighbour, None)
+        self._advfwd_posets.pop(neighbour, None)
+        self._advfwd_ids.pop(neighbour, None)
+        for filter in [s.filter for s in self.subs_by_source.get(neighbour, [])]:
+            self._remove_subscription(neighbour, filter)
+        for filter in list(self.adverts_by_source.get(neighbour, ())):
+            self._remove_advertisement(neighbour, filter)
+        self.adverts_by_source.pop(neighbour, None)
+        self._adv_in.pop(neighbour, None)
 
     def attach_client(self, client_addr: Address) -> None:
         self.client_addrs.add(client_addr)
@@ -195,6 +296,8 @@ class BrokerNode(Host):
         for neighbour in self.neighbours:
             if neighbour == source:
                 continue
+            if self._sub_blocked(neighbour, filter):
+                continue  # deferred: unblocked if an advertisement arrives
             self._forward_filter(
                 neighbour, filter, self.forwarded, self._fwd_posets,
                 self._fwd_ids, Subscribe,
@@ -224,6 +327,7 @@ class BrokerNode(Host):
                     ids_by_neighbour=self._fwd_ids,
                     retract_msg=Unsubscribe,
                     restore_msg=Subscribe,
+                    restore_pruned=True,
                 )
             return
         for neighbour in self.neighbours:
@@ -238,7 +342,7 @@ class BrokerNode(Host):
             already = self.forwarded.setdefault(neighbour, [])
             if filter in already and not any(f == filter for f in remaining):
                 already.remove(filter)
-                self.send(neighbour, Unsubscribe(filter), size_bytes=128)
+                self._send_control(neighbour, Unsubscribe(filter))
                 # Re-forward anything the removed filter was masking.  The
                 # explicit membership check matters: filter_covers is not
                 # reflexive for range constraints over strings/bools, so
@@ -246,13 +350,108 @@ class BrokerNode(Host):
                 for f in remaining:
                     if f in already:
                         continue
+                    if self._sub_blocked(neighbour, f):
+                        continue
                     if not any(filter_covers(existing, f) for existing in already):
                         already.append(f)
-                        self.send(neighbour, Subscribe(f), size_bytes=128)
+                        self._send_control(neighbour, Subscribe(f))
+
+    # ------------------------------------------------------------------
+    # Advertisement pruning predicates
+    # ------------------------------------------------------------------
+    def _adv_intersects(self, neighbour: Address, filter: Filter) -> bool:
+        """Has ``neighbour`` advertised anything intersecting ``filter``?"""
+        if self.indexed:
+            poset = self._adv_in.get(neighbour)
+            return poset is not None and poset.intersecting_any(filter)
+        return any(
+            filters_intersect(advert, filter)
+            for advert in self.adverts_by_source.get(neighbour, ())
+        )
+
+    def _sub_blocked(self, neighbour: Address, filter: Filter) -> bool:
+        """Should forwarding ``filter`` toward ``neighbour`` be withheld?
+
+        Only under ``adv_pruned``, and only while no advertisement from
+        that neighbour intersects the subscription — i.e. while its
+        subtree provably produces nothing the subscription wants.
+        """
+        return self.adv_pruned and not self._adv_intersects(neighbour, filter)
+
+    def _covered_by_peer_advert(self, source: Address, filter: Filter) -> bool:
+        """Is ``filter`` covered by another advertisement from ``source``?
+
+        Used to skip unblock/re-prune scans: a covering advertisement
+        from the same source admits a superset of notifications, so it
+        already justifies (or keeps justifying) every subscription the
+        covered one could.
+        """
+        if self.indexed:
+            poset = self._adv_in.get(source)
+            if poset is None:
+                return False
+            own = self._adv_in_ids.get((source, filter))
+            return any(pid != own for pid in poset.covering(filter))
+        return any(
+            advert != filter and filter_covers(advert, filter)
+            for advert in self.adverts_by_source.get(source, ())
+        )
+
+    def _unblock_subscriptions(self, neighbour: Address, advert: Filter) -> None:
+        """Forward the stored subscriptions a new advertisement unblocks.
+
+        Any subscription intersecting the advertisement now has a
+        producer in the neighbour's subtree; ``_forward_filter``'s
+        duplicate/covering suppression keeps the scan idempotent.  A
+        covering advertisement already stored from the same neighbour
+        means every such subscription was unblocked before — skip.
+        """
+        if self._covered_by_peer_advert(neighbour, advert):
+            return
+        for source, subs in list(self.subs_by_source.items()):
+            if source == neighbour:
+                continue
+            for sub in list(subs):
+                if not filters_intersect(advert, sub.filter):
+                    continue
+                self._forward_filter(
+                    neighbour, sub.filter, self.forwarded, self._fwd_posets,
+                    self._fwd_ids, Subscribe,
+                )
+
+    def _reprune_subscriptions(self, neighbour: Address, advert: Filter) -> None:
+        """Retract forwarded subscriptions a withdrawn advert justified.
+
+        Symmetric to :meth:`_unblock_subscriptions`: a subscription
+        forwarded toward the neighbour is withdrawn once no remaining
+        advertisement from that neighbour intersects it.  Subscriptions
+        the retracted one was masking need no restore — anything they
+        intersect, it intersects too, so they are equally unjustified.
+        """
+        if self._covered_by_peer_advert(neighbour, advert):
+            return
+        already = self.forwarded.get(neighbour)
+        if not already:
+            return
+        ids = self._fwd_ids.get(neighbour, {})
+        poset = self._fwd_posets.get(neighbour)
+        for filter in list(already):
+            if not filters_intersect(advert, filter):
+                continue  # never depended on the withdrawn advertisement
+            if self._adv_intersects(neighbour, filter):
+                continue  # still justified by another advertisement
+            already.remove(filter)
+            if self.indexed and filter in ids and poset is not None:
+                poset.remove(ids.pop(filter))
+            self._send_control(neighbour, Unsubscribe(filter))
 
     # ------------------------------------------------------------------
     # Indexed-fabric helpers (shared by subscriptions and advertisements)
     # ------------------------------------------------------------------
+    def _send_control(self, neighbour: Address, payload) -> None:
+        self.control_counts[type(payload).__name__] += 1
+        self.send(neighbour, payload, size_bytes=128)
+
     @staticmethod
     def _drop_source(sources: dict[Filter, set[Address]], filter: Filter, source: Address) -> None:
         members = sources.get(filter)
@@ -294,7 +493,7 @@ class BrokerNode(Host):
             if filter in already:
                 return
         already.append(filter)
-        self.send(neighbour, forward_msg(filter), size_bytes=128)
+        self._send_control(neighbour, forward_msg(filter))
 
     def _retract_forwarded(
         self,
@@ -307,6 +506,7 @@ class BrokerNode(Host):
         ids_by_neighbour: dict[Address, dict[Filter, int]],
         retract_msg,
         restore_msg,
+        restore_pruned: bool = False,
     ) -> None:
         """Withdraw ``filter`` from a neighbour and re-forward what it masked.
 
@@ -314,7 +514,9 @@ class BrokerNode(Host):
         because some forwarded filter covered it, so the candidates for
         re-forwarding are exactly the store poset's ``covered_by`` set of
         the withdrawn filter — a poset lookup instead of a rescan of the
-        whole store.
+        whole store.  ``restore_pruned`` applies advertisement pruning to
+        the restores (subscription retractions only): a masked filter no
+        advertisement justifies stays parked until one arrives.
         """
         already = forwarded.setdefault(neighbour, [])
         ids = ids_by_neighbour.setdefault(neighbour, {})
@@ -325,7 +527,7 @@ class BrokerNode(Host):
             return  # still stored from elsewhere: the neighbour keeps it
         already.remove(filter)
         poset.remove(ids.pop(filter))
-        self.send(neighbour, retract_msg(filter), size_bytes=128)
+        self._send_control(neighbour, retract_msg(filter))
         for pid in store_poset.covered_by(filter):
             masked_source, masked = store_poset.payload(pid)
             if masked_source == neighbour:
@@ -336,11 +538,13 @@ class BrokerNode(Host):
                 # range constraints over strings/bools, so covers_any
                 # alone would re-append such a filter.
                 continue
+            if restore_pruned and self._sub_blocked(neighbour, masked):
+                continue
             if poset.covers_any(masked):
                 continue  # still covered by another forwarded filter
             already.append(masked)
             ids[masked] = poset.add(masked)
-            self.send(neighbour, restore_msg(masked), size_bytes=128)
+            self._send_control(neighbour, restore_msg(masked))
 
     # ------------------------------------------------------------------
     # Advertisements
@@ -355,6 +559,9 @@ class BrokerNode(Host):
             self._adv_entry_ids[key] = self._adv_index.add(filter, payload=source)
             self._adv_poset_ids[key] = self._adv_poset.add(filter, payload=key)
             self._adv_sources.setdefault(filter, set()).add(source)
+            self._adv_in_ids[key] = self._adv_in.setdefault(
+                source, CoveringPoset()
+            ).add(filter)
         else:
             if filter in adverts:
                 return
@@ -366,17 +573,32 @@ class BrokerNode(Host):
                 neighbour, filter, self.adverts_forwarded, self._advfwd_posets,
                 self._advfwd_ids, Advertise,
             )
+        if self.adv_pruned and source in self.neighbours:
+            # Deferred re-propagation: the new advertisement may unblock
+            # subscriptions previously pruned toward its source.
+            self._unblock_subscriptions(source, filter)
 
     def _remove_advertisement(self, source: Address, filter: Filter) -> None:
         adverts = self.adverts_by_source.get(source, [])
+        removed = False
         if filter in adverts:
             adverts.remove(filter)
+            removed = True
             if self.indexed:
                 key = (source, filter)
                 if key in self._adv_entry_ids:
                     self._adv_index.remove(self._adv_entry_ids.pop(key))
                     self._adv_poset.remove(self._adv_poset_ids.pop(key))
                     self._drop_source(self._adv_sources, filter, source)
+                if key in self._adv_in_ids:
+                    poset = self._adv_in[source]
+                    poset.remove(self._adv_in_ids.pop(key))
+                    if not len(poset):
+                        del self._adv_in[source]
+        if removed and self.adv_pruned and source in self.neighbours:
+            # Symmetric retraction: subscriptions only this advertisement
+            # justified are withdrawn from its source again.
+            self._reprune_subscriptions(source, filter)
         if self.indexed:
             for neighbour in self.neighbours:
                 if neighbour == source:
@@ -405,7 +627,7 @@ class BrokerNode(Host):
             already = self.adverts_forwarded.setdefault(neighbour, [])
             if filter in already and filter not in remaining:
                 already.remove(filter)
-                self.send(neighbour, Unadvertise(filter), size_bytes=128)
+                self._send_control(neighbour, Unadvertise(filter))
                 # Re-forward anything the removed advertisement was masking,
                 # mirroring _remove_subscription: without this an
                 # Unadvertise silently strips a neighbour of adverts whose
@@ -416,7 +638,7 @@ class BrokerNode(Host):
                         continue
                     if not any(filter_covers(existing, f) for existing in already):
                         already.append(f)
-                        self.send(neighbour, Advertise(f), size_bytes=128)
+                        self._send_control(neighbour, Advertise(f))
 
     def advertisements(self) -> list[Filter]:
         """Every advertisement this broker knows about (all sources)."""
@@ -587,6 +809,7 @@ def build_broker_tree(
     branching: int = 3,
     covering_enabled: bool = True,
     indexed: bool = True,
+    adv_pruned: bool = False,
 ) -> list[BrokerNode]:
     """A tree-shaped (hence acyclic) broker overlay spread across regions."""
     rng = sim.rng_for("broker-build")
@@ -597,6 +820,7 @@ def build_broker_tree(
             WORLD_REGIONS[i % len(WORLD_REGIONS)].random_position(rng),
             covering_enabled=covering_enabled,
             indexed=indexed,
+            adv_pruned=adv_pruned,
         )
         for i in range(count)
     ]

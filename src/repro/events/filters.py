@@ -1,10 +1,23 @@
-"""Siena's subscription language: attribute constraints and filters."""
+"""Siena's subscription language: attribute constraints and filters.
+
+Besides matching, the module provides the *intersection* predicate the
+advertisement/subscription interaction is built on:
+:func:`filters_intersect` answers "could some notification satisfy both
+filters?".  Brokers use it to forward a subscription toward a neighbour
+only when that neighbour's subtree has advertised an intersecting
+filter.  The predicate is conservative in the safe direction: a
+``False`` answer is exact (no notification can satisfy both), while a
+``True`` answer may be an over-approximation — which only costs
+redundant forwarding, never lost notifications (the mirror image of
+:func:`~repro.events.covering.filter_covers`'s conservatism).
+"""
 
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
 
 from repro.events.model import AttributeValue, Notification
 
@@ -28,13 +41,34 @@ _NUMERIC_OPS = {Op.LT, Op.LE, Op.GT, Op.GE}
 _STRING_OPS = {Op.PREFIX, Op.SUFFIX, Op.CONTAINS}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Constraint:
-    """One (attribute, operator, value) predicate."""
+    """One (attribute, operator, value) predicate.
+
+    Equality and hashing are family-aware: Python folds ``True`` into
+    ``1``, but ``[x > True]`` and ``[x > 1]`` admit different values
+    (matching compares within one type family), so they must not
+    collapse into one identity in subscription stores, advertisement
+    stores, or forwarded-filter sets — an advertisement silently
+    deduplicated away would make pruning drop live traffic.
+    """
 
     name: str
     op: Op
     value: AttributeValue | None = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.op is other.op
+            and self.value == other.value
+            and _family_tag(self.value) == _family_tag(other.value)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.op, _family_tag(self.value), self.value))
 
     def __post_init__(self) -> None:
         if self.op is Op.EXISTS:
@@ -86,6 +120,17 @@ def _comparable(a: Any, b: Any) -> bool:
     if isinstance(a, (int, float)) and isinstance(b, (int, float)):
         return True
     return isinstance(a, str) and isinstance(b, str)
+
+
+def _family_tag(value: Any) -> str:
+    """The comparison-family tag used in constraint identity ('' = no value)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "b"
+    if isinstance(value, (int, float)):
+        return "n"
+    return "s"
 
 
 class Filter:
@@ -159,3 +204,190 @@ def exists(name: str) -> Constraint:
 
 def type_is(event_type: str) -> Constraint:
     return eq("type", event_type)
+
+
+# ----------------------------------------------------------------------
+# Intersection: could some notification satisfy both filters?
+#
+# A conjunction of constraints is satisfiable iff, attribute by
+# attribute, some single value satisfies every constraint on that
+# attribute (attributes are independent: a witness notification just
+# carries one admissible value per constrained attribute).  Values live
+# in three comparison families — bool, number, string — and a
+# constraint only ever admits values of one family (EXISTS admits all),
+# so satisfiability is decided per family: exhaustively for bools,
+# by interval arithmetic for numbers, and by prefix/suffix
+# compatibility plus pinned-value checks for strings.  String order
+# ranges interacting with prefix/suffix patterns are the one place the
+# answer is conservatively True.
+# ----------------------------------------------------------------------
+def constraint_admits(constraint: Constraint, value: AttributeValue) -> bool:
+    """Would an attribute holding ``value`` satisfy ``constraint``?
+
+    Exactly ``constraint.matches`` on a notification carrying that one
+    attribute (the mapping protocol is all ``matches`` uses).
+    """
+    return constraint.matches({constraint.name: value})  # type: ignore[arg-type]
+
+
+def _bool_satisfiable(constraints: list[Constraint]) -> bool:
+    return any(
+        all(constraint_admits(c, value) for c in constraints)
+        for value in (True, False)
+    )
+
+
+def _numeric_satisfiable(constraints: list[Constraint]) -> bool:
+    eqs = [c.value for c in constraints if c.op is Op.EQ]
+    if eqs:
+        # An equality pins the only candidate; every constraint votes.
+        return all(constraint_admits(c, eqs[0]) for c in constraints)
+    lo, lo_open = -math.inf, False
+    hi, hi_open = math.inf, False
+    for c in constraints:
+        if c.op is Op.GT:
+            if c.value > lo or (c.value == lo and not lo_open):
+                lo, lo_open = c.value, True
+        elif c.op is Op.GE:
+            if c.value > lo:
+                lo, lo_open = c.value, False
+        elif c.op is Op.LT:
+            if c.value < hi or (c.value == hi and not hi_open):
+                hi, hi_open = c.value, True
+        elif c.op is Op.LE:
+            if c.value < hi:
+                hi, hi_open = c.value, False
+    if lo > hi:
+        return False
+    if lo == hi:
+        if lo_open or hi_open:
+            return False
+        return all(constraint_admits(c, lo) for c in constraints)
+    # A real interval over the (dense) numeric line: the finitely many
+    # NE exclusions cannot empty it.
+    return True
+
+
+def _string_satisfiable(constraints: list[Constraint]) -> bool:
+    eqs = [c.value for c in constraints if c.op is Op.EQ]
+    if eqs:
+        return all(constraint_admits(c, eqs[0]) for c in constraints)
+    prefixes = [c.value for c in constraints if c.op is Op.PREFIX]
+    if prefixes:
+        longest = max(prefixes, key=len)
+        if not all(longest.startswith(p) for p in prefixes):
+            return False  # no string starts with two incomparable prefixes
+    suffixes = [c.value for c in constraints if c.op is Op.SUFFIX]
+    if suffixes:
+        longest = max(suffixes, key=len)
+        if not all(longest.endswith(s) for s in suffixes):
+            return False
+    lo: str | None = None
+    lo_open = False
+    hi: str | None = None
+    hi_open = False
+    for c in constraints:
+        if c.op is Op.GT:
+            if lo is None or c.value > lo or (c.value == lo and not lo_open):
+                lo, lo_open = c.value, True
+        elif c.op is Op.GE:
+            if lo is None or c.value > lo:
+                lo, lo_open = c.value, False
+        elif c.op is Op.LT:
+            if hi is None or c.value < hi or (c.value == hi and not hi_open):
+                hi, hi_open = c.value, True
+        elif c.op is Op.LE:
+            if hi is None or c.value < hi:
+                hi, hi_open = c.value, False
+    if lo is not None and hi is not None:
+        if lo > hi:
+            return False
+        if lo == hi:
+            if lo_open or hi_open:
+                return False
+            return all(constraint_admits(c, lo) for c in constraints)
+    # Remaining combinations (pattern constraints, one-sided or roomy
+    # ranges, NE exclusions over an infinite domain) either always admit
+    # a witness — prefix+contains+suffix concatenations do — or are
+    # conservatively declared satisfiable: lexicographic ranges fencing
+    # with patterns is the over-approximated corner.
+    return True
+
+
+def constraints_satisfiable(constraints: Iterable[Constraint]) -> bool:
+    """Can a single attribute value satisfy every constraint in the group?
+
+    ``False`` is exact; ``True`` may be conservative (see module note).
+    """
+    group = list(constraints)
+    families = {"b", "n", "s"}
+    for c in group:
+        if c.op is Op.EXISTS:
+            continue
+        families &= {"s"} if c.op in _STRING_OPS else {_family_tag(c.value)}
+    if "b" in families and _bool_satisfiable(group):
+        return True
+    if "n" in families and _numeric_satisfiable(group):
+        return True
+    return "s" in families and _string_satisfiable(group)
+
+
+def _signature(filter: Filter) -> frozenset:
+    """A cache key for a filter's constraint set.
+
+    Mirrors ``Constraint``'s family-tagged identity (``[x > True]`` and
+    ``[x > 1]`` stay distinct) while keying the satisfiability caches on
+    plain value tuples rather than retaining ``Filter`` objects.
+    """
+    return frozenset(
+        (c.name, c.op, _family_tag(c.value), c.value) for c in filter.constraints
+    )
+
+
+_SAT_CACHE: dict[frozenset, bool] = {}
+_INTERSECT_CACHE: dict[frozenset, bool] = {}
+_CACHE_LIMIT = 16384
+
+
+def filter_satisfiable(filter: Filter) -> bool:
+    """Could any notification match ``filter``?  ``False`` is exact."""
+    key = _signature(filter)
+    cached = _SAT_CACHE.get(key)
+    if cached is None:
+        groups: dict[str, list[Constraint]] = {}
+        for c in filter.constraints:
+            groups.setdefault(c.name, []).append(c)
+        cached = all(constraints_satisfiable(group) for group in groups.values())
+        if len(_SAT_CACHE) >= _CACHE_LIMIT:
+            _SAT_CACHE.clear()
+        _SAT_CACHE[key] = cached
+    return cached
+
+
+def filters_intersect(a: Filter, b: Filter) -> bool:
+    """Could some notification match both ``a`` and ``b``?
+
+    Symmetric, and reflexive exactly on satisfiable filters.  A
+    ``False`` answer is exact — advertisement-based pruning may rely on
+    it to drop forwarding without ever losing a notification — while
+    ``True`` may over-approximate (costing only redundant forwarding).
+    Attributes constrained by just one side never block intersection on
+    their own; only jointly-unsatisfiable attribute groups (including a
+    side's own contradictions) do.
+    """
+    sig_a, sig_b = _signature(a), _signature(b)
+    if sig_a == sig_b:
+        return filter_satisfiable(a)
+    key = frozenset((sig_a, sig_b))
+    cached = _INTERSECT_CACHE.get(key)
+    if cached is None:
+        groups: dict[str, list[Constraint]] = {}
+        for c in a.constraints:
+            groups.setdefault(c.name, []).append(c)
+        for c in b.constraints:
+            groups.setdefault(c.name, []).append(c)
+        cached = all(constraints_satisfiable(group) for group in groups.values())
+        if len(_INTERSECT_CACHE) >= _CACHE_LIMIT:
+            _INTERSECT_CACHE.clear()
+        _INTERSECT_CACHE[key] = cached
+    return cached

@@ -43,7 +43,13 @@ from collections import Counter
 from typing import Any
 
 from repro.events.covering import filter_covers
-from repro.events.filters import Constraint, Filter, Op
+from repro.events.filters import (
+    Constraint,
+    Filter,
+    Op,
+    filter_satisfiable,
+    filters_intersect,
+)
 from repro.events.model import Notification
 
 _RANGE_OPS = (Op.LT, Op.LE, Op.GT, Op.GE)
@@ -398,3 +404,62 @@ class CoveringPoset:
             if filter_covers(filter, filters[pid]):
                 out.append(pid)
         return out
+
+    # -- intersection ---------------------------------------------------
+    # Intersection cannot be pruned by attribute names the way covering
+    # can — two satisfiable filters over *disjoint* attribute sets always
+    # intersect — but the name index still splits the store: entries
+    # sharing an attribute with the probe need the exact
+    # ``filters_intersect`` check, while for the rest intersection
+    # reduces to both sides being satisfiable (one cached check each).
+
+    def _sharing_candidates(self, names: set[str]) -> set[int]:
+        """Stored ids constraining at least one of ``names``."""
+        shared: set[int] = set()
+        for name in names:
+            shared |= self._by_name.get(name, set())
+        return shared
+
+    def intersecting_any(self, filter: Filter) -> bool:
+        """Does ``filter`` intersect some stored filter?
+
+        Exactly ``any(filters_intersect(stored, filter))`` over the
+        store — the advertisement-pruning question "does this subtree
+        produce anything this subscription wants?".
+        """
+        if not self._filters:
+            return False
+        if not filter_satisfiable(filter):
+            return False
+        shared = self._sharing_candidates(filter.attribute_names())
+        if len(shared) < len(self._filters):
+            # Some stored filter is attribute-disjoint from the probe;
+            # any satisfiable one intersects it outright.
+            if any(
+                filter_satisfiable(f)
+                for pid, f in self._filters.items()
+                if pid not in shared
+            ):
+                return True
+        filters = self._filters
+        for pid in shared:
+            self.checks += 1
+            if filters_intersect(filters[pid], filter):
+                return True
+        return False
+
+    def intersecting(self, filter: Filter) -> list[int]:
+        """Every stored filter intersecting ``filter``, in insertion order."""
+        filters = self._filters
+        if not filter_satisfiable(filter):
+            return []
+        shared = self._sharing_candidates(filter.attribute_names())
+        out = []
+        for pid, f in filters.items():
+            if pid in shared:
+                self.checks += 1
+                if filters_intersect(f, filter):
+                    out.append(pid)
+            elif filter_satisfiable(f):
+                out.append(pid)
+        return sorted(out)

@@ -1,4 +1,4 @@
-"""In-memory knowledge base with subject/predicate indexes."""
+"""In-memory knowledge base with subject/predicate/object indexes."""
 
 from __future__ import annotations
 
@@ -17,12 +17,26 @@ class KnowledgeBase:
     ``kb.query(subject="7")`` must find them either way.  ``version``
     counts successful mutations, so callers (the matching engine's link
     memo) can stamp cached query results.
+
+    Objects are indexed twice, serving the two lookup disciplines:
+
+    * ``_by_object`` keys on the raw value, so ``query(object=...)``
+      narrows to the exact ``==`` equivalence class the scan filter uses
+      (Python folds ``True``/``1``/``1.0`` together in both, so the
+      bucket *is* the class) instead of walking a whole predicate
+      bucket.
+    * ``_by_object_str`` keys on ``str(object)`` — the engine's
+      reverse-link discipline (:meth:`query_object_str`), symmetric
+      with the subject index so ``knows → 7`` finds int-object facts
+      whether the anchor arrives as ``7`` or ``"7"``.
     """
 
     def __init__(self) -> None:
         self._facts: set[Fact] = set()
         self._by_subject: dict[str, set[Fact]] = {}
         self._by_predicate: dict[str, set[Fact]] = {}
+        self._by_object: dict[AttributeValue, set[Fact]] = {}
+        self._by_object_str: dict[str, set[Fact]] = {}
         self._version = 0
 
     @property
@@ -36,6 +50,8 @@ class KnowledgeBase:
         self._facts.add(fact)
         self._by_subject.setdefault(str(fact.subject), set()).add(fact)
         self._by_predicate.setdefault(fact.predicate, set()).add(fact)
+        self._by_object.setdefault(fact.object, set()).add(fact)
+        self._by_object_str.setdefault(str(fact.object), set()).add(fact)
         self._version += 1
         return True
 
@@ -43,10 +59,20 @@ class KnowledgeBase:
         if fact not in self._facts:
             return False
         self._facts.discard(fact)
-        self._by_subject.get(str(fact.subject), set()).discard(fact)
-        self._by_predicate.get(fact.predicate, set()).discard(fact)
+        self._discard_index(self._by_subject, str(fact.subject), fact)
+        self._discard_index(self._by_predicate, fact.predicate, fact)
+        self._discard_index(self._by_object, fact.object, fact)
+        self._discard_index(self._by_object_str, str(fact.object), fact)
         self._version += 1
         return True
+
+    @staticmethod
+    def _discard_index(index: dict, key, fact: Fact) -> None:
+        members = index.get(key)
+        if members is not None:
+            members.discard(fact)
+            if not members:
+                del index[key]
 
     def retract(self, subject: str, predicate: str) -> int:
         """Remove every fact with the given subject and predicate."""
@@ -72,14 +98,18 @@ class KnowledgeBase:
         at_time: float | None = None,
     ) -> list[Fact]:
         """All facts matching the non-None fields, valid at ``at_time``."""
-        if subject is not None and predicate is not None:
-            candidates = self._by_subject.get(str(subject), set()) & self._by_predicate.get(
-                predicate, set()
-            )
-        elif subject is not None:
-            candidates = self._by_subject.get(str(subject), set())
-        elif predicate is not None:
-            candidates = self._by_predicate.get(predicate, set())
+        pools = []
+        if subject is not None:
+            pools.append(self._by_subject.get(str(subject), set()))
+        if predicate is not None:
+            pools.append(self._by_predicate.get(predicate, set()))
+        if object is not None:
+            # The raw-value bucket is the ``==`` equivalence class the
+            # residual filter below re-checks (the filter only still
+            # matters for never-self-equal values like NaN).
+            pools.append(self._by_object.get(object, set()))
+        if pools:
+            candidates = set.intersection(*pools) if len(pools) > 1 else pools[0]
         else:
             candidates = self._facts
         out = []
@@ -89,6 +119,31 @@ class KnowledgeBase:
             if at_time is not None and not fact.valid_at(at_time):
                 continue
             out.append(fact)
+        out.sort(key=lambda f: (str(f.subject), f.predicate, str(f.object)))
+        return out
+
+    def query_object_str(
+        self,
+        object: AttributeValue,
+        predicate: str | None = None,
+        at_time: float | None = None,
+    ) -> list[Fact]:
+        """Facts whose ``str(object)`` equals ``str(object)`` argument.
+
+        The reverse-link lookup: symmetric with the subject index's
+        ``str`` discipline, so ``query_object_str(7)`` and
+        ``query_object_str("7")`` both find a fact whose object is the
+        int ``7`` — previously this required scanning the whole
+        predicate bucket.
+        """
+        candidates = self._by_object_str.get(str(object), set())
+        if predicate is not None:
+            candidates = candidates & self._by_predicate.get(predicate, set())
+        out = [
+            fact
+            for fact in candidates
+            if at_time is None or fact.valid_at(at_time)
+        ]
         out.sort(key=lambda f: (str(f.subject), f.predicate, str(f.object)))
         return out
 

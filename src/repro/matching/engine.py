@@ -278,10 +278,13 @@ class MatchingEngine:
 
         Both directions normalise through ``str`` so non-string subjects
         and objects (ints from sensor ids) survive the ``allowed``
-        intersection against ``str(event subject)``.  Results are memoized
-        under a (kb.version, now) stamp: facts carry validity intervals,
-        so a cached answer is only exact while both the KB contents and
-        the query instant are unchanged.
+        intersection against ``str(event subject)``.  The reverse
+        direction rides the KB's object-keyed index
+        (``query_object_str``) — symmetric with the forward direction's
+        subject bucket instead of scanning the whole predicate bucket.
+        Results are memoized under a (kb.version, now) stamp: facts
+        carry validity intervals, so a cached answer is only exact while
+        both the KB contents and the query instant are unchanged.
         """
         stamp = (self.kb.version, now)
         if stamp != self._kb_memo_stamp:
@@ -303,8 +306,9 @@ class MatchingEngine:
         else:
             cached = frozenset(
                 str(f.subject)
-                for f in self.kb.query(predicate=predicate, at_time=now)
-                if str(f.object) == anchor
+                for f in self.kb.query_object_str(
+                    anchor, predicate=predicate, at_time=now
+                )
             )
         self._kb_memo[key] = cached
         return cached

@@ -16,6 +16,7 @@ materializing and filtering the whole window per enumeration level:
 from __future__ import annotations
 
 from collections import deque
+from heapq import nsmallest
 from typing import Any, Iterable
 
 from repro.events.model import Notification
@@ -146,17 +147,26 @@ class TimeWindowBuffer:
         matters for correlation — so joins work over per-entity heads, and
         a flood of strangers' events cannot push a friend's latest fix out
         of consideration.
+
+        A small ``limit`` (the engine's unguided ``per_pool_limit``
+        probes) is served by a bounded heap selection — O(heads·log
+        limit) instead of sorting the whole head population.  Both paths
+        order by (-time, first-appearance rank): the rank is what the
+        stable full sort ordered ties by, so the selections agree
+        exactly.
         """
         cutoff = now - self.window_s
-        live = sorted(
-            (
-                (time, event)
-                for time, event in self._latest.values()
-                if time >= cutoff
-            ),
-            key=lambda pair: -pair[0],
+        first_seq = self._first_seq
+        live = (
+            (-time, first_seq[key], event)
+            for key, (time, event) in self._latest.items()
+            if time >= cutoff
         )
-        heads = [event for _, event in live]
+        if limit is not None and limit < len(self._latest):
+            # Ranks are unique, so tuple comparison never reaches the
+            # (uncomparable) event in the third slot.
+            return [event for _, _, event in nsmallest(limit, live)]
+        heads = [event for _, _, event in sorted(live)]
         return heads if limit is None else heads[:limit]
 
     # -- subject-keyed lookups -----------------------------------------

@@ -1,0 +1,279 @@
+"""Property tests for the filter-intersection predicate.
+
+``filters_intersect`` is the foundation of advertisement-pruned
+subscription forwarding: a broker drops a subscription toward a subtree
+exactly when the predicate answers ``False``, so a ``False`` must be
+*exact* — if any notification satisfies both filters, the answer must
+be ``True`` (the conservative direction mirrors ``filter_covers``, but
+flipped).  The randomized suites below hold the predicate to:
+
+* soundness against a brute-force witness search over generated
+  notifications (a found witness forces ``True``),
+* symmetry over random pairs across all ten operators,
+* reflexivity on filters known satisfiable (derived from a witness),
+* agreement between ``CoveringPoset.intersecting_any``/``intersecting``
+  and the naive any/all scans, under add/remove churn.
+"""
+
+import itertools
+import random
+
+from repro.events.covering import filter_covers
+from repro.events.filters import (
+    Constraint,
+    Filter,
+    Op,
+    constraint_admits,
+    constraints_satisfiable,
+    eq,
+    exists,
+    filter_satisfiable,
+    filters_intersect,
+    ge,
+    gt,
+    le,
+    lt,
+    ne,
+    prefix,
+    suffix,
+)
+from repro.events.index import CoveringPoset
+from repro.events.model import Notification
+from tests.test_index_equivalence import (
+    ATTRS,
+    STRINGS,
+    random_filter,
+    random_notification,
+)
+
+STRING_OPS = (Op.PREFIX, Op.SUFFIX, Op.CONTAINS)
+
+
+# ----------------------------------------------------------------------
+# Witness search: candidate values are mined from the constraints
+# themselves (the values, their neighbourhoods, and compositions of the
+# string patterns), which is where any witness must live.
+# ----------------------------------------------------------------------
+def _candidate_values(constraints: list[Constraint]) -> list:
+    values: set = set(STRINGS[:4]) | {True, False, 0, 1}
+    prefixes, suffixes, middles = [""], [""], [""]
+    for c in constraints:
+        if c.op is Op.EXISTS:
+            continue
+        v = c.value
+        values.add(v)
+        if isinstance(v, bool):
+            values.add(not v)
+        elif isinstance(v, (int, float)):
+            values.update({v - 1, v + 1, v - 0.5, v + 0.5})
+        else:
+            if c.op is Op.PREFIX:
+                prefixes.append(v)
+            elif c.op is Op.SUFFIX:
+                suffixes.append(v)
+            else:
+                middles.append(v)
+    for p, m, s in itertools.product(prefixes, middles, suffixes):
+        values.add(p + m + s)
+    # bools hash like 0/1: dedupe by (type, value) so both survive.  The
+    # deterministic sort matters: set iteration order varies with
+    # PYTHONHASHSEED, and the witness search consumes a shared rng, so
+    # an unsorted pool would make every later filter draw — and thus any
+    # failure — irreproducible from the recorded seed.
+    seen, out = set(), []
+    for v in values:
+        key = (type(v), v)
+        if key not in seen:
+            seen.add(key)
+            out.append(v)
+    out.sort(key=lambda v: (type(v).__name__, repr(v)))
+    return out
+
+
+def _search_witness(a: Filter, b: Filter, rng: random.Random) -> Notification | None:
+    constraints = list(a.constraints) + list(b.constraints)
+    names = sorted({c.name for c in constraints})
+    pools = {
+        name: _candidate_values([c for c in constraints if c.name == name])
+        for name in names
+    }
+    total = 1
+    for pool in pools.values():
+        total *= len(pool)
+    if total <= 4000:
+        combos = itertools.product(*(pools[name] for name in names))
+    else:
+        combos = (
+            tuple(rng.choice(pools[name]) for name in names) for _ in range(4000)
+        )
+    for combo in combos:
+        notification = Notification(dict(zip(names, combo)))
+        if a.matches(notification) and b.matches(notification):
+            return notification
+    return None
+
+
+def _filter_from_witness(notification: Notification, rng: random.Random) -> Filter:
+    """A random filter guaranteed to match ``notification``."""
+    names = rng.sample(sorted(notification), rng.randint(1, len(notification)))
+    constraints = []
+    for name in names:
+        value = notification[name]
+        choices = [exists(name), eq(name, value)]
+        if isinstance(value, bool):
+            choices.append(ne(name, not value))
+        elif isinstance(value, (int, float)):
+            choices += [gt(name, value - 1), ge(name, value), le(name, value),
+                        lt(name, value + 1), ne(name, value + 2)]
+        else:
+            cut = rng.randint(0, len(value))
+            choices += [prefix(name, value[:cut]), suffix(name, value[cut:])]
+        constraints.append(rng.choice(choices))
+    return Filter(*constraints)
+
+
+class TestIntersectionProperties:
+    def test_symmetric_over_random_pairs(self):
+        rng = random.Random(2027)
+        for _ in range(600):
+            a, b = random_filter(rng), random_filter(rng)
+            assert filters_intersect(a, b) == filters_intersect(b, a)
+
+    def test_false_answers_admit_no_witness(self):
+        """The load-bearing direction: a witness forces ``True`` —
+        equivalently, ``False`` survives the brute-force search."""
+        rng = random.Random(515)
+        pairs = [(random_filter(rng), random_filter(rng)) for _ in range(250)]
+        outcomes = set()
+        for a, b in pairs:
+            verdict = filters_intersect(a, b)
+            outcomes.add(verdict)
+            witness = _search_witness(a, b, rng)
+            if witness is not None:
+                assert verdict, (a, b, witness)
+        assert outcomes == {True, False}  # the workload exercised both
+
+    def test_reflexive_and_mutually_intersecting_on_witnessed_filters(self):
+        rng = random.Random(88)
+        for _ in range(300):
+            notification = random_notification(rng)
+            a = _filter_from_witness(notification, rng)
+            b = _filter_from_witness(notification, rng)
+            assert a.matches(notification) and b.matches(notification)
+            assert filter_satisfiable(a)
+            assert filters_intersect(a, a)
+            assert filters_intersect(a, b)
+
+    def test_covering_implies_intersection_for_witnessed_filters(self):
+        rng = random.Random(4242)
+        hits = 0
+        for _ in range(2000):
+            a, b = random_filter(rng), random_filter(rng)
+            witness = None
+            if filter_covers(a, b):
+                witness = _search_witness(b, b, rng)
+            if witness is not None:
+                hits += 1
+                assert filters_intersect(a, b)
+        assert hits > 10  # the generator actually produced covering pairs
+
+
+class TestExactUnsatisfiability:
+    """Hand-picked pairs whose emptiness the predicate must detect —
+    these are what advertisement pruning actually saves."""
+
+    def test_disjoint_pairs_answer_false(self):
+        pairs = [
+            (Filter(eq("x", 1)), Filter(eq("x", 2))),
+            (Filter(gt("t", 5)), Filter(lt("t", 5))),
+            (Filter(ge("t", 5), le("t", 5)), Filter(ne("t", 5))),
+            (Filter(gt("t", 5)), Filter(le("t", 5))),
+            (Filter(prefix("s", "ab")), Filter(prefix("s", "ba"))),
+            (Filter(suffix("s", "ab")), Filter(suffix("s", "bb"))),
+            (Filter(eq("s", "abc")), Filter(Constraint("s", Op.CONTAINS, "zz"))),
+            (Filter(eq("f", True)), Filter(prefix("f", "x"))),
+            (Filter(eq("n", 3)), Filter(prefix("n", "3"))),  # family mismatch
+            (Filter(gt("s", "b")), Filter(lt("s", "a"))),
+            (Filter(eq("b", True)), Filter(eq("b", False))),
+            (Filter(type_eq("weather")), Filter(type_eq("presence"))),
+        ]
+        for a, b in pairs:
+            assert not filters_intersect(a, b), (a, b)
+            assert not filters_intersect(b, a), (a, b)
+
+    def test_unsatisfiable_filter_intersects_nothing(self):
+        broken = Filter(eq("x", 1), eq("x", 2))
+        assert not filter_satisfiable(broken)
+        assert not filters_intersect(broken, broken)
+        assert not filters_intersect(broken, Filter(exists("y")))
+        # A bool range with no admissible value is unsatisfiable too.
+        assert not filter_satisfiable(Filter(gt("flag", True)))
+
+    def test_satisfiable_combinations_answer_true(self):
+        pairs = [
+            # Disjoint attribute sets always intersect when satisfiable.
+            (Filter(eq("a", 1)), Filter(eq("b", 2))),
+            (Filter(ge("t", 5)), Filter(le("t", 5))),  # the single point 5
+            (Filter(gt("t", 0)), Filter(lt("t", 1))),
+            (Filter(prefix("s", "ab")), Filter(suffix("s", "ba"))),
+            (Filter(prefix("s", "ab")), Filter(prefix("s", "abc"))),
+            (Filter(gt("flag", False)), Filter(eq("flag", True))),
+            (Filter(ne("t", 5)), Filter(ne("t", 6))),
+            (Filter(exists("x")), Filter(eq("x", "anything"))),
+        ]
+        for a, b in pairs:
+            assert filters_intersect(a, b), (a, b)
+            assert filters_intersect(b, a), (a, b)
+
+    def test_attribute_group_satisfiability(self):
+        assert constraints_satisfiable([exists("x")])
+        assert constraints_satisfiable([ne("x", "a"), ne("x", "b")])
+        assert not constraints_satisfiable([gt("x", 1), lt("x", 1)])
+        assert constraints_satisfiable([gt("x", 1), lt("x", 1.5)])
+        assert constraint_admits(gt("x", 1), 2)
+        assert not constraint_admits(gt("x", 1), "2")
+
+
+def type_eq(value: str) -> Constraint:
+    return eq("type", value)
+
+
+class TestPosetIntersectionEquivalence:
+    def test_queries_equal_naive_scan_under_churn(self):
+        rng = random.Random(606)
+        poset = CoveringPoset()
+        live: dict[int, Filter] = {}
+        for step in range(500):
+            roll = rng.random()
+            if roll < 0.45 or not live:
+                f = random_filter(rng)
+                live[poset.add(f)] = f
+            elif roll < 0.65:
+                pid = rng.choice(list(live))
+                del live[pid]
+                poset.remove(pid)
+            else:
+                probe = random_filter(rng)
+                expected = sorted(
+                    pid for pid, f in live.items() if filters_intersect(f, probe)
+                )
+                assert poset.intersecting(probe) == expected
+                assert poset.intersecting_any(probe) == bool(expected)
+
+    def test_disjoint_attribute_fast_path(self):
+        poset = CoveringPoset()
+        poset.add(Filter(eq("a", 1)))
+        checks_before = poset.checks
+        # The probe shares no attributes: intersection should be decided
+        # by satisfiability alone, without an exact pairwise check.
+        assert poset.intersecting_any(Filter(eq("b", 2)))
+        assert poset.checks == checks_before
+
+    def test_empty_poset_and_unsatisfiable_probe(self):
+        poset = CoveringPoset()
+        assert not poset.intersecting_any(Filter(eq("a", 1)))
+        assert poset.intersecting(Filter(eq("a", 1))) == []
+        poset.add(Filter(eq("a", 1)))
+        broken = Filter(eq("a", 1), eq("a", 2))
+        assert not poset.intersecting_any(broken)
+        assert poset.intersecting(broken) == []

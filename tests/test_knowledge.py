@@ -108,6 +108,83 @@ class TestKnowledgeBase:
         kb.retract("bob", "knows")
         assert kb.version == 4
 
+    def test_object_queries_use_the_object_index(self):
+        """query(object=...) narrows through the object bucket instead of
+        scanning the predicate bucket — same answers, fewer candidates."""
+        kb = KnowledgeBase()
+        for i in range(20):
+            kb.add(Fact(f"s{i}", "knows", f"o{i % 4}"))
+        facts = kb.query(predicate="knows", object="o1")
+        assert {f.subject for f in facts} == {"s1", "s5", "s9", "s13", "s17"}
+        assert kb.query(object="o2", predicate=None) == kb.query(
+            predicate="knows", object="o2"
+        )
+        assert kb.query(predicate="knows", object="missing") == []
+        # Removal keeps the index exact (and empties its buckets).
+        for fact in kb.query(object="o1"):
+            kb.remove(fact)
+        assert kb.query(object="o1") == []
+        assert "o1" not in kb._by_object
+        assert "o1" not in kb._by_object_str
+
+    def test_object_queries_preserve_equality_semantics(self):
+        """Python's ``==`` folds True/1/1.0 into one class; the indexed
+        path must keep doing exactly what the scan filter did."""
+        kb = KnowledgeBase()
+        kb.add(Fact("a", "level", True))
+        kb.add(Fact("b", "level", 1))
+        kb.add(Fact("c", "level", 2))
+        assert {f.subject for f in kb.query(object=1)} == {"a", "b"}
+        assert {f.subject for f in kb.query(object=True)} == {"a", "b"}
+        assert {f.subject for f in kb.query(object=1.0)} == {"a", "b"}
+        assert {f.subject for f in kb.query(object=2)} == {"c"}
+
+    def test_query_object_str_is_symmetric_with_subject_discipline(self):
+        """The reverse-link lookup: int objects are found under their
+        string form, mirroring the subject index."""
+        kb = KnowledgeBase()
+        kb.add(Fact("sensor-a", "paired", 7))
+        kb.add(Fact("sensor-b", "paired", "7"))
+        kb.add(Fact("sensor-c", "paired", 8))
+        kb.add(Fact("sensor-d", "near", 7, valid_from=10.0, valid_to=20.0))
+        by_int = kb.query_object_str(7)
+        by_str = kb.query_object_str("7")
+        assert by_int == by_str
+        assert {f.subject for f in by_int} == {"sensor-a", "sensor-b", "sensor-d"}
+        assert {f.subject for f in kb.query_object_str(7, predicate="paired")} == {
+            "sensor-a",
+            "sensor-b",
+        }
+        assert kb.query_object_str(7, predicate="near", at_time=30.0) == []
+        assert {f.subject for f in kb.query_object_str(7, at_time=15.0)} == {
+            "sensor-a",
+            "sensor-b",
+            "sensor-d",
+        }
+        kb.remove(Fact("sensor-a", "paired", 7))
+        assert {f.subject for f in kb.query_object_str("7")} == {
+            "sensor-b",
+            "sensor-d",
+        }
+
+    def test_query_object_str_agrees_with_predicate_bucket_scan(self):
+        """Exactly the engine's old reverse-link scan, by keyed lookup."""
+        kb = KnowledgeBase()
+        values = ["x", "y", 3, "3", True, 2.5]
+        for i, value in enumerate(values * 3):
+            kb.add(Fact(f"s{i}", "links" if i % 2 else "knows", value))
+        for predicate in ("knows", "links"):
+            for anchor in ("x", "3", "True", "2.5", "nope"):
+                expected = sorted(
+                    (
+                        f
+                        for f in kb.query(predicate=predicate)
+                        if str(f.object) == anchor
+                    ),
+                    key=lambda f: (str(f.subject), f.predicate, str(f.object)),
+                )
+                assert kb.query_object_str(anchor, predicate=predicate) == expected
+
     def test_int_subjects_index_under_their_string(self):
         """Sensor feeds key facts by numeric id; lookups must find them
         whether the caller passes the int or its string form."""

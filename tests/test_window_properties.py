@@ -202,6 +202,39 @@ class TestSubjectIndexProperties:
         assert buffer.heads_for_subjects(later, {"s0", "s1", "s2", "3", "0"}) == []
         assert buffer.recent_for_subject(later, "s0") == []
 
+    @given(mixed_streams, st.integers(0, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_recent_distinct_limit_matches_brute_force(self, stream, limit):
+        """Both selection paths — the heap that serves small limits and
+        the full stable sort — must reproduce a brute-force replay of the
+        timeline: per-entity heads ordered by (-time, first appearance),
+        truncated."""
+        buffer = TimeWindowBuffer(30.0, max_items=8)
+        now = 0.0
+        heads: dict = {}
+        order: list = []
+        for gap, kind in stream:
+            now += gap
+            event = mixed_event(kind, now)
+            buffer.add(now, event)
+            key = TimeWindowBuffer._entity_key(event)
+            if key not in heads:
+                order.append(key)
+            heads[key] = (now, event)
+        cutoff = now - buffer.window_s
+        rank = {key: position for position, key in enumerate(order)}
+        expected = [
+            event
+            for _, _, event in sorted(
+                (-time, rank[key], event)
+                for key, (time, event) in heads.items()
+                if time >= cutoff
+            )
+        ]
+        assert buffer.recent_distinct(now) == expected
+        assert buffer.recent_distinct(now, limit=limit) == expected[:limit]
+        assert buffer.recent_distinct(now, limit=len(expected) + 5) == expected
+
     @given(mixed_streams)
     @settings(max_examples=100, deadline=None)
     def test_recent_distinct_unchanged_by_index_maintenance(self, stream):
