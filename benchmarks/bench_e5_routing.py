@@ -13,7 +13,15 @@ many topics, only a corner of the tree produces two of them),
 subscription flooding while delivering the identical notifications —
 the routing-table upkeep side of Siena's scalability story.
 
-Set ``E5_SMOKE=1`` to run the reduced CI sweep of the broker phase.
+The fourth phase measures fault tolerance: the same workload runs on
+the spanning tree and on a mesh (tree + redundant links), ``k`` links
+are killed mid-run, and the phase counts the deliveries each topology
+sustains afterwards.  The tree partitions and silently loses traffic;
+the mesh re-converges over the surviving paths with zero delivery loss,
+at the price of the duplicate copies its redundant links carry (the
+seen-cache suppresses them; the table prices that overhead).
+
+Set ``E5_SMOKE=1`` to run the reduced CI sweep of the broker phases.
 """
 
 from __future__ import annotations
@@ -30,12 +38,14 @@ from repro.ids import guid_from_content, random_guid
 from repro.net import FixedLatency, Network, Position
 from repro.overlay import OverlayApplication, build_freenet, fast_build
 from repro.simulation import Simulator
-from benchmarks._harness import emit, fmt
+from benchmarks._harness import emit, emit_json, fmt
 
 PROBES = 60
 SMOKE = bool(os.environ.get("E5_SMOKE"))
 # (brokers, subscribers per broker, publications)
 BROKER_SWEEP = [(7, 2, 16), (15, 2, 20)] if SMOKE else [(15, 2, 30), (31, 3, 40)]
+# (brokers, subscribers per broker, publications, link kills)
+FAULT_SWEEP = [(15, 2, 12, 2)] if SMOKE else [(15, 2, 24, 2), (31, 2, 32, 2)]
 
 
 class _Collector(OverlayApplication):
@@ -211,6 +221,24 @@ def test_e5_adv_pruned_subscription_routing(benchmark):
             for flooded, pruned in rows
         ],
     )
+    emit_json(
+        "e5_adv_pruned_routing",
+        {
+            "smoke": SMOKE,
+            "rows": [
+                {
+                    "brokers": flooded["brokers"],
+                    "subscriptions": flooded["subscriptions"],
+                    "flooded_msgs": flooded["subscribe_msgs"],
+                    "pruned_msgs": pruned["subscribe_msgs"],
+                    "ratio": flooded["subscribe_msgs"]
+                    / max(1, pruned["subscribe_msgs"]),
+                    "delivered": flooded["delivered"],
+                }
+                for flooded, pruned in rows
+            ],
+        },
+    )
     for flooded, pruned in rows:
         # Pruning must not change what anyone receives...
         assert pruned["deliveries"] == flooded["deliveries"]
@@ -218,6 +246,159 @@ def test_e5_adv_pruned_subscription_routing(benchmark):
         # The acceptance bar: producer-sparse trees forward under half
         # the Subscribe traffic once advertisements prune propagation.
         assert pruned["subscribe_msgs"] * 2 < flooded["subscribe_msgs"]
+
+
+def mesh_fault_stats(
+    brokers_n: int, subs_per_broker: int, pubs: int, kills: int, mesh: bool,
+    kill: bool,
+) -> dict:
+    """Deliveries sustained across link failures, tree vs mesh.
+
+    The producer sits on the deepest leaf; the killed links are the
+    uplinks of the ``kills`` deepest leaves (the producer's among them),
+    so the tree partitions the producer away from almost everyone.  The
+    mesh adds one redundant link per killed uplink (leaf ↔ root), so
+    every publication keeps a surviving path.  The same seed drives all
+    four variants — the workload is identical, only the topology and
+    the failures differ.
+    """
+    sim = Simulator(seed=77)
+    network = Network(sim, latency=FixedLatency(0.005))
+    brokers = build_broker_tree(sim, network, brokers_n, branching=2)
+    killed_links = [
+        (brokers_n - 1 - i, (brokers_n - 2 - i) // 2) for i in range(kills)
+    ]
+    if mesh:
+        for leaf, _ in killed_links:
+            brokers[leaf].connect(brokers[0])
+    rng = sim.rng_for("e5-fault-workload")
+    topics = [f"topic-{i}" for i in range(6)]
+    produced = topics[:2]
+    producers = []
+    for slot, topic in enumerate(produced):
+        client = SienaClient(sim, network, Position(5.0, float(slot)), brokers[-1])
+        client.advertise(Filter(type_is(topic)))
+        producers.append((client, topic))
+    sim.run_for(5.0)
+    clients = []
+    for index, broker in enumerate(brokers):
+        for slot in range(subs_per_broker):
+            client = SienaClient(
+                sim, network, Position(6.0, float((index * 8 + slot) % 180)), broker
+            )
+            client.subscribe(Filter(type_is(rng.choice(topics))))
+            clients.append(client)
+    sim.run_for(10.0)
+
+    def publish_batch(start: int, count: int) -> None:
+        for seq in range(start, start + count):
+            client, topic = producers[seq % len(producers)]
+            client.publish(
+                make_event(topic, level=round(rng.uniform(0.0, 8.0), 2), seq=seq)
+            )
+        sim.run_for(10.0)
+
+    publish_batch(0, pubs // 2)
+    before = [len(c.received) for c in clients]
+    if kill:
+        for leaf, parent in killed_links:
+            brokers[leaf].disconnect(brokers[parent])
+        sim.run_for(5.0)
+    publish_batch(pubs // 2, pubs - pubs // 2)
+    deliveries = [
+        sorted(
+            tuple(sorted((k, repr(v)) for k, v in n.items()))
+            for _, n in client.received
+        )
+        for client in clients
+    ]
+    return {
+        "brokers": brokers_n,
+        "kills": kills if kill else 0,
+        "mesh": mesh,
+        "delivered_before": sum(before),
+        "delivered_after": sum(len(c.received) for c in clients) - sum(before),
+        "deliveries": deliveries,
+        "duplicates_suppressed": sum(b.duplicates_suppressed for b in brokers),
+        "notifications_processed": sum(b.notifications_processed for b in brokers),
+    }
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_mesh_fault_tolerance(benchmark):
+    def sweep():
+        rows = []
+        for brokers_n, subs_per_broker, pubs, kills in FAULT_SWEEP:
+            control = mesh_fault_stats(
+                brokers_n, subs_per_broker, pubs, kills, mesh=False, kill=False
+            )
+            tree_killed = mesh_fault_stats(
+                brokers_n, subs_per_broker, pubs, kills, mesh=False, kill=True
+            )
+            mesh_intact = mesh_fault_stats(
+                brokers_n, subs_per_broker, pubs, kills, mesh=True, kill=False
+            )
+            mesh_killed = mesh_fault_stats(
+                brokers_n, subs_per_broker, pubs, kills, mesh=True, kill=True
+            )
+            rows.append((control, tree_killed, mesh_intact, mesh_killed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = []
+    json_rows = []
+    for control, tree_killed, mesh_intact, mesh_killed in rows:
+        lost_tree = control["delivered_after"] - tree_killed["delivered_after"]
+        lost_mesh = control["delivered_after"] - mesh_killed["delivered_after"]
+        dup_overhead = mesh_killed["duplicates_suppressed"] / max(
+            1, mesh_killed["notifications_processed"]
+        )
+        table.append(
+            [
+                control["brokers"],
+                mesh_killed["kills"],
+                control["delivered_after"],
+                tree_killed["delivered_after"],
+                mesh_killed["delivered_after"],
+                lost_tree,
+                lost_mesh,
+                mesh_killed["duplicates_suppressed"],
+                fmt(dup_overhead, 2),
+            ]
+        )
+        json_rows.append(
+            {
+                "brokers": control["brokers"],
+                "kills": mesh_killed["kills"],
+                "delivered_after_control": control["delivered_after"],
+                "delivered_after_tree_killed": tree_killed["delivered_after"],
+                "delivered_after_mesh_killed": mesh_killed["delivered_after"],
+                "lost_tree": lost_tree,
+                "lost_mesh": lost_mesh,
+                "duplicates_suppressed": mesh_killed["duplicates_suppressed"],
+                "duplicate_overhead": dup_overhead,
+            }
+        )
+    emit(
+        "e5_mesh_fault_tolerance",
+        f"E5/fault: deliveries sustained across link kills "
+        f"(post-kill publications, {'smoke' if SMOKE else 'full'} sweep)",
+        ["brokers", "kills", "control", "tree killed", "mesh killed",
+         "lost (tree)", "lost (mesh)", "dups dropped", "dups/processed"],
+        table,
+    )
+    emit_json("e5_mesh_fault_tolerance", {"smoke": SMOKE, "rows": json_rows})
+    for control, tree_killed, mesh_intact, mesh_killed in rows:
+        # Redundant links alone change nothing: no duplicates reach
+        # clients, no deliveries go missing.
+        assert mesh_intact["deliveries"] == control["deliveries"]
+        # The tree partitions: the producer's leaf is cut off, so the
+        # post-kill batch reaches (almost) nobody.
+        assert tree_killed["delivered_after"] < control["delivered_after"]
+        # The mesh survives every kill with zero delivery loss.
+        assert mesh_killed["deliveries"] == control["deliveries"]
+        # The price: redundant copies, all suppressed inside the fabric.
+        assert mesh_killed["duplicates_suppressed"] > 0
 
 
 @pytest.mark.benchmark(group="e5")

@@ -14,7 +14,12 @@ from repro.events.filters import Constraint, Filter, Op
 from repro.events.covering import constraint_covers, filter_covers
 from repro.events.index import CoveringPoset, PredicateIndex
 from repro.events.subscriptions import Advertisement, Subscription
-from repro.events.broker import BrokerNode, SienaClient, build_broker_tree
+from repro.events.broker import (
+    BrokerNode,
+    SienaClient,
+    build_broker_mesh,
+    build_broker_tree,
+)
 from repro.events.elvin import ElvinClient, ElvinServer
 from repro.events.mobility import MobileClient
 
@@ -32,6 +37,7 @@ __all__ = [
     "PredicateIndex",
     "SienaClient",
     "Subscription",
+    "build_broker_mesh",
     "build_broker_tree",
     "constraint_covers",
     "filter_covers",

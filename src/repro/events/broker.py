@@ -1,9 +1,45 @@
-"""Siena-style content-based broker network (acyclic peer-to-peer topology).
+"""Siena-style content-based broker network over trees *and* meshes.
 
 Subscriptions propagate through the broker graph with covering-based
 pruning; notifications follow the reverse paths of the subscriptions they
 match.  No broker sees traffic its subtree did not ask for — the property
 that lets the per-broker load stay flat as the population grows (E4).
+
+Overlays may contain cycles.  Three mechanisms make routing on a mesh
+converge the way it does on a tree:
+
+* **Hop-count-tagged source paths** — every ``Subscribe``/``Advertise``
+  carries the tuple of brokers it has traversed (its hop count is the
+  tuple's length).  A broker never forwards control state to a
+  neighbour already on its path and never stores a reflection of its
+  own forwarding, so the control-plane flood terminates and installs,
+  at every broker, one reverse-path entry per incoming direction —
+  redundant state that later link failures simply prune.  When a copy
+  of an already-known filter arrives over a *different* chain (two
+  subscribers or producers registering the same filter, or a second
+  route around a cycle), the recorded path **narrows** to the
+  intersection of the chains — the brokers every known route passes
+  through — and the filter re-propagates to the neighbours the wider
+  path was wrongly excluding.  Paths only ever shrink, so the extra
+  flooding is finite and the mesh converges to per-link-complete
+  routing state.
+
+* **Per-source reverse-path forwarding with first-hop wins** — every
+  publication carries an id ``(origin address, sequence)``; each broker
+  keeps a bounded seen-cache and processes only the first copy to
+  arrive, dropping the rest (``duplicates_suppressed`` counts them).
+  Each publisher's traffic therefore follows an implicit spanning tree
+  of the mesh rooted at its first-hop broker, and every matching client
+  receives exactly one copy no matter how many redundant links the
+  publication crossed.
+
+* **Link-failure survival** — :meth:`BrokerNode.disconnect` withdraws
+  only the state the dead link carried; the entries installed through
+  surviving directions keep routing, so traffic re-converges over the
+  remaining paths without a full state rebuild.  On a mesh with a
+  redundant link, killing either copy of the redundancy loses nothing
+  (the E5 fault-tolerance phase measures this against the tree variant,
+  which partitions).
 
 Dispatch runs through the predicate-indexed matching fabric
 (:mod:`repro.events.index`): publications are routed with a counting
@@ -44,7 +80,7 @@ indexed+adv_pruned} and across join orders.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
@@ -60,9 +96,23 @@ from repro.simulation import Simulator
 
 
 # -- wire messages ------------------------------------------------------
+#
+# Subscribe/Advertise carry ``path``: the ordered tuple of broker
+# addresses the filter has traversed, origin-side first, ending with the
+# sender.  ``len(path)`` is the hop count.  On meshes the tag scopes the
+# flood (never forward to a broker already on the path) and rejects
+# reflections (never store state whose path passes through yourself),
+# which is what lets add/remove churn converge to the same routing state
+# a tree would reach.  On acyclic overlays the tag never changes a
+# forwarding decision, though identical filters from different origins
+# still trigger (no-op) narrowing re-sends — the modest control-traffic
+# price of mesh-readiness.  Retractions carry no tag: they terminate via
+# state-presence checks (removing an absent entry is a no-op), not flood
+# scoping.
 @dataclass
 class Subscribe:
     filter: Filter
+    path: tuple[Address, ...] = ()
 
 
 @dataclass
@@ -75,6 +125,7 @@ class Advertise:
     """A producer declares the notifications it will publish (§3)."""
 
     filter: Filter
+    path: tuple[Address, ...] = ()
 
 
 @dataclass
@@ -84,7 +135,17 @@ class Unadvertise:
 
 @dataclass
 class Publish:
+    """A publication in flight, tagged for duplicate suppression.
+
+    ``pub_id`` is ``(origin address, sequence)`` — stamped by the
+    publishing client (or by the first broker to see an untagged
+    publication) and carried unchanged across every hop, so brokers on
+    a mesh can recognise the second copy arriving over a redundant
+    link.  ``None`` stays accepted for wire compatibility.
+    """
+
     notification: Notification
+    pub_id: tuple[Address, int] | None = None
 
 
 @dataclass
@@ -141,6 +202,12 @@ class BrokerNode(Host):
     (benchmark E5's ablation): deliveries stay identical for traffic
     whose producers advertise before publishing; unadvertised traffic is
     only guaranteed to reach subscribers sharing the producer's broker.
+    All three switches compose with mesh overlays — cycles are handled
+    by path-tagged control state and the publication seen-cache, whose
+    size ``seen_cache_size`` bounds (older ids are evicted FIFO; the
+    cache only needs to outlive a publication's transit through the
+    overlay, so the default is generous for any overlay this simulator
+    builds).
     """
 
     def __init__(
@@ -151,11 +218,13 @@ class BrokerNode(Host):
         covering_enabled: bool = True,
         indexed: bool = True,
         adv_pruned: bool = False,
+        seen_cache_size: int = 2048,
     ):
         super().__init__(sim, network, position)
         self.covering_enabled = covering_enabled
         self.indexed = indexed
         self.adv_pruned = adv_pruned
+        self.seen_cache_size = seen_cache_size
         # Broker→neighbour control traffic by message type — the E5
         # benchmark reads the Subscribe row to price routing-table upkeep.
         self.control_counts: Counter[str] = Counter()
@@ -201,6 +270,24 @@ class BrokerNode(Host):
         # subscription wants?" query behind advertisement pruning.
         self._adv_in: dict[Address, CoveringPoset] = {}
         self._adv_in_ids: dict[tuple[Address, Filter], int] = {}
+        # Source path each stored filter arrived with (clients arrive
+        # with the empty path) — re-forwarding a stored filter (link
+        # sync, unmasking, deferred unblock) re-uses it so the flood
+        # stays loop-scoped on meshes.  Duplicate arrivals over other
+        # chains narrow the path to the chains' intersection.
+        self._sub_paths: dict[tuple[Address, Filter], tuple[Address, ...]] = {}
+        self._adv_paths: dict[tuple[Address, Filter], tuple[Address, ...]] = {}
+        # The path each filter was last pushed toward a neighbour with
+        # (as a set) — when a narrower copy arrives, the delta is
+        # re-sent so the neighbour can narrow its stored path too.
+        self._fwd_sent: dict[Address, dict[Filter, frozenset]] = {}
+        self._advfwd_sent: dict[Address, dict[Filter, frozenset]] = {}
+        # Publication duplicate suppression: ids of recently processed
+        # publications, FIFO-bounded.  First copy wins; every later copy
+        # arriving over a redundant path is dropped here.
+        self._seen_pubs: OrderedDict[tuple[Address, int], None] = OrderedDict()
+        self._pub_seq = 0
+        self.duplicates_suppressed = 0
 
     # ------------------------------------------------------------------
     # Topology
@@ -214,8 +301,11 @@ class BrokerNode(Host):
         as if the filters were arriving fresh — covering suppression
         and pruning apply as usual.  A subtree connected after traffic
         has started therefore converges to the same delivery behaviour
-        as one present from the start.
+        as one present from the start.  Idempotent: connecting an
+        already-linked pair is a no-op (no state re-exchange).
         """
+        if other.addr in self.neighbours and self.addr in other.neighbours:
+            return
         self.neighbours.add(other.addr)
         other.neighbours.add(self.addr)
         self.forwarded.setdefault(other.addr, [])
@@ -229,8 +319,13 @@ class BrokerNode(Host):
         Both ends drop what they forwarded across the link, remove the
         subscriptions/advertisements the departing neighbour had sent,
         and propagate the retractions onward — the inverse of
-        :meth:`connect`'s state exchange.
+        :meth:`connect`'s state exchange.  On a mesh, entries installed
+        through surviving directions are untouched, so traffic
+        re-converges over the remaining paths without a state rebuild.
+        Idempotent: disconnecting a non-neighbour is a no-op.
         """
+        if other.addr not in self.neighbours and self.addr not in other.neighbours:
+            return
         self.neighbours.discard(other.addr)
         other.neighbours.discard(self.addr)
         self._forget_neighbour(other.addr)
@@ -242,8 +337,10 @@ class BrokerNode(Host):
                 continue
             for filter in list(filters):
                 self._forward_filter(
-                    neighbour, filter, self.adverts_forwarded,
-                    self._advfwd_posets, self._advfwd_ids, Advertise,
+                    neighbour, filter,
+                    self._adv_paths.get((source, filter), ()),
+                    self.adverts_forwarded, self._advfwd_posets,
+                    self._advfwd_ids, self._advfwd_sent, Advertise,
                 )
         for source, subs in list(self.subs_by_source.items()):
             if source == neighbour:
@@ -252,17 +349,21 @@ class BrokerNode(Host):
                 if self._sub_blocked(neighbour, sub.filter):
                     continue  # re-forwarded if their advertisements arrive
                 self._forward_filter(
-                    neighbour, sub.filter, self.forwarded, self._fwd_posets,
-                    self._fwd_ids, Subscribe,
+                    neighbour, sub.filter,
+                    self._sub_paths.get((source, sub.filter), ()),
+                    self.forwarded, self._fwd_posets,
+                    self._fwd_ids, self._fwd_sent, Subscribe,
                 )
 
     def _forget_neighbour(self, neighbour: Address) -> None:
         self.forwarded.pop(neighbour, None)
         self._fwd_posets.pop(neighbour, None)
         self._fwd_ids.pop(neighbour, None)
+        self._fwd_sent.pop(neighbour, None)
         self.adverts_forwarded.pop(neighbour, None)
         self._advfwd_posets.pop(neighbour, None)
         self._advfwd_ids.pop(neighbour, None)
+        self._advfwd_sent.pop(neighbour, None)
         for filter in [s.filter for s in self.subs_by_source.get(neighbour, [])]:
             self._remove_subscription(neighbour, filter)
         for filter in list(self.adverts_by_source.get(neighbour, ())):
@@ -276,10 +377,18 @@ class BrokerNode(Host):
     # ------------------------------------------------------------------
     # Subscription management
     # ------------------------------------------------------------------
-    def _store_subscription(self, source: Address, filter: Filter) -> None:
+    def _store_subscription(
+        self, source: Address, filter: Filter, path: tuple[Address, ...] = ()
+    ) -> None:
+        if self.addr in path:
+            return  # a reflection of our own forwarding around a cycle
         subs = self.subs_by_source.setdefault(source, [])
         if self.indexed:
             if source in self._sub_sources.get(filter, ()):
+                self._narrow_stored(
+                    source, filter, path, self._sub_paths,
+                    self._propagate_subscription,
+                )
                 return
             subs.append(Subscription.fresh(filter, source))
             key = (source, filter)
@@ -288,19 +397,53 @@ class BrokerNode(Host):
             self._sub_sources.setdefault(filter, set()).add(source)
         else:
             if any(s.filter == filter for s in subs):
+                self._narrow_stored(
+                    source, filter, path, self._sub_paths,
+                    self._propagate_subscription,
+                )
                 return
             subs.append(Subscription.fresh(filter, source))
-        self._propagate_subscription(source, filter)
+        self._sub_paths[(source, filter)] = path
+        self._propagate_subscription(source, filter, path)
 
-    def _propagate_subscription(self, source: Address, filter: Filter) -> None:
+    def _narrow_stored(
+        self,
+        source: Address,
+        filter: Filter,
+        path: tuple[Address, ...],
+        paths: dict[tuple[Address, Filter], tuple[Address, ...]],
+        propagate,
+    ) -> None:
+        """Narrow a stored filter's path when a copy arrives another way.
+
+        The stored path becomes the intersection of every chain the
+        filter has arrived over from this source — only the brokers on
+        *all* of them are guaranteed to know the filter already.  When
+        it shrinks, the filter re-propagates: neighbours the wider path
+        excluded may now legitimately need it.
+        """
+        key = (source, filter)
+        old = paths.get(key)
+        if old is None:
+            return
+        arrived = set(path)
+        new = tuple(x for x in old if x in arrived)
+        if len(new) == len(old):
+            return
+        paths[key] = new
+        propagate(source, filter, new)
+
+    def _propagate_subscription(
+        self, source: Address, filter: Filter, path: tuple[Address, ...]
+    ) -> None:
         for neighbour in self.neighbours:
             if neighbour == source:
                 continue
             if self._sub_blocked(neighbour, filter):
                 continue  # deferred: unblocked if an advertisement arrives
             self._forward_filter(
-                neighbour, filter, self.forwarded, self._fwd_posets,
-                self._fwd_ids, Subscribe,
+                neighbour, filter, path, self.forwarded,
+                self._fwd_posets, self._fwd_ids, self._fwd_sent, Subscribe,
             )
 
     def _remove_subscription(self, source: Address, filter: Filter) -> None:
@@ -308,6 +451,7 @@ class BrokerNode(Host):
         self.subs_by_source[source] = [s for s in subs if s.filter != filter]
         if not self.subs_by_source[source]:
             del self.subs_by_source[source]
+        self._sub_paths.pop((source, filter), None)
         if self.indexed:
             key = (source, filter)
             if key in self._sub_entry_ids:
@@ -322,9 +466,11 @@ class BrokerNode(Host):
                     filter,
                     store_poset=self._sub_poset,
                     sources=self._sub_sources,
+                    paths=self._sub_paths,
                     forwarded=self.forwarded,
                     posets=self._fwd_posets,
                     ids_by_neighbour=self._fwd_ids,
+                    sent_paths=self._fwd_sent,
                     retract_msg=Unsubscribe,
                     restore_msg=Subscribe,
                     restore_pruned=True,
@@ -334,27 +480,27 @@ class BrokerNode(Host):
             if neighbour == source:
                 continue
             remaining = [
-                s.filter
+                (src, s.filter)
                 for src, subs in self.subs_by_source.items()
                 if src != neighbour
                 for s in subs
             ]
             already = self.forwarded.setdefault(neighbour, [])
-            if filter in already and not any(f == filter for f in remaining):
+            if filter in already and not any(f == filter for _, f in remaining):
                 already.remove(filter)
+                self._fwd_sent.get(neighbour, {}).pop(filter, None)
                 self._send_control(neighbour, Unsubscribe(filter))
-                # Re-forward anything the removed filter was masking.  The
-                # explicit membership check matters: filter_covers is not
-                # reflexive for range constraints over strings/bools, so
-                # the covering test alone would duplicate such filters.
-                for f in remaining:
-                    if f in already:
-                        continue
+                # Re-forward anything the removed filter was masking
+                # (duplicate/covering/path suppression lives in
+                # _forward_filter).
+                for src, f in remaining:
                     if self._sub_blocked(neighbour, f):
                         continue
-                    if not any(filter_covers(existing, f) for existing in already):
-                        already.append(f)
-                        self._send_control(neighbour, Subscribe(f))
+                    self._forward_filter(
+                        neighbour, f, self._sub_paths.get((src, f), ()),
+                        self.forwarded, self._fwd_posets, self._fwd_ids,
+                        self._fwd_sent, Subscribe,
+                    )
 
     # ------------------------------------------------------------------
     # Advertisement pruning predicates
@@ -415,8 +561,10 @@ class BrokerNode(Host):
                 if not filters_intersect(advert, sub.filter):
                     continue
                 self._forward_filter(
-                    neighbour, sub.filter, self.forwarded, self._fwd_posets,
-                    self._fwd_ids, Subscribe,
+                    neighbour, sub.filter,
+                    self._sub_paths.get((source, sub.filter), ()),
+                    self.forwarded, self._fwd_posets,
+                    self._fwd_ids, self._fwd_sent, Subscribe,
                 )
 
     def _reprune_subscriptions(self, neighbour: Address, advert: Filter) -> None:
@@ -443,6 +591,7 @@ class BrokerNode(Host):
             already.remove(filter)
             if self.indexed and filter in ids and poset is not None:
                 poset.remove(ids.pop(filter))
+            self._fwd_sent.get(neighbour, {}).pop(filter, None)
             self._send_control(neighbour, Unsubscribe(filter))
 
     # ------------------------------------------------------------------
@@ -464,9 +613,11 @@ class BrokerNode(Host):
         self,
         neighbour: Address,
         filter: Filter,
+        path: tuple[Address, ...],
         forwarded: dict[Address, list[Filter]],
         posets: dict[Address, CoveringPoset],
         ids_by_neighbour: dict[Address, dict[Filter, int]],
+        sent_paths: dict[Address, dict[Filter, frozenset]],
         forward_msg,
     ) -> None:
         """Push ``filter`` toward a neighbour unless it is redundant there.
@@ -475,25 +626,58 @@ class BrokerNode(Host):
         receives (some forwarded filter covers it, itself included) is
         suppressed; with covering disabled only exact duplicates are — the
         ablation baseline measured in benchmark A1.
+
+        ``path`` is the copy's stored source path (this broker appends
+        itself on the wire).  A neighbour on the path has necessarily
+        seen the filter, so the flood never crosses a cycle twice.  An
+        already-forwarded filter arriving again over a narrower chain is
+        re-sent with the narrowed path (the intersection of every chain
+        pushed so far), so the neighbour learns the filter no longer
+        depends on the brokers the original path crossed — without this,
+        two identical filters from different origins would collapse into
+        one path and starve redundant routes of routing state.
         """
+        if neighbour in path:
+            return
         already = forwarded.setdefault(neighbour, [])
+        sent = sent_paths.setdefault(neighbour, {})
         if self.indexed:
             poset = posets.setdefault(neighbour, CoveringPoset())
             ids = ids_by_neighbour.setdefault(neighbour, {})
-            if self.covering_enabled and poset.covers_any(filter):
-                return
             if filter in ids:
+                self._narrow_forwarded(neighbour, filter, path, sent, forward_msg)
+                return
+            if self.covering_enabled and poset.covers_any(filter):
                 return
             ids[filter] = poset.add(filter)
         else:
+            if filter in already:
+                self._narrow_forwarded(neighbour, filter, path, sent, forward_msg)
+                return
             if self.covering_enabled and any(
                 filter_covers(existing, filter) for existing in already
             ):
                 return
-            if filter in already:
-                return
         already.append(filter)
-        self._send_control(neighbour, forward_msg(filter))
+        sent[filter] = frozenset(path)
+        self._send_control(neighbour, forward_msg(filter, path + (self.addr,)))
+
+    def _narrow_forwarded(
+        self,
+        neighbour: Address,
+        filter: Filter,
+        path: tuple[Address, ...],
+        sent: dict[Filter, frozenset],
+        forward_msg,
+    ) -> None:
+        """Re-send an already-forwarded filter whose path just narrowed."""
+        old = sent.get(filter)
+        new = frozenset(path) if old is None else old & frozenset(path)
+        if old is not None and new == old:
+            return
+        sent[filter] = new
+        narrowed = tuple(x for x in path if x in new)
+        self._send_control(neighbour, forward_msg(filter, narrowed + (self.addr,)))
 
     def _retract_forwarded(
         self,
@@ -501,9 +685,11 @@ class BrokerNode(Host):
         filter: Filter,
         store_poset: CoveringPoset,
         sources: dict[Filter, set[Address]],
+        paths: dict[tuple[Address, Filter], tuple[Address, ...]],
         forwarded: dict[Address, list[Filter]],
         posets: dict[Address, CoveringPoset],
         ids_by_neighbour: dict[Address, dict[Filter, int]],
+        sent_paths: dict[Address, dict[Filter, frozenset]],
         retract_msg,
         restore_msg,
         restore_pruned: bool = False,
@@ -527,56 +713,73 @@ class BrokerNode(Host):
             return  # still stored from elsewhere: the neighbour keeps it
         already.remove(filter)
         poset.remove(ids.pop(filter))
+        sent_paths.setdefault(neighbour, {}).pop(filter, None)
         self._send_control(neighbour, retract_msg(filter))
         for pid in store_poset.covered_by(filter):
             masked_source, masked = store_poset.payload(pid)
             if masked_source == neighbour:
                 continue
-            if masked in ids:
-                # Already forwarded in its own right.  This needs an
-                # explicit check: filter_covers is not reflexive for
-                # range constraints over strings/bools, so covers_any
-                # alone would re-append such a filter.
-                continue
             if restore_pruned and self._sub_blocked(neighbour, masked):
                 continue
-            if poset.covers_any(masked):
-                continue  # still covered by another forwarded filter
-            already.append(masked)
-            ids[masked] = poset.add(masked)
-            self._send_control(neighbour, restore_msg(masked))
+            # Duplicate/covering/path suppression lives in
+            # _forward_filter (the duplicate check there is explicit
+            # because filter_covers is not reflexive for range
+            # constraints over strings/bools).
+            self._forward_filter(
+                neighbour, masked, paths.get((masked_source, masked), ()),
+                forwarded, posets, ids_by_neighbour, sent_paths, restore_msg,
+            )
 
     # ------------------------------------------------------------------
     # Advertisements
     # ------------------------------------------------------------------
-    def _store_advertisement(self, source: Address, filter: Filter) -> None:
+    def _store_advertisement(
+        self, source: Address, filter: Filter, path: tuple[Address, ...] = ()
+    ) -> None:
+        if self.addr in path:
+            return  # a reflection of our own forwarding around a cycle
         adverts = self.adverts_by_source.setdefault(source, [])
         if self.indexed:
             if source in self._adv_sources.get(filter, ()):
+                self._narrow_stored(
+                    source, filter, path, self._adv_paths,
+                    self._propagate_advertisement,
+                )
                 return
             adverts.append(filter)
             key = (source, filter)
             self._adv_entry_ids[key] = self._adv_index.add(filter, payload=source)
             self._adv_poset_ids[key] = self._adv_poset.add(filter, payload=key)
-            self._adv_sources.setdefault(filter, set()).add(source)
             self._adv_in_ids[key] = self._adv_in.setdefault(
                 source, CoveringPoset()
             ).add(filter)
+            self._adv_sources.setdefault(filter, set()).add(source)
         else:
             if filter in adverts:
+                self._narrow_stored(
+                    source, filter, path, self._adv_paths,
+                    self._propagate_advertisement,
+                )
                 return
             adverts.append(filter)
-        for neighbour in self.neighbours:
-            if neighbour == source:
-                continue
-            self._forward_filter(
-                neighbour, filter, self.adverts_forwarded, self._advfwd_posets,
-                self._advfwd_ids, Advertise,
-            )
+        self._adv_paths[(source, filter)] = path
+        self._propagate_advertisement(source, filter, path)
         if self.adv_pruned and source in self.neighbours:
             # Deferred re-propagation: the new advertisement may unblock
             # subscriptions previously pruned toward its source.
             self._unblock_subscriptions(source, filter)
+
+    def _propagate_advertisement(
+        self, source: Address, filter: Filter, path: tuple[Address, ...]
+    ) -> None:
+        for neighbour in self.neighbours:
+            if neighbour == source:
+                continue
+            self._forward_filter(
+                neighbour, filter, path, self.adverts_forwarded,
+                self._advfwd_posets, self._advfwd_ids, self._advfwd_sent,
+                Advertise,
+            )
 
     def _remove_advertisement(self, source: Address, filter: Filter) -> None:
         adverts = self.adverts_by_source.get(source, [])
@@ -584,6 +787,7 @@ class BrokerNode(Host):
         if filter in adverts:
             adverts.remove(filter)
             removed = True
+            self._adv_paths.pop((source, filter), None)
             if self.indexed:
                 key = (source, filter)
                 if key in self._adv_entry_ids:
@@ -608,9 +812,11 @@ class BrokerNode(Host):
                     filter,
                     store_poset=self._adv_poset,
                     sources=self._adv_sources,
+                    paths=self._adv_paths,
                     forwarded=self.adverts_forwarded,
                     posets=self._advfwd_posets,
                     ids_by_neighbour=self._advfwd_ids,
+                    sent_paths=self._advfwd_sent,
                     retract_msg=Unadvertise,
                     restore_msg=Advertise,
                 )
@@ -619,26 +825,27 @@ class BrokerNode(Host):
             if neighbour == source:
                 continue
             remaining = [
-                f
+                (src, f)
                 for src, filters in self.adverts_by_source.items()
                 if src != neighbour
                 for f in filters
             ]
             already = self.adverts_forwarded.setdefault(neighbour, [])
-            if filter in already and filter not in remaining:
+            if filter in already and not any(f == filter for _, f in remaining):
                 already.remove(filter)
+                self._advfwd_sent.get(neighbour, {}).pop(filter, None)
                 self._send_control(neighbour, Unadvertise(filter))
                 # Re-forward anything the removed advertisement was masking,
                 # mirroring _remove_subscription: without this an
                 # Unadvertise silently strips a neighbour of adverts whose
-                # producers are still live.  The membership check guards
-                # against non-reflexive filter_covers (string/bool ranges).
-                for f in remaining:
-                    if f in already:
-                        continue
-                    if not any(filter_covers(existing, f) for existing in already):
-                        already.append(f)
-                        self._send_control(neighbour, Advertise(f))
+                # producers are still live (duplicate/covering/path
+                # suppression lives in _forward_filter).
+                for src, f in remaining:
+                    self._forward_filter(
+                        neighbour, f, self._adv_paths.get((src, f), ()),
+                        self.adverts_forwarded, self._advfwd_posets,
+                        self._advfwd_ids, self._advfwd_sent, Advertise,
+                    )
 
     def advertisements(self) -> list[Filter]:
         """Every advertisement this broker knows about (all sources)."""
@@ -653,7 +860,27 @@ class BrokerNode(Host):
     # ------------------------------------------------------------------
     # Publication
     # ------------------------------------------------------------------
-    def _process_publication(self, source: Address, notification: Notification) -> None:
+    def _process_publication(
+        self,
+        source: Address,
+        notification: Notification,
+        pub_id: tuple[Address, int] | None = None,
+    ) -> None:
+        """Route one publication: first copy wins, the rest are dropped.
+
+        An untagged publication (legacy producers sending bare
+        ``Publish``) is stamped here, so every copy this broker forwards
+        is recognisable if a cycle routes it back.
+        """
+        if pub_id is None:
+            pub_id = (self.addr, self._pub_seq)
+            self._pub_seq += 1
+        elif pub_id in self._seen_pubs:
+            self.duplicates_suppressed += 1
+            return
+        self._seen_pubs[pub_id] = None
+        if len(self._seen_pubs) > self.seen_cache_size:
+            self._seen_pubs.popitem(last=False)
         self.notifications_processed += 1
         size = notification.size_bytes()
         if self.indexed:
@@ -665,23 +892,29 @@ class BrokerNode(Host):
             for dest in list(self.subs_by_source):
                 if dest == source or dest not in interested:
                     continue
-                self._deliver(dest, notification, size)
+                self._deliver(dest, notification, size, pub_id)
             return
         for dest, subs in list(self.subs_by_source.items()):
             if dest == source:
                 continue
             if not any(s.filter.matches(notification) for s in subs):
                 continue
-            self._deliver(dest, notification, size)
+            self._deliver(dest, notification, size, pub_id)
 
-    def _deliver(self, dest: Address, notification: Notification, size: int) -> None:
+    def _deliver(
+        self,
+        dest: Address,
+        notification: Notification,
+        size: int,
+        pub_id: tuple[Address, int] | None = None,
+    ) -> None:
         if dest in self.proxies:
             self.proxies[dest].append(notification)  # buffer for the mobile client
         elif dest in self.client_addrs:
             self.notifications_delivered += 1
             self.send(dest, Notify(notification), size_bytes=size)
         elif dest in self.neighbours:
-            self.send(dest, Publish(notification), size_bytes=size)
+            self.send(dest, Publish(notification, pub_id), size_bytes=size)
 
     # ------------------------------------------------------------------
     # Mobility (Mobikit §3: static proxies for mobile entities)
@@ -736,15 +969,15 @@ class BrokerNode(Host):
     # ------------------------------------------------------------------
     def handle_message(self, src: Address, payload) -> None:
         if isinstance(payload, Subscribe):
-            self._store_subscription(src, payload.filter)
+            self._store_subscription(src, payload.filter, payload.path)
         elif isinstance(payload, Unsubscribe):
             self._remove_subscription(src, payload.filter)
         elif isinstance(payload, Advertise):
-            self._store_advertisement(src, payload.filter)
+            self._store_advertisement(src, payload.filter, payload.path)
         elif isinstance(payload, Unadvertise):
             self._remove_advertisement(src, payload.filter)
         elif isinstance(payload, Publish):
-            self._process_publication(src, payload.notification)
+            self._process_publication(src, payload.notification, payload.pub_id)
         elif isinstance(payload, MoveOut):
             self._handle_move_out(src)
         elif isinstance(payload, MoveIn):
@@ -773,6 +1006,7 @@ class SienaClient(Host):
         self.filters: list[Filter] = []
         self.received: list[tuple[float, Notification]] = []
         self.handlers: list[Callable[[Notification], None]] = []
+        self._pub_seq = 0
 
     def subscribe(self, filter: Filter) -> None:
         self.filters.append(filter)
@@ -791,8 +1025,12 @@ class SienaClient(Host):
         self.send(self.broker_addr, Unadvertise(filter), size_bytes=128)
 
     def publish(self, notification: Notification) -> None:
+        pub_id = (self.addr, self._pub_seq)
+        self._pub_seq += 1
         self.send(
-            self.broker_addr, Publish(notification), size_bytes=notification.size_bytes()
+            self.broker_addr,
+            Publish(notification, pub_id),
+            size_bytes=notification.size_bytes(),
         )
 
     def handle_message(self, src: Address, payload) -> None:
@@ -810,6 +1048,7 @@ def build_broker_tree(
     covering_enabled: bool = True,
     indexed: bool = True,
     adv_pruned: bool = False,
+    seen_cache_size: int = 2048,
 ) -> list[BrokerNode]:
     """A tree-shaped (hence acyclic) broker overlay spread across regions."""
     rng = sim.rng_for("broker-build")
@@ -821,10 +1060,55 @@ def build_broker_tree(
             covering_enabled=covering_enabled,
             indexed=indexed,
             adv_pruned=adv_pruned,
+            seen_cache_size=seen_cache_size,
         )
         for i in range(count)
     ]
     for index in range(1, count):
         parent = brokers[(index - 1) // branching]
         brokers[index].connect(parent)
+    return brokers
+
+
+def build_broker_mesh(
+    sim: Simulator,
+    network: Network,
+    count: int,
+    branching: int = 3,
+    extra_links: int = 2,
+    covering_enabled: bool = True,
+    indexed: bool = True,
+    adv_pruned: bool = False,
+    seen_cache_size: int = 2048,
+) -> list[BrokerNode]:
+    """A broker mesh: the :func:`build_broker_tree` overlay plus
+    ``extra_links`` redundant links between randomly chosen non-adjacent
+    brokers.
+
+    Every extra link closes a cycle, so any single link on that cycle
+    can fail without partitioning the overlay — the fault-tolerance
+    property the E5 benchmark's failure phase measures.  The link
+    choice is seeded through the simulator (``sim.rng_for``), so the
+    same simulator seed always yields the same mesh.
+    """
+    brokers = build_broker_tree(
+        sim,
+        network,
+        count,
+        branching=branching,
+        covering_enabled=covering_enabled,
+        indexed=indexed,
+        adv_pruned=adv_pruned,
+        seen_cache_size=seen_cache_size,
+    )
+    rng = sim.rng_for("broker-mesh")
+    candidates = [
+        (i, j)
+        for i in range(count)
+        for j in range(i + 1, count)
+        if brokers[j].addr not in brokers[i].neighbours
+    ]
+    rng.shuffle(candidates)
+    for i, j in candidates[:extra_links]:
+        brokers[i].connect(brokers[j])
     return brokers

@@ -147,6 +147,71 @@ class TestCoveringPropagation:
         assert len(touched) == 1
 
 
+class TestTopologyIdempotence:
+    def test_connect_twice_is_a_noop(self):
+        sim, network, brokers = make_world(brokers=2)
+        a, b = brokers
+        sub = client_at(sim, network, a)
+        pub = client_at(sim, network, b)
+        sub.subscribe(Filter(type_is("weather")))
+        pub.advertise(Filter(type_is("weather")))
+        sim.run_for(1.0)
+        counts = dict(a.control_counts), dict(b.control_counts)
+        forwarded = [list(fs) for fs in a.forwarded.values()]
+        a.connect(b)  # already linked: no state re-exchange
+        sim.run_for(1.0)
+        assert (dict(a.control_counts), dict(b.control_counts)) == counts
+        assert [list(fs) for fs in a.forwarded.values()] == forwarded
+        pub.publish(make_event("weather", temp=20.0))
+        sim.run_for(1.0)
+        assert len(sub.received) == 1
+
+    def test_connect_twice_reversed_is_a_noop(self):
+        sim, network, brokers = make_world(brokers=2)
+        a, b = brokers
+        sub = client_at(sim, network, a)
+        sub.subscribe(Filter(type_is("weather")))
+        sim.run_for(1.0)
+        counts = dict(b.control_counts)
+        b.connect(a)  # the seed linked a→b; the swapped call is the same link
+        sim.run_for(1.0)
+        assert dict(b.control_counts) == counts
+        assert all(len(fs) == len(set(fs)) for fs in a.forwarded.values())
+
+    def test_disconnect_non_neighbour_is_a_noop(self):
+        sim, network, brokers = make_world(brokers=4)
+        # With branching 3, brokers 1..3 all hang off 0: 1 and 2 are not
+        # neighbours of each other.
+        one, two = brokers[1], brokers[2]
+        assert two.addr not in one.neighbours
+        sub = client_at(sim, network, one)
+        pub = client_at(sim, network, two)
+        sub.subscribe(Filter(type_is("weather")))
+        sim.run_for(1.0)
+        stored = {addr: len(subs) for addr, subs in brokers[0].subs_by_source.items()}
+        one.disconnect(two)
+        sim.run_for(1.0)
+        assert {
+            addr: len(subs) for addr, subs in brokers[0].subs_by_source.items()
+        } == stored
+        pub.publish(make_event("weather", temp=20.0))
+        sim.run_for(1.0)
+        assert len(sub.received) == 1
+
+    def test_disconnect_twice_is_a_noop(self):
+        sim, network, brokers = make_world(brokers=2)
+        a, b = brokers
+        sub = client_at(sim, network, a)
+        sub.subscribe(Filter(type_is("weather")))
+        sim.run_for(1.0)
+        a.disconnect(b)
+        sim.run_for(1.0)
+        counts = dict(a.control_counts), dict(b.control_counts)
+        b.disconnect(a)
+        sim.run_for(1.0)
+        assert (dict(a.control_counts), dict(b.control_counts)) == counts
+
+
 class TestElvinBaseline:
     def test_centralised_delivery(self):
         sim = Simulator(seed=0)

@@ -1,0 +1,508 @@
+"""Randomized mesh-overlay equivalence: cycles, duplicates, link failure.
+
+PR 3 proved that routing modes and join orders never change what clients
+receive on *trees*.  This suite extends the obligation to overlays with
+cycles: scenarios are generated as pure data (a tree, a set of redundant
+extra links, a client population, an op script) and executed per routing
+mode — {naive, indexed, indexed+adv_pruned} — and per topology variant,
+asserting identical per-client deliveries every time:
+
+* **tree vs mesh** — the same op script on the spanning tree alone and
+  on the mesh (tree + redundant links) must deliver identically: the
+  redundant links add paths, never copies (per-publication ids with a
+  bounded seen-cache suppress every duplicate) and never losses
+  (path-tagged control floods install reverse-path state along each
+  direction);
+
+* **mesh vs mesh-with-one-killed-link** — killing any single redundant
+  link (one whose removal keeps the overlay connected) mid-script must
+  not change deliveries either: the surviving directions' routing
+  entries were installed by the original flood, so traffic re-converges
+  without a state rebuild.
+
+Deterministic tests below pin the individual mechanisms: exactly-once
+delivery on a cycle, the bounded seen-cache, reflection-free control
+state, convergence to the empty state after unsubscribe, idempotent
+``connect``/``disconnect``, and the ``build_broker_mesh`` builder.
+"""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.events.broker import BrokerNode, SienaClient, build_broker_mesh
+from repro.events.filters import Constraint, Filter, Op
+from repro.events.model import make_event
+from repro.net import FixedLatency, Network, Position
+from repro.simulation import Simulator
+
+MODES = {
+    "naive": dict(indexed=False),
+    "indexed": dict(indexed=True),
+    "adv_pruned": dict(indexed=True, adv_pruned=True),
+}
+
+EVENT_TYPES = ["presence", "weather", "rfid", "gps"]
+ROOMS = ["lab", "cafe", "atrium", "hall"]
+USERS = [f"user{i}" for i in range(6)]
+
+
+# ----------------------------------------------------------------------
+# Scenario generation: pure data, shared verbatim by every variant.
+# ----------------------------------------------------------------------
+def random_sub_filter(rng: random.Random) -> Filter:
+    roll = rng.random()
+    if roll < 0.08:
+        return Filter(Constraint("room", Op.EXISTS))
+    if roll < 0.16:
+        return Filter(Constraint("subject", Op.PREFIX, "user"))
+    constraints = [Constraint("type", Op.EQ, rng.choice(EVENT_TYPES))]
+    extra = rng.random()
+    if extra < 0.2:
+        constraints.append(Constraint("room", Op.EQ, rng.choice(ROOMS)))
+    elif extra < 0.35:
+        constraints.append(
+            Constraint("strength", Op.GT, round(rng.uniform(0.0, 4.0), 1))
+        )
+    elif extra < 0.45:
+        constraints.append(Constraint("room", Op.NE, rng.choice(ROOMS)))
+    elif extra < 0.55:
+        constraints.append(Constraint("subject", Op.SUFFIX, str(rng.randrange(4))))
+    elif extra < 0.62:
+        constraints.append(Constraint("room", Op.CONTAINS, "a"))
+    elif extra < 0.7:
+        constraints.append(
+            Constraint("strength", Op.LE, round(rng.uniform(1.0, 5.0), 1))
+        )
+    return Filter(*constraints)
+
+
+def random_producer(rng: random.Random) -> dict:
+    event_type = rng.choice(EVENT_TYPES)
+    if rng.random() < 0.4:
+        room = rng.choice(ROOMS)
+        advert = Filter(
+            Constraint("type", Op.EQ, event_type), Constraint("room", Op.EQ, room)
+        )
+        rooms = [room]
+    else:
+        advert = Filter(Constraint("type", Op.EQ, event_type))
+        rooms = ROOMS
+    return {"type": event_type, "advert": advert, "rooms": rooms}
+
+
+def random_publication(rng: random.Random, producer: dict, seq: int):
+    return make_event(
+        producer["type"],
+        subject=rng.choice(USERS),
+        room=rng.choice(producer["rooms"]),
+        strength=round(rng.uniform(0.0, 5.0), 2),
+        seq=seq,
+    )
+
+
+def connected_without(
+    n_brokers: int, edges: list[tuple[int, int]], cut: tuple[int, int]
+) -> bool:
+    """Is the overlay still one component after removing ``cut``?"""
+    adjacency: dict[int, set[int]] = {i: set() for i in range(n_brokers)}
+    for a, b in edges:
+        if {a, b} == set(cut):
+            continue
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    seen = {0}
+    frontier = deque([0])
+    while frontier:
+        node = frontier.popleft()
+        for peer in adjacency[node]:
+            if peer not in seen:
+                seen.add(peer)
+                frontier.append(peer)
+    return len(seen) == n_brokers
+
+
+def redundant_links(n_brokers: int, edges: list[tuple[int, int]]):
+    """Every link whose removal keeps the overlay connected."""
+    return [cut for cut in edges if connected_without(n_brokers, edges, cut)]
+
+
+def generate_scenario(seed: int) -> dict:
+    """A spanning tree, redundant extra links, clients, and an op script.
+
+    Producers publish only while advertised (the Siena contract
+    advertisement pruning assumes), so deliveries are mode-independent.
+    """
+    rng = random.Random(seed)
+    n_brokers = rng.randint(4, 12)
+    tree_edges = [(child, rng.randrange(child)) for child in range(1, n_brokers)]
+    adjacent = {frozenset(edge) for edge in tree_edges}
+    candidates = [
+        (i, j)
+        for i in range(n_brokers)
+        for j in range(i + 1, n_brokers)
+        if frozenset((i, j)) not in adjacent
+    ]
+    rng.shuffle(candidates)
+    extra_edges = candidates[: rng.randint(1, min(3, len(candidates)))]
+
+    subscribers = []  # (broker, [filters])
+    producers = []  # (broker, profile)
+    for broker in range(n_brokers):
+        subscribers.append(
+            (broker, [random_sub_filter(rng) for _ in range(rng.randint(1, 3))])
+        )
+        if rng.random() < 0.6:
+            producers.append((broker, random_producer(rng)))
+    if not producers:
+        producers.append((0, random_producer(rng)))
+
+    ops: list[tuple] = []
+    advertised = set()
+    active_subs: set[tuple[int, int]] = set()
+    seq = 0
+    for index in range(len(producers)):
+        if rng.random() < 0.7:
+            ops.append(("adv", index))
+            advertised.add(index)
+    for index, (_, filters) in enumerate(subscribers):
+        if rng.random() < 0.8:
+            ops.append(("sub", index, 0))
+            active_subs.add((index, 0))
+    for _ in range(rng.randint(12, 24)):
+        roll = rng.random()
+        if roll < 0.35 and advertised:
+            index = rng.choice(sorted(advertised))
+            count = rng.randint(1, 3)
+            ops.append(("pub", index, seq, count))
+            seq += count
+        elif roll < 0.55:
+            index = rng.randrange(len(subscribers))
+            slot = rng.randrange(len(subscribers[index][1]))
+            if (index, slot) in active_subs:
+                ops.append(("unsub", index, slot))
+                active_subs.discard((index, slot))
+            else:
+                ops.append(("sub", index, slot))
+                active_subs.add((index, slot))
+        elif roll < 0.7:
+            index = rng.randrange(len(producers))
+            if index in advertised:
+                ops.append(("unadv", index))
+                advertised.discard(index)
+            else:
+                ops.append(("adv", index))
+                advertised.add(index)
+        elif advertised:
+            index = rng.choice(sorted(advertised))
+            ops.append(("pub", index, seq, 1))
+            seq += 1
+    # The kill variant cuts one redundant link somewhere in the second
+    # half of the script (chosen against the full mesh edge set).
+    mesh_edges = tree_edges + extra_edges
+    cut = rng.choice(redundant_links(n_brokers, mesh_edges))
+    cut_position = rng.randint(len(ops) // 2, len(ops))
+    return {
+        "seed": seed,
+        "n_brokers": n_brokers,
+        "tree_edges": tree_edges,
+        "extra_edges": extra_edges,
+        "cut": cut,
+        "cut_position": cut_position,
+        "subscribers": subscribers,
+        "producers": producers,
+        "ops": ops,
+    }
+
+
+def _delivery_key(notification):
+    return tuple(sorted((k, repr(v)) for k, v in notification.items()))
+
+
+def run_scenario(
+    scenario: dict,
+    mode_kwargs: dict,
+    mesh: bool,
+    kill_link: bool = False,
+) -> dict:
+    edges = list(scenario["tree_edges"])
+    if mesh:
+        edges += list(scenario["extra_edges"])
+    ops = list(scenario["ops"])
+    if kill_link:
+        ops.insert(scenario["cut_position"], ("cut",))
+    sim = Simulator(seed=11)
+    network = Network(sim, latency=FixedLatency(0.01))
+    brokers = [
+        BrokerNode(sim, network, Position(1.0, float(i)), **mode_kwargs)
+        for i in range(scenario["n_brokers"])
+    ]
+    for a, b in edges:
+        brokers[a].connect(brokers[b])
+    sub_clients = [
+        SienaClient(sim, network, Position(2.0, float(i)), brokers[broker])
+        for i, (broker, _) in enumerate(scenario["subscribers"])
+    ]
+    pub_clients = [
+        SienaClient(sim, network, Position(3.0, float(i)), brokers[broker])
+        for i, (broker, _) in enumerate(scenario["producers"])
+    ]
+    pub_rng = random.Random(scenario["seed"] * 7919 + 13)
+    for op in ops:
+        kind = op[0]
+        if kind == "sub":
+            _, index, slot = op
+            sub_clients[index].subscribe(scenario["subscribers"][index][1][slot])
+        elif kind == "unsub":
+            _, index, slot = op
+            sub_clients[index].unsubscribe(scenario["subscribers"][index][1][slot])
+        elif kind == "adv":
+            _, index = op
+            pub_clients[index].advertise(scenario["producers"][index][1]["advert"])
+        elif kind == "unadv":
+            _, index = op
+            pub_clients[index].unadvertise(scenario["producers"][index][1]["advert"])
+        elif kind == "pub":
+            _, index, seq, count = op
+            profile = scenario["producers"][index][1]
+            for offset in range(count):
+                pub_clients[index].publish(
+                    random_publication(pub_rng, profile, seq + offset)
+                )
+        elif kind == "cut":
+            a, b = scenario["cut"]
+            brokers[a].disconnect(brokers[b])
+        sim.run_for(2.0)
+    sim.run_for(5.0)
+    deliveries = [
+        sorted(_delivery_key(n) for _, n in client.received)
+        for client in sub_clients + pub_clients
+    ]
+    duplicates_ok = all(
+        len(filters) == len(set(filters))
+        for b in brokers
+        for filters in list(b.forwarded.values()) + list(b.adverts_forwarded.values())
+    )
+    return {
+        "deliveries": deliveries,
+        "duplicates_ok": duplicates_ok,
+        "duplicates_suppressed": sum(b.duplicates_suppressed for b in brokers),
+        "seen_cache_sizes": [len(b._seen_pubs) for b in brokers],
+    }
+
+
+class TestRandomizedMeshEquivalence:
+    @pytest.mark.parametrize("seed", range(22))
+    def test_tree_and_mesh_deliver_identically(self, seed):
+        scenario = generate_scenario(seed)
+        tree = run_scenario(scenario, MODES["naive"], mesh=False)
+        for name, kwargs in MODES.items():
+            result = run_scenario(scenario, kwargs, mesh=True)
+            assert result["deliveries"] == tree["deliveries"], name
+            assert result["duplicates_ok"], name
+
+    @pytest.mark.parametrize("seed", range(22))
+    def test_killing_one_redundant_link_changes_nothing(self, seed):
+        scenario = generate_scenario(seed)
+        for name, kwargs in MODES.items():
+            intact = run_scenario(scenario, kwargs, mesh=True)
+            killed = run_scenario(scenario, kwargs, mesh=True, kill_link=True)
+            assert killed["deliveries"] == intact["deliveries"], name
+            assert killed["duplicates_ok"], name
+
+    def test_every_redundant_link_is_individually_killable(self):
+        """Exhaustive over one scenario: whichever redundant link dies,
+        deliveries match the intact mesh."""
+        scenario = generate_scenario(3)
+        mesh_edges = scenario["tree_edges"] + scenario["extra_edges"]
+        cuts = redundant_links(scenario["n_brokers"], mesh_edges)
+        assert len(cuts) >= 3  # the meta-check below keeps this honest
+        intact = run_scenario(scenario, MODES["indexed"], mesh=True)
+        for cut in cuts:
+            variant = dict(scenario, cut=cut)
+            killed = run_scenario(variant, MODES["indexed"], mesh=True, kill_link=True)
+            assert killed["deliveries"] == intact["deliveries"], cut
+
+    def test_scenarios_exercise_the_mesh(self):
+        """Meta-check: the generator produces cycles the traffic actually
+        crosses (duplicates get suppressed), churn of every kind, and
+        non-empty deliveries."""
+        kinds = set()
+        delivered = 0
+        suppressed = 0
+        for seed in range(22):
+            scenario = generate_scenario(seed)
+            assert scenario["extra_edges"]  # every mesh has ≥1 cycle
+            kinds |= {op[0] for op in scenario["ops"]}
+            result = run_scenario(scenario, MODES["indexed"], mesh=True)
+            delivered += sum(len(d) for d in result["deliveries"])
+            suppressed += result["duplicates_suppressed"]
+        assert kinds == {"sub", "unsub", "adv", "unadv", "pub"}
+        assert delivered > 100
+        assert suppressed > 0
+
+
+# ----------------------------------------------------------------------
+# Deterministic mechanism tests
+# ----------------------------------------------------------------------
+def triangle(**kwargs):
+    sim = Simulator(seed=0)
+    network = Network(sim, latency=FixedLatency(0.01))
+    brokers = [
+        BrokerNode(sim, network, Position(0.0, float(i)), **kwargs) for i in range(3)
+    ]
+    brokers[0].connect(brokers[1])
+    brokers[1].connect(brokers[2])
+    brokers[2].connect(brokers[0])
+    return sim, network, brokers
+
+
+class TestDuplicateSuppression:
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_cycle_delivers_exactly_once(self, mode):
+        sim, network, brokers = triangle(**MODES[mode])
+        sub = SienaClient(sim, network, Position(1.0, 0.0), brokers[0])
+        pub = SienaClient(sim, network, Position(1.0, 1.0), brokers[1])
+        sub.subscribe(Filter(Constraint("type", Op.EQ, "t")))
+        sim.run_for(1.0)
+        pub.advertise(Filter(Constraint("type", Op.EQ, "t")))
+        sim.run_for(1.0)
+        pub.publish(make_event("t", n=1))
+        sim.run_for(1.0)
+        assert [n["n"] for _, n in sub.received] == [1]
+        # The publication crossed the redundant link and was dropped there.
+        assert sum(b.duplicates_suppressed for b in brokers) > 0
+
+    def test_seen_cache_is_bounded(self):
+        """The cache never outgrows its bound, and keeps suppressing
+        correctly as long as it outlives each publication's transit."""
+        sim, network, brokers = triangle(seen_cache_size=8)
+        sub = SienaClient(sim, network, Position(1.0, 0.0), brokers[0])
+        pub = SienaClient(sim, network, Position(1.0, 1.0), brokers[1])
+        sub.subscribe(Filter(Constraint("type", Op.EQ, "t")))
+        sim.run_for(1.0)
+        for n in range(40):
+            pub.publish(make_event("t", n=n))
+            sim.run_for(1.0)
+        assert [n["n"] for _, n in sub.received] == list(range(40))
+        for broker in brokers:
+            assert len(broker._seen_pubs) <= 8
+
+    def test_reflections_never_stored(self):
+        """A broker's own forwarding looping around the cycle must not
+        come back as foreign state: after the flood settles, the
+        subscriber's broker stores only its client's entry."""
+        sim, network, brokers = triangle()
+        sub = SienaClient(sim, network, Position(1.0, 0.0), brokers[0])
+        sub.subscribe(Filter(Constraint("type", Op.EQ, "t")))
+        sim.run_for(2.0)
+        assert set(brokers[0].subs_by_source) == {sub.addr}
+
+    def test_unsubscribe_converges_to_empty_state(self):
+        """No ghost subscriptions circulate the ring after the only
+        subscriber leaves — every store and forwarded set drains."""
+        sim, network, brokers = triangle()
+        sub = SienaClient(sim, network, Position(1.0, 0.0), brokers[0])
+        filter = Filter(Constraint("type", Op.EQ, "t"))
+        sub.subscribe(filter)
+        sim.run_for(2.0)
+        sub.unsubscribe(filter)
+        sim.run_for(5.0)
+        for broker in brokers:
+            assert broker.subs_by_source == {}
+            assert all(not fs for fs in broker.forwarded.values())
+            assert broker._sub_paths == {}
+
+
+class TestLinkFailureSurvival:
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_ring_survives_any_single_link_failure(self, mode):
+        for kill in range(4):
+            sim = Simulator(seed=0)
+            network = Network(sim, latency=FixedLatency(0.01))
+            ring = [
+                BrokerNode(sim, network, Position(0.0, float(i)), **MODES[mode])
+                for i in range(4)
+            ]
+            for i in range(4):
+                ring[i].connect(ring[(i + 1) % 4])
+            sub = SienaClient(sim, network, Position(1.0, 0.0), ring[0])
+            pub = SienaClient(sim, network, Position(1.0, 2.0), ring[2])
+            pub.advertise(Filter(Constraint("type", Op.EQ, "t")))
+            sim.run_for(1.0)
+            sub.subscribe(Filter(Constraint("type", Op.EQ, "t")))
+            sim.run_for(2.0)
+            pub.publish(make_event("t", n=1))
+            sim.run_for(2.0)
+            ring[kill].disconnect(ring[(kill + 1) % 4])
+            sim.run_for(5.0)
+            pub.publish(make_event("t", n=2))
+            sim.run_for(2.0)
+            assert [n["n"] for _, n in sub.received] == [1, 2], (mode, kill)
+
+    def test_failure_then_heal_restores_redundancy(self):
+        sim, network, brokers = triangle()
+        sub = SienaClient(sim, network, Position(1.0, 0.0), brokers[0])
+        pub = SienaClient(sim, network, Position(1.0, 1.0), brokers[1])
+        sub.subscribe(Filter(Constraint("type", Op.EQ, "t")))
+        sim.run_for(2.0)
+        brokers[0].disconnect(brokers[1])
+        sim.run_for(2.0)
+        pub.publish(make_event("t", n=1))  # travels 1 → 2 → 0
+        sim.run_for(2.0)
+        brokers[0].connect(brokers[1])
+        sim.run_for(2.0)
+        brokers[2].disconnect(brokers[0])  # now kill the other path
+        sim.run_for(2.0)
+        pub.publish(make_event("t", n=2))  # travels 1 → 0
+        sim.run_for(2.0)
+        assert [n["n"] for _, n in sub.received] == [1, 2]
+
+
+class TestMeshBuilder:
+    def test_adds_exactly_the_requested_redundancy(self):
+        sim = Simulator(seed=5)
+        network = Network(sim, latency=FixedLatency(0.01))
+        brokers = build_broker_mesh(sim, network, 10, extra_links=3)
+        links = sum(len(b.neighbours) for b in brokers) // 2
+        assert links == 9 + 3  # spanning tree plus the redundant links
+        edges = [
+            (i, j)
+            for i in range(10)
+            for j in range(i + 1, 10)
+            if brokers[j].addr in brokers[i].neighbours
+        ]
+        assert len(redundant_links(10, edges)) >= 3
+
+    def test_same_seed_same_mesh(self):
+        def topology(seed):
+            sim = Simulator(seed=seed)
+            network = Network(sim, latency=FixedLatency(0.01))
+            brokers = build_broker_mesh(sim, network, 8, extra_links=2)
+            return [
+                (i, j)
+                for i in range(8)
+                for j in range(i + 1, 8)
+                if brokers[j].addr in brokers[i].neighbours
+            ]
+
+        assert topology(7) == topology(7)
+        assert topology(7) != topology(8)
+
+    def test_mesh_routes_like_a_tree(self):
+        sim = Simulator(seed=5)
+        network = Network(sim, latency=FixedLatency(0.01))
+        brokers = build_broker_mesh(sim, network, 9, branching=2, extra_links=2)
+        clients = [
+            SienaClient(sim, network, Position(2.0, float(i)), broker)
+            for i, broker in enumerate(brokers)
+        ]
+        for client in clients:
+            client.subscribe(Filter(Constraint("type", Op.EQ, "tick")))
+        sim.run_for(3.0)
+        clients[0].publish(make_event("tick", n=1))
+        sim.run_for(3.0)
+        for i, client in enumerate(clients):
+            expected = [] if i == 0 else [1]
+            assert [n["n"] for _, n in client.received] == expected

@@ -355,6 +355,140 @@ class TestJoinOrderIndependence:
             assert run(shuffled, pre_connected=False) == baseline
 
 
+class TestDisconnectUnderAdvPrunedChurn:
+    """``disconnect()`` must retract exactly the routing state the dead
+    link justified — in particular the subscriptions an advertisement
+    arriving over that link had unblocked.
+
+    The pin is a brute-force rebuild: after churning a tree through the
+    whole op script and then disconnecting a random edge, the survivors'
+    routing behaviour must be indistinguishable from a fresh overlay
+    built directly in the post-disconnect topology with only the
+    still-active subscriptions and advertisements registered.  Both
+    worlds then receive an identical probe barrage and must deliver
+    identically, and the churned world's forwarded subscriptions must
+    all still be advertisement-justified.
+    """
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("mode", ["indexed", "adv_pruned"])
+    def test_probe_deliveries_match_rebuilt_topology(self, seed, mode):
+        scenario = generate_scenario(seed + 700)
+        ops = [op for op in scenario["ops"] if op[0] != "connect"]
+        active: set[tuple[int, int]] = set()
+        advertised: set[int] = set()
+        for op in ops:
+            if op[0] == "sub":
+                active.add((op[1], op[2]))
+            elif op[0] == "unsub":
+                active.discard((op[1], op[2]))
+            elif op[0] == "adv":
+                advertised.add(op[1])
+            elif op[0] == "unadv":
+                advertised.discard(op[1])
+        cut_rng = random.Random(seed)
+        cut = cut_rng.choice(scenario["edges"])
+
+        def probe_run(churned: bool):
+            sim = Simulator(seed=11)
+            network = Network(sim, latency=FixedLatency(0.01))
+            brokers = [
+                BrokerNode(sim, network, Position(1.0, float(i)), **MODES[mode])
+                for i in range(scenario["n_brokers"])
+            ]
+            for child, parent in scenario["edges"]:
+                if churned or (child, parent) != cut:
+                    brokers[child].connect(brokers[parent])
+            sub_clients = [
+                SienaClient(sim, network, Position(2.0, float(i)), brokers[broker])
+                for i, (broker, _) in enumerate(scenario["subscribers"])
+            ]
+            pub_clients = [
+                SienaClient(sim, network, Position(3.0, float(i)), brokers[broker])
+                for i, (broker, _) in enumerate(scenario["producers"])
+            ]
+            pub_rng = random.Random(scenario["seed"] * 7919 + 13)
+            if churned:
+                for op in ops:
+                    kind = op[0]
+                    if kind == "sub":
+                        _, index, slot = op
+                        sub_clients[index].subscribe(
+                            scenario["subscribers"][index][1][slot]
+                        )
+                    elif kind == "unsub":
+                        _, index, slot = op
+                        sub_clients[index].unsubscribe(
+                            scenario["subscribers"][index][1][slot]
+                        )
+                    elif kind == "adv":
+                        _, index = op
+                        pub_clients[index].advertise(
+                            scenario["producers"][index][1]["advert"]
+                        )
+                    elif kind == "unadv":
+                        _, index = op
+                        pub_clients[index].unadvertise(
+                            scenario["producers"][index][1]["advert"]
+                        )
+                    elif kind == "pub":
+                        _, index, seq, count = op
+                        profile = scenario["producers"][index][1]
+                        for offset in range(count):
+                            pub_clients[index].publish(
+                                random_publication(pub_rng, profile, seq + offset)
+                            )
+                    sim.run_for(2.0)
+                brokers[cut[0]].disconnect(brokers[cut[1]])
+            else:
+                # Brute-force rebuild: only the surviving state, applied
+                # in canonical order to the post-disconnect topology.
+                for index, slot in sorted(active):
+                    sub_clients[index].subscribe(
+                        scenario["subscribers"][index][1][slot]
+                    )
+                    sim.run_for(2.0)
+                for index in sorted(advertised):
+                    pub_clients[index].advertise(
+                        scenario["producers"][index][1]["advert"]
+                    )
+                    sim.run_for(2.0)
+            sim.run_for(5.0)
+            marks = [len(c.received) for c in sub_clients + pub_clients]
+            probe_rng = random.Random(seed * 31 + 7)
+            for index in sorted(advertised):
+                profile = scenario["producers"][index][1]
+                for extra in range(3):
+                    pub_clients[index].publish(
+                        random_publication(probe_rng, profile, 9000 + extra)
+                    )
+                sim.run_for(2.0)
+            sim.run_for(5.0)
+            probes = [
+                sorted(
+                    _delivery_key(n)
+                    for _, n in client.received[mark:]
+                )
+                for mark, client in zip(marks, sub_clients + pub_clients)
+            ]
+            return probes, brokers
+
+        churned_probes, churned_brokers = probe_run(churned=True)
+        rebuilt_probes, _ = probe_run(churned=False)
+        assert churned_probes == rebuilt_probes
+        if mode == "adv_pruned":
+            # Every subscription still forwarded over a surviving link
+            # must still be justified by an advertisement received over
+            # it — the dead link's justifications were retracted.
+            for broker in churned_brokers:
+                for neighbour, filters in broker.forwarded.items():
+                    for filter in filters:
+                        assert broker._adv_intersects(neighbour, filter), (
+                            neighbour,
+                            filter,
+                        )
+
+
 # ----------------------------------------------------------------------
 # Deterministic mechanism tests
 # ----------------------------------------------------------------------
