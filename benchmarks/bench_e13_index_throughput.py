@@ -37,7 +37,7 @@ from repro.events.filters import (
 )
 from repro.events.index import PredicateIndex
 from repro.events.model import Notification
-from benchmarks._harness import emit, fmt
+from benchmarks._harness import emit, emit_json, fmt
 
 SMOKE = bool(os.environ.get("E13_SMOKE"))
 SUBSCRIPTIONS = [200, 1000] if SMOKE else [250, 1000, 4000]
@@ -220,6 +220,22 @@ def test_e13_index_throughput(benchmark):
         ["shape", "subs", "naive notif/s", "indexed notif/s", "speedup",
          "naive ops", "indexed ops"],
         rows,
+    )
+    emit_json(
+        "e13_index_throughput",
+        {
+            "smoke": SMOKE,
+            "rows": [
+                {
+                    "shape": r["shape"],
+                    "subs": r["subs"],
+                    "naive_nps": r["naive_nps"],
+                    "indexed_nps": r["indexed_nps"],
+                    "speedup": r["indexed_nps"] / r["naive_nps"],
+                }
+                for r in results
+            ],
+        },
     )
     # The fabric must win on throughput at scale for every workload shape.
     # (The ops columns are different units by design — filters scanned vs

@@ -21,6 +21,17 @@ the mesh re-converges over the surviving paths with zero delivery loss,
 at the price of the duplicate copies its redundant links carry (the
 seen-cache suppresses them; the table prices that overhead).
 
+The fifth phase prices *self-healing*: a link dies at the network level
+(nobody calls ``disconnect()``) while a subscription churns inside the
+partitioned subtree, then the link revives.  Without a failure detector
+the churned subscription is stranded forever — the Subscribe it sent
+into the dead link is gone and nothing replays it — so post-heal
+deliveries stay lost.  With the heartbeat detector both ends tear the
+link down on missed beats and re-join with a full state exchange on the
+first returning beat: the phase reports zero post-reconvergence loss
+and the time from heal to the first delivery reaching the churned
+subscriber.
+
 Set ``E5_SMOKE=1`` to run the reduced CI sweep of the broker phases.
 """
 
@@ -32,6 +43,7 @@ import os
 import pytest
 
 from repro.events.broker import SienaClient, build_broker_tree
+from repro.events.failure import HeartbeatConfig
 from repro.events.filters import Filter, gt, type_is
 from repro.events.model import make_event
 from repro.ids import guid_from_content, random_guid
@@ -46,6 +58,8 @@ SMOKE = bool(os.environ.get("E5_SMOKE"))
 BROKER_SWEEP = [(7, 2, 16), (15, 2, 20)] if SMOKE else [(15, 2, 30), (31, 3, 40)]
 # (brokers, subscribers per broker, publications, link kills)
 FAULT_SWEEP = [(15, 2, 12, 2)] if SMOKE else [(15, 2, 24, 2), (31, 2, 32, 2)]
+# (brokers, subscribers per broker)
+SELFHEAL_SWEEP = [(15, 2)] if SMOKE else [(15, 2), (31, 2)]
 
 
 class _Collector(OverlayApplication):
@@ -399,6 +413,169 @@ def test_e5_mesh_fault_tolerance(benchmark):
         assert mesh_killed["deliveries"] == control["deliveries"]
         # The price: redundant copies, all suppressed inside the fabric.
         assert mesh_killed["duplicates_suppressed"] > 0
+
+
+def selfheal_stats(brokers_n: int, subs_per_broker: int, detector: bool,
+                   fail: bool) -> dict:
+    """Deliveries across a network-level link kill + heal, ± detector.
+
+    The uplink of broker 1 (half the tree) dies at FAIL_AT without any
+    ``disconnect()`` call and revives at HEAL_AT.  A publication stream
+    runs throughout, and one *late* subscriber inside the partitioned
+    subtree subscribes mid-outage — the state a healed link must carry
+    back.  After the heal settles, a probe batch measures steady-state
+    loss; the late subscriber's first post-heal delivery timestamps the
+    overlay's reconvergence.
+    """
+    FAIL_AT, LATE_SUB_AT, HEAL_AT = 15.0, 20.0, 30.0
+    STREAM_START, STREAM_STEP, STREAM_COUNT = 10.0, 0.5, 70
+    PROBE_START, PROBE_COUNT, END_AT = 50.0, 10, 65.0
+    sim = Simulator(seed=77)
+    network = Network(sim, latency=FixedLatency(0.005))
+    brokers = build_broker_tree(
+        sim, network, brokers_n, branching=2,
+        heartbeat=HeartbeatConfig(interval=0.5, miss_limit=3) if detector else None,
+    )
+    rng = sim.rng_for("e5-selfheal-workload")
+    topics = [f"topic-{i}" for i in range(4)]
+    # topic-late is produced but only the late subscriber ever wants it,
+    # so no pre-outage routing state can mask the mid-outage Subscribe.
+    produced = topics[:2] + ["topic-late"]
+    producers = []
+    for slot, topic in enumerate(produced):
+        client = SienaClient(sim, network, Position(5.0, float(slot)), brokers[2])
+        client.advertise(Filter(type_is(topic)))
+        producers.append((client, topic))
+    sim.run_for(5.0)
+    clients = []
+    for index, broker in enumerate(brokers):
+        for slot in range(subs_per_broker):
+            client = SienaClient(
+                sim, network, Position(6.0, float((index * 8 + slot) % 180)), broker
+            )
+            client.subscribe(Filter(type_is(rng.choice(topics))))
+            clients.append(client)
+    # The late subscriber sits deep inside the subtree the kill cuts off.
+    late_sub = SienaClient(sim, network, Position(7.0, 0.0), brokers[7])
+    clients.append(late_sub)
+    sim.run_for(5.0)  # now at t=10
+
+    for seq in range(STREAM_COUNT):
+        client, topic = producers[seq % len(producers)]
+        sim.schedule_at(
+            STREAM_START + seq * STREAM_STEP, client.publish,
+            make_event(topic, level=round(rng.uniform(0.0, 8.0), 2), seq=seq),
+        )
+    for offset in range(PROBE_COUNT):
+        client, topic = producers[offset % len(producers)]
+        sim.schedule_at(
+            PROBE_START + offset * STREAM_STEP, client.publish,
+            make_event(topic, level=round(rng.uniform(0.0, 8.0), 2),
+                       seq=9000 + offset),
+        )
+    sim.schedule_at(LATE_SUB_AT, late_sub.subscribe, Filter(type_is("topic-late")))
+    if fail:
+        sim.schedule_at(
+            FAIL_AT, network.fail_link, brokers[1].addr, brokers[0].addr
+        )
+        sim.schedule_at(
+            HEAL_AT, network.heal_link, brokers[1].addr, brokers[0].addr
+        )
+    sim.run(until=END_AT)
+
+    def seq_window(client, low, high):
+        return sorted(
+            n["seq"] for _, n in client.received if low <= n["seq"] < high
+        )
+
+    outage_lo = int((FAIL_AT - STREAM_START) / STREAM_STEP)
+    outage_hi = int((HEAL_AT - STREAM_START) / STREAM_STEP)
+    reconverge = next(
+        (at - HEAL_AT for at, _ in late_sub.received if at > HEAL_AT), None
+    )
+    return {
+        "brokers": brokers_n,
+        "detector": detector,
+        "outage": [seq_window(c, outage_lo, outage_hi) for c in clients],
+        "probes": [seq_window(c, 9000, 9000 + PROBE_COUNT) for c in clients],
+        "reconverge_s": reconverge,
+    }
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_selfheal_time(benchmark):
+    def sweep():
+        rows = []
+        for brokers_n, subs_per_broker in SELFHEAL_SWEEP:
+            for detector in (False, True):
+                control = selfheal_stats(
+                    brokers_n, subs_per_broker, detector, fail=False
+                )
+                healed = selfheal_stats(
+                    brokers_n, subs_per_broker, detector, fail=True
+                )
+                rows.append((control, healed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = []
+    json_rows = []
+    for control, healed in rows:
+        lost_outage = sum(len(c) for c in control["outage"]) - sum(
+            len(c) for c in healed["outage"]
+        )
+        lost_after_heal = sum(len(c) for c in control["probes"]) - sum(
+            len(c) for c in healed["probes"]
+        )
+        reconverge = healed["reconverge_s"]
+        table.append(
+            [
+                control["brokers"],
+                "yes" if healed["detector"] else "no",
+                lost_outage,
+                lost_after_heal,
+                "never" if reconverge is None else fmt(reconverge, 2) + "s",
+            ]
+        )
+        json_rows.append(
+            {
+                "brokers": control["brokers"],
+                "detector": healed["detector"],
+                "lost_during_outage": lost_outage,
+                "lost_after_heal": lost_after_heal,
+                "reconverge_s": reconverge,
+            }
+        )
+    emit(
+        "e5_selfheal",
+        "E5/self-heal: network-level link kill + heal, with vs without the "
+        f"failure detector ({'smoke' if SMOKE else 'full'} sweep)",
+        ["brokers", "detector", "lost (outage)", "lost (post-heal)",
+         "reconverge"],
+        table,
+    )
+    emit_json("e5_selfheal", {"smoke": SMOKE, "rows": json_rows})
+    for control, healed in rows:
+        # The partition is real: both variants lose traffic while the
+        # link is down (those publications are gone either way).
+        lost_outage = sum(len(c) for c in control["outage"]) - sum(
+            len(c) for c in healed["outage"]
+        )
+        assert lost_outage > 0
+        lost_after_heal = sum(len(c) for c in control["probes"]) - sum(
+            len(c) for c in healed["probes"]
+        )
+        if healed["detector"]:
+            # The headline claim: a detector-healed overlay loses nothing
+            # once reconverged, and reconvergence is fast (a few beats).
+            assert lost_after_heal == 0
+            assert healed["probes"] == control["probes"]
+            assert healed["reconverge_s"] is not None
+            assert healed["reconverge_s"] < 5.0
+        else:
+            # The ablation: without the detector the mid-outage
+            # subscription is stranded — post-heal loss never recovers.
+            assert lost_after_heal > 0
 
 
 @pytest.mark.benchmark(group="e5")

@@ -21,6 +21,12 @@ from repro.events.broker import (
     build_broker_tree,
 )
 from repro.events.elvin import ElvinClient, ElvinServer
+from repro.events.failure import (
+    FailureDetector,
+    HeartbeatConfig,
+    OriginFloorCache,
+    install_detectors,
+)
 from repro.events.mobility import MobileClient
 
 __all__ = [
@@ -30,10 +36,13 @@ __all__ = [
     "CoveringPoset",
     "ElvinClient",
     "ElvinServer",
+    "FailureDetector",
     "Filter",
+    "HeartbeatConfig",
     "MobileClient",
     "Notification",
     "Op",
+    "OriginFloorCache",
     "PredicateIndex",
     "SienaClient",
     "Subscription",
@@ -41,5 +50,6 @@ __all__ = [
     "build_broker_tree",
     "constraint_covers",
     "filter_covers",
+    "install_detectors",
     "make_event",
 ]

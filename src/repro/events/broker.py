@@ -26,20 +26,42 @@ converge the way it does on a tree:
 
 * **Per-source reverse-path forwarding with first-hop wins** — every
   publication carries an id ``(origin address, sequence)``; each broker
-  keeps a bounded seen-cache and processes only the first copy to
-  arrive, dropping the rest (``duplicates_suppressed`` counts them).
-  Each publisher's traffic therefore follows an implicit spanning tree
-  of the mesh rooted at its first-hop broker, and every matching client
-  receives exactly one copy no matter how many redundant links the
-  publication crossed.
+  tracks, per origin, a sequence *floor* plus the out-of-order ids above
+  it (:class:`~repro.events.failure.OriginFloorCache`) and processes
+  only the first copy to arrive, dropping the rest
+  (``duplicates_suppressed`` counts them).  Each publisher's traffic
+  therefore follows an implicit spanning tree of the mesh rooted at its
+  first-hop broker, and every matching client receives exactly one copy
+  no matter how many redundant links the publication crossed.  The
+  duplicate state is bounded by the count of origins active within
+  ``seen_ttl`` — not by a fixed-size guess — and the safety contract is
+  explicit: ``seen_ttl`` must exceed a publication's worst transit.
 
-* **Link-failure survival** — :meth:`BrokerNode.disconnect` withdraws
-  only the state the dead link carried; the entries installed through
-  surviving directions keep routing, so traffic re-converges over the
-  remaining paths without a full state rebuild.  On a mesh with a
-  redundant link, killing either copy of the redundancy loses nothing
-  (the E5 fault-tolerance phase measures this against the tree variant,
-  which partitions).
+* **Link-failure survival and self-healing** —
+  :meth:`BrokerNode.disconnect` withdraws only the state the dead link
+  carried; the entries installed through surviving directions keep
+  routing, so traffic re-converges over the remaining paths without a
+  full state rebuild.  On a mesh with a redundant link, killing either
+  copy of the redundancy loses nothing (the E5 fault-tolerance phase
+  measures this against the tree variant, which partitions).  Each side
+  of a link can also be torn down *one-sidedly*
+  (:meth:`BrokerNode.drop_link`) and re-joined with a full state
+  exchange (:meth:`BrokerNode.restore_link`) — the primitives a
+  :class:`~repro.events.failure.FailureDetector` drives when its
+  heartbeats stop (or resume) crossing a link, making the overlay
+  self-healing without any caller noticing the failure first.
+
+* **Path re-widening** — narrowing (above) is driven by *arrivals*; the
+  inverse pass is driven by *removals*.  When one copy of a filter is
+  unsubscribed/unadvertised away but another copy keeps the filter
+  forwarded, the forwarding broker recomputes the path a fresh overlay
+  would send — the intersection of the surviving chains, necessarily a
+  superset of the old narrowed path — and re-sends it with
+  ``path_reset`` so downstream brokers widen their stored paths too.
+  Without it, heavy churn leaves paths narrowed by departed origins,
+  flooding control state wider than a freshly-built overlay ever would.
+  Resets only ever widen (a non-superset reset is ignored), so the
+  narrowing/widening pair cannot oscillate.
 
 Dispatch runs through the predicate-indexed matching fabric
 (:mod:`repro.events.index`): publications are routed with a counting
@@ -80,15 +102,24 @@ indexed+adv_pruned} and across join orders.
 
 from __future__ import annotations
 
-from collections import Counter, OrderedDict
+from collections import Counter
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.events.covering import filter_covers
+from repro.events.failure import (
+    Heartbeat,
+    OriginFloorCache,
+    Resync,
+    install_detectors,
+)
 from repro.events.filters import Filter, filters_intersect
 from repro.events.index import CoveringPoset, PredicateIndex
 from repro.events.model import Notification
 from repro.events.subscriptions import Subscription
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.failure import FailureDetector, HeartbeatConfig
 from repro.net.geo import WORLD_REGIONS, Position
 from repro.net.host import Host
 from repro.net.network import Address, Network
@@ -106,13 +137,17 @@ from repro.simulation import Simulator
 # a tree would reach.  On acyclic overlays the tag never changes a
 # forwarding decision, though identical filters from different origins
 # still trigger (no-op) narrowing re-sends — the modest control-traffic
-# price of mesh-readiness.  Retractions carry no tag: they terminate via
-# state-presence checks (removing an absent entry is a no-op), not flood
-# scoping.
+# price of mesh-readiness.  ``path_reset`` marks a *re-widening* re-send
+# (one surviving copy of a filter recomputed its path after another was
+# removed): the receiver replaces its stored path when the carried one
+# is strictly wider, instead of intersecting.  Retractions carry no tag:
+# they terminate via state-presence checks (removing an absent entry is
+# a no-op), not flood scoping.
 @dataclass
 class Subscribe:
     filter: Filter
     path: tuple[Address, ...] = ()
+    path_reset: bool = False
 
 
 @dataclass
@@ -126,6 +161,7 @@ class Advertise:
 
     filter: Filter
     path: tuple[Address, ...] = ()
+    path_reset: bool = False
 
 
 @dataclass
@@ -203,11 +239,14 @@ class BrokerNode(Host):
     whose producers advertise before publishing; unadvertised traffic is
     only guaranteed to reach subscribers sharing the producer's broker.
     All three switches compose with mesh overlays — cycles are handled
-    by path-tagged control state and the publication seen-cache, whose
-    size ``seen_cache_size`` bounds (older ids are evicted FIFO; the
-    cache only needs to outlive a publication's transit through the
-    overlay, so the default is generous for any overlay this simulator
-    builds).
+    by path-tagged control state and per-origin publication dedup
+    (:class:`~repro.events.failure.OriginFloorCache`): ``seen_ttl`` is
+    the one knob, and it only has to exceed a publication's worst
+    transit through the overlay for exactly-once processing to hold.
+    They also compose with an attached
+    :class:`~repro.events.failure.FailureDetector`, which drives the
+    one-sided :meth:`drop_link`/:meth:`restore_link` primitives when
+    heartbeats stop (or resume) crossing a link.
     """
 
     def __init__(
@@ -218,13 +257,13 @@ class BrokerNode(Host):
         covering_enabled: bool = True,
         indexed: bool = True,
         adv_pruned: bool = False,
-        seen_cache_size: int = 2048,
+        seen_ttl: float = 30.0,
     ):
         super().__init__(sim, network, position)
         self.covering_enabled = covering_enabled
         self.indexed = indexed
         self.adv_pruned = adv_pruned
-        self.seen_cache_size = seen_cache_size
+        self.seen_ttl = seen_ttl
         # Broker→neighbour control traffic by message type — the E5
         # benchmark reads the Subscribe row to price routing-table upkeep.
         self.control_counts: Counter[str] = Counter()
@@ -282,12 +321,16 @@ class BrokerNode(Host):
         # re-sent so the neighbour can narrow its stored path too.
         self._fwd_sent: dict[Address, dict[Filter, frozenset]] = {}
         self._advfwd_sent: dict[Address, dict[Filter, frozenset]] = {}
-        # Publication duplicate suppression: ids of recently processed
-        # publications, FIFO-bounded.  First copy wins; every later copy
-        # arriving over a redundant path is dropped here.
-        self._seen_pubs: OrderedDict[tuple[Address, int], None] = OrderedDict()
+        # Publication duplicate suppression: per-origin sequence floors
+        # with TTL expiry.  First copy wins; every later copy arriving
+        # over a redundant path is dropped here.
+        self.pub_dedup = OriginFloorCache(ttl=seen_ttl)
         self._pub_seq = 0
         self.duplicates_suppressed = 0
+        # Set by an attached FailureDetector; inbound Heartbeats route
+        # there, and connect()/disconnect() report intentional topology
+        # changes so they are never mistaken for failures.
+        self.failure_detector: "FailureDetector | None" = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -303,15 +346,27 @@ class BrokerNode(Host):
         has started therefore converges to the same delivery behaviour
         as one present from the start.  Idempotent: connecting an
         already-linked pair is a no-op (no state re-exchange).
+
+        Repairing a *half-dropped* link (one side tore it down with
+        :meth:`drop_link`, the other never noticed) works too: the side
+        that kept the link replays its state with cleared per-link
+        bookkeeping — its records of what the far side holds are stale —
+        exactly as a :class:`~repro.events.failure.Resync` would.
         """
         if other.addr in self.neighbours and self.addr in other.neighbours:
             return
-        self.neighbours.add(other.addr)
-        other.neighbours.add(self.addr)
-        self.forwarded.setdefault(other.addr, [])
-        other.forwarded.setdefault(self.addr, [])
-        self._sync_new_neighbour(other.addr)
-        other._sync_new_neighbour(self.addr)
+        if other.addr in self.neighbours:
+            self._reset_and_sync(other.addr)
+        else:
+            self.restore_link(other.addr)
+        if self.addr in other.neighbours:
+            other._reset_and_sync(self.addr)
+        else:
+            other.restore_link(self.addr)
+        if self.failure_detector is not None:
+            self.failure_detector.watch(other.addr)
+        if other.failure_detector is not None:
+            other.failure_detector.watch(self.addr)
 
     def disconnect(self, other: "BrokerNode") -> None:
         """Tear down the link and withdraw the state it carried.
@@ -324,12 +379,39 @@ class BrokerNode(Host):
         re-converges over the remaining paths without a state rebuild.
         Idempotent: disconnecting a non-neighbour is a no-op.
         """
-        if other.addr not in self.neighbours and self.addr not in other.neighbours:
+        if self.failure_detector is not None:
+            self.failure_detector.forget(other.addr)
+        if other.failure_detector is not None:
+            other.failure_detector.forget(self.addr)
+        self.drop_link(other.addr)
+        other.drop_link(self.addr)
+
+    def drop_link(self, neighbour: Address) -> None:
+        """One-sided link teardown: withdraw the state the link carried.
+
+        This is :meth:`disconnect`'s half that a failure detector can
+        drive without reaching the (unreachable) far side: forget what
+        was forwarded across the link, remove what the neighbour had
+        sent, and propagate the retractions onward.  Idempotent.
+        """
+        if neighbour not in self.neighbours:
             return
-        self.neighbours.discard(other.addr)
-        other.neighbours.discard(self.addr)
-        self._forget_neighbour(other.addr)
-        other._forget_neighbour(self.addr)
+        self.neighbours.discard(neighbour)
+        self._forget_neighbour(neighbour)
+
+    def restore_link(self, neighbour: Address) -> None:
+        """One-sided link (re-)establishment with full state push.
+
+        The :meth:`connect` half a failure detector drives when a
+        suspected neighbour's heartbeats resume: record the link and
+        push every stored advertisement and subscription toward it, as
+        if each were arriving fresh.  Idempotent.
+        """
+        if neighbour in self.neighbours:
+            return
+        self.neighbours.add(neighbour)
+        self.forwarded.setdefault(neighbour, [])
+        self._sync_new_neighbour(neighbour)
 
     def _sync_new_neighbour(self, neighbour: Address) -> None:
         for source, filters in list(self.adverts_by_source.items()):
@@ -378,31 +460,35 @@ class BrokerNode(Host):
     # Subscription management
     # ------------------------------------------------------------------
     def _store_subscription(
-        self, source: Address, filter: Filter, path: tuple[Address, ...] = ()
+        self,
+        source: Address,
+        filter: Filter,
+        path: tuple[Address, ...] = (),
+        path_reset: bool = False,
     ) -> None:
         if self.addr in path:
             return  # a reflection of our own forwarding around a cycle
         subs = self.subs_by_source.setdefault(source, [])
         if self.indexed:
-            if source in self._sub_sources.get(filter, ()):
+            known = source in self._sub_sources.get(filter, ())
+        else:
+            known = any(s.filter == filter for s in subs)
+        if known:
+            if path_reset:
+                if self._widen_stored(source, filter, path, self._sub_paths):
+                    self._propagate_sub_widening(filter)
+            else:
                 self._narrow_stored(
                     source, filter, path, self._sub_paths,
                     self._propagate_subscription,
                 )
-                return
-            subs.append(Subscription.fresh(filter, source))
+            return
+        subs.append(Subscription.fresh(filter, source))
+        if self.indexed:
             key = (source, filter)
             self._sub_entry_ids[key] = self._sub_index.add(filter, payload=source)
             self._sub_poset_ids[key] = self._sub_poset.add(filter, payload=key)
             self._sub_sources.setdefault(filter, set()).add(source)
-        else:
-            if any(s.filter == filter for s in subs):
-                self._narrow_stored(
-                    source, filter, path, self._sub_paths,
-                    self._propagate_subscription,
-                )
-                return
-            subs.append(Subscription.fresh(filter, source))
         self._sub_paths[(source, filter)] = path
         self._propagate_subscription(source, filter, path)
 
@@ -432,6 +518,119 @@ class BrokerNode(Host):
             return
         paths[key] = new
         propagate(source, filter, new)
+
+    # ------------------------------------------------------------------
+    # Path re-widening (the inverse of narrowing, driven by removals)
+    # ------------------------------------------------------------------
+    def _widen_stored(
+        self,
+        source: Address,
+        filter: Filter,
+        path: tuple[Address, ...],
+        paths: dict[tuple[Address, Filter], tuple[Address, ...]],
+    ) -> bool:
+        """Replace a stored path with a strictly wider reset; else ignore.
+
+        Only strict supersets are accepted: a reset is the sender's
+        recomputation after one of the chains feeding an intersection
+        disappeared, so it can only widen — and insisting on that keeps
+        the narrow/widen pair monotone (no oscillating re-sends).
+        """
+        key = (source, filter)
+        old = paths.get(key)
+        if old is None or not set(path) > set(old):
+            return False
+        paths[key] = tuple(path)
+        return True
+
+    def _sub_source_paths(
+        self, filter: Filter, exclude: Address
+    ) -> list[tuple[Address, ...]]:
+        """Stored paths of every copy of ``filter`` not from ``exclude``."""
+        if self.indexed:
+            sources = self._sub_sources.get(filter, ())
+        else:
+            sources = [
+                src
+                for src, subs in self.subs_by_source.items()
+                if any(s.filter == filter for s in subs)
+            ]
+        return [
+            self._sub_paths.get((src, filter), ())
+            for src in sources
+            if src != exclude
+        ]
+
+    def _adv_source_paths(
+        self, filter: Filter, exclude: Address
+    ) -> list[tuple[Address, ...]]:
+        if self.indexed:
+            sources = self._adv_sources.get(filter, ())
+        else:
+            sources = [
+                src
+                for src, filters in self.adverts_by_source.items()
+                if filter in filters
+            ]
+        return [
+            self._adv_paths.get((src, filter), ())
+            for src in sources
+            if src != exclude
+        ]
+
+    def _propagate_sub_widening(self, filter: Filter) -> None:
+        for neighbour in self.neighbours:
+            self._rewiden_forwarded(
+                neighbour, filter, self._sub_source_paths(filter, neighbour),
+                self.forwarded, self._fwd_sent, Subscribe,
+            )
+
+    def _propagate_adv_widening(self, filter: Filter) -> None:
+        for neighbour in self.neighbours:
+            self._rewiden_forwarded(
+                neighbour, filter, self._adv_source_paths(filter, neighbour),
+                self.adverts_forwarded, self._advfwd_sent, Advertise,
+            )
+
+    def _rewiden_forwarded(
+        self,
+        neighbour: Address,
+        filter: Filter,
+        survivor_paths: list[tuple[Address, ...]],
+        forwarded: dict[Address, list[Filter]],
+        sent_paths: dict[Address, dict[Filter, frozenset]],
+        forward_msg,
+    ) -> None:
+        """Re-send a forwarded filter whose fresh path is wider than sent.
+
+        ``survivor_paths`` are the stored paths of the copies still
+        justifying the forward; a fresh overlay would send their
+        intersection, which after a removal may be a strict superset of
+        what narrowing left behind.  A wider path means *fewer* brokers
+        flooded on later re-sends — the state a long-lived overlay keeps
+        converges back to what a freshly built one would hold.
+        """
+        if filter not in forwarded.get(neighbour, ()):
+            return
+        sent = sent_paths.get(neighbour)
+        old = sent.get(filter) if sent is not None else None
+        if old is None or not survivor_paths:
+            return
+        base = survivor_paths[0]
+        fresh = set(base)
+        for path in survivor_paths[1:]:
+            fresh &= set(path)
+        if not fresh > old:
+            return
+        if neighbour in fresh:
+            # The neighbour sits on every surviving chain: it would
+            # reject the re-send as a reflection anyway.
+            return
+        sent[filter] = frozenset(fresh)
+        ordered = tuple(x for x in base if x in fresh)
+        self._send_control(
+            neighbour, forward_msg(filter, ordered + (self.addr,), True)
+        )
 
     def _propagate_subscription(
         self, source: Address, filter: Filter, path: tuple[Address, ...]
@@ -501,6 +700,13 @@ class BrokerNode(Host):
                         self.forwarded, self._fwd_posets, self._fwd_ids,
                         self._fwd_sent, Subscribe,
                     )
+            elif filter in already:
+                # Still forwarded on behalf of surviving copies: the
+                # departed chain may have been narrowing the sent path.
+                self._rewiden_forwarded(
+                    neighbour, filter, self._sub_source_paths(filter, neighbour),
+                    self.forwarded, self._fwd_sent, Subscribe,
+                )
 
     # ------------------------------------------------------------------
     # Advertisement pruning predicates
@@ -709,8 +915,17 @@ class BrokerNode(Host):
         poset = posets.setdefault(neighbour, CoveringPoset())
         if filter not in ids:
             return
-        if any(src != neighbour for src in sources.get(filter, ())):
-            return  # still stored from elsewhere: the neighbour keeps it
+        survivors = [src for src in sources.get(filter, ()) if src != neighbour]
+        if survivors:
+            # Still stored from elsewhere: the neighbour keeps it, but
+            # the departed copy may have been narrowing the sent path —
+            # recompute it from the surviving chains.
+            self._rewiden_forwarded(
+                neighbour, filter,
+                [paths.get((src, filter), ()) for src in survivors],
+                forwarded, sent_paths, restore_msg,
+            )
+            return
         already.remove(filter)
         poset.remove(ids.pop(filter))
         sent_paths.setdefault(neighbour, {}).pop(filter, None)
@@ -734,19 +949,31 @@ class BrokerNode(Host):
     # Advertisements
     # ------------------------------------------------------------------
     def _store_advertisement(
-        self, source: Address, filter: Filter, path: tuple[Address, ...] = ()
+        self,
+        source: Address,
+        filter: Filter,
+        path: tuple[Address, ...] = (),
+        path_reset: bool = False,
     ) -> None:
         if self.addr in path:
             return  # a reflection of our own forwarding around a cycle
         adverts = self.adverts_by_source.setdefault(source, [])
         if self.indexed:
-            if source in self._adv_sources.get(filter, ()):
+            known = source in self._adv_sources.get(filter, ())
+        else:
+            known = filter in adverts
+        if known:
+            if path_reset:
+                if self._widen_stored(source, filter, path, self._adv_paths):
+                    self._propagate_adv_widening(filter)
+            else:
                 self._narrow_stored(
                     source, filter, path, self._adv_paths,
                     self._propagate_advertisement,
                 )
-                return
-            adverts.append(filter)
+            return
+        adverts.append(filter)
+        if self.indexed:
             key = (source, filter)
             self._adv_entry_ids[key] = self._adv_index.add(filter, payload=source)
             self._adv_poset_ids[key] = self._adv_poset.add(filter, payload=key)
@@ -754,14 +981,6 @@ class BrokerNode(Host):
                 source, CoveringPoset()
             ).add(filter)
             self._adv_sources.setdefault(filter, set()).add(source)
-        else:
-            if filter in adverts:
-                self._narrow_stored(
-                    source, filter, path, self._adv_paths,
-                    self._propagate_advertisement,
-                )
-                return
-            adverts.append(filter)
         self._adv_paths[(source, filter)] = path
         self._propagate_advertisement(source, filter, path)
         if self.adv_pruned and source in self.neighbours:
@@ -846,6 +1065,11 @@ class BrokerNode(Host):
                         self.adverts_forwarded, self._advfwd_posets,
                         self._advfwd_ids, self._advfwd_sent, Advertise,
                     )
+            elif filter in already:
+                self._rewiden_forwarded(
+                    neighbour, filter, self._adv_source_paths(filter, neighbour),
+                    self.adverts_forwarded, self._advfwd_sent, Advertise,
+                )
 
     def advertisements(self) -> list[Filter]:
         """Every advertisement this broker knows about (all sources)."""
@@ -875,12 +1099,9 @@ class BrokerNode(Host):
         if pub_id is None:
             pub_id = (self.addr, self._pub_seq)
             self._pub_seq += 1
-        elif pub_id in self._seen_pubs:
+        if self.pub_dedup.seen(pub_id, self.sim.now):
             self.duplicates_suppressed += 1
             return
-        self._seen_pubs[pub_id] = None
-        if len(self._seen_pubs) > self.seen_cache_size:
-            self._seen_pubs.popitem(last=False)
         self.notifications_processed += 1
         size = notification.size_bytes()
         if self.indexed:
@@ -966,18 +1187,62 @@ class BrokerNode(Host):
             self.notifications_delivered += 1
             self.send(client, Notify(notification), size_bytes=notification.size_bytes())
 
+    def _reset_and_sync(self, neighbour: Address) -> None:
+        """Clear the per-link forwarding bookkeeping and re-push everything.
+
+        Used when the far side dropped its half of a link we kept: our
+        records of what it holds are stale and would suppress the
+        re-push, so they are discarded before the full state sync.
+        """
+        for per_link in (
+            self.forwarded, self._fwd_posets, self._fwd_ids, self._fwd_sent,
+            self.adverts_forwarded, self._advfwd_posets, self._advfwd_ids,
+            self._advfwd_sent,
+        ):
+            per_link.pop(neighbour, None)
+        self.forwarded.setdefault(neighbour, [])
+        self._sync_new_neighbour(neighbour)
+
+    def _handle_resync(self, src: Address) -> None:
+        """The neighbour reset our link and is about to replay its state.
+
+        Everything this link previously told us is stale on both
+        directions: the inbound entries it may have retracted during the
+        outage (those Unsubscribe/Unadvertise messages died with the
+        link) are withdrawn, and the outbound bookkeeping claiming it
+        still holds our filters is cleared before the full re-push.  The
+        sender's replay follows this message on the same FIFO link, so
+        its live state is restored immediately after.  Ignored when we
+        do not consider ``src`` a neighbour (our own detector dropped
+        the link, taking all of this state with it, and will resync when
+        it notices the revival itself).
+        """
+        if src not in self.neighbours:
+            return
+        self._forget_neighbour(src)
+        self._reset_and_sync(src)
+
     # ------------------------------------------------------------------
     def handle_message(self, src: Address, payload) -> None:
         if isinstance(payload, Subscribe):
-            self._store_subscription(src, payload.filter, payload.path)
+            self._store_subscription(
+                src, payload.filter, payload.path, payload.path_reset
+            )
         elif isinstance(payload, Unsubscribe):
             self._remove_subscription(src, payload.filter)
         elif isinstance(payload, Advertise):
-            self._store_advertisement(src, payload.filter, payload.path)
+            self._store_advertisement(
+                src, payload.filter, payload.path, payload.path_reset
+            )
         elif isinstance(payload, Unadvertise):
             self._remove_advertisement(src, payload.filter)
         elif isinstance(payload, Publish):
             self._process_publication(src, payload.notification, payload.pub_id)
+        elif isinstance(payload, Heartbeat):
+            if self.failure_detector is not None:
+                self.failure_detector.on_heartbeat(src, payload)
+        elif isinstance(payload, Resync):
+            self._handle_resync(src)
         elif isinstance(payload, MoveOut):
             self._handle_move_out(src)
         elif isinstance(payload, MoveIn):
@@ -1048,9 +1313,15 @@ def build_broker_tree(
     covering_enabled: bool = True,
     indexed: bool = True,
     adv_pruned: bool = False,
-    seen_cache_size: int = 2048,
+    seen_ttl: float = 30.0,
+    heartbeat: "HeartbeatConfig | None" = None,
 ) -> list[BrokerNode]:
-    """A tree-shaped (hence acyclic) broker overlay spread across regions."""
+    """A tree-shaped (hence acyclic) broker overlay spread across regions.
+
+    Passing a :class:`~repro.events.failure.HeartbeatConfig` as
+    ``heartbeat`` attaches a failure detector to every broker, making
+    the overlay self-healing out of the box.
+    """
     rng = sim.rng_for("broker-build")
     brokers = [
         BrokerNode(
@@ -1060,13 +1331,15 @@ def build_broker_tree(
             covering_enabled=covering_enabled,
             indexed=indexed,
             adv_pruned=adv_pruned,
-            seen_cache_size=seen_cache_size,
+            seen_ttl=seen_ttl,
         )
         for i in range(count)
     ]
     for index in range(1, count):
         parent = brokers[(index - 1) // branching]
         brokers[index].connect(parent)
+    if heartbeat is not None:
+        install_detectors(brokers, heartbeat)
     return brokers
 
 
@@ -1079,7 +1352,8 @@ def build_broker_mesh(
     covering_enabled: bool = True,
     indexed: bool = True,
     adv_pruned: bool = False,
-    seen_cache_size: int = 2048,
+    seen_ttl: float = 30.0,
+    heartbeat: "HeartbeatConfig | None" = None,
 ) -> list[BrokerNode]:
     """A broker mesh: the :func:`build_broker_tree` overlay plus
     ``extra_links`` redundant links between randomly chosen non-adjacent
@@ -1099,7 +1373,8 @@ def build_broker_mesh(
         covering_enabled=covering_enabled,
         indexed=indexed,
         adv_pruned=adv_pruned,
-        seen_cache_size=seen_cache_size,
+        seen_ttl=seen_ttl,
+        heartbeat=heartbeat,
     )
     rng = sim.rng_for("broker-mesh")
     candidates = [

@@ -1,0 +1,307 @@
+"""Failure detection and state reclamation for the self-healing overlay.
+
+PR 4 made the broker mesh *survive* a link kill, but only when the caller
+invoked :meth:`~repro.events.broker.BrokerNode.disconnect` by hand.  This
+module closes the loop: failure detection and state reclamation become
+part of the routing layer itself, the way the Siena/Elvin lineage (and
+the dynamic-service-infrastructure work, arXiv:1102.5193) treat them —
+not something the application above is trusted to do.
+
+Two cooperating pieces live here:
+
+* :class:`FailureDetector` — a simulated-clock heartbeat protocol.  Each
+  broker beats every ``interval`` seconds toward every neighbour (and
+  toward every link it has already declared dead, which is what lets it
+  notice a revival).  A link goes ``miss_limit`` beats without traffic —
+  plus a ``grace`` allowance for worst-case transit, derived from the
+  network's latency model — and the detector declares it dead, driving
+  the broker's one-sided :meth:`~repro.events.broker.BrokerNode.drop_link`
+  teardown exactly as a hand-written ``disconnect()`` would.  The first
+  heartbeat to arrive from a suspected neighbour triggers
+  :meth:`~repro.events.broker.BrokerNode.restore_link` — a re-join with
+  full advertisement/subscription state exchange — plus a :class:`Resync`
+  asking the far side to re-push its state even if *its* detector never
+  fired (asymmetric suspicion must not leave a half-synced link).
+  Intentional ``connect()``/``disconnect()`` calls inform the detector,
+  so an administrative teardown is never mistaken for a failure to probe.
+
+* :class:`OriginFloorCache` — principled publication-duplicate state.
+  PR 4's seen-cache was a FIFO of the last N publication ids, bounded by
+  a magic constant that merely had to be "generous".  The replacement
+  keeps, per publication *origin*, a sequence **floor** (every sequence
+  number at or below it has been seen) plus the sparse set of
+  out-of-order sequences above it, and expires origins idle longer than
+  ``ttl``.  The state is therefore bounded by the number of *live*
+  origins (and, per origin, by the reordering the network can produce
+  inside one ``ttl`` window) instead of by a guess, and the invariant is
+  explicit: as long as every copy of a publication arrives within
+  ``ttl`` of the origin's previous traffic, a publication that was never
+  seen is never reported as a duplicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.net.network import Address
+from repro.simulation import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.broker import BrokerNode
+
+HEARTBEAT_BYTES = 64
+
+
+# -- wire messages ------------------------------------------------------
+@dataclass
+class Heartbeat:
+    """One liveness beat; ``seq`` only aids debugging, not the protocol."""
+
+    seq: int = 0
+
+
+@dataclass
+class Resync:
+    """Announce a link reset: drop my stale state, then expect a replay.
+
+    Sent by the side that healed a suspected link, *before* it replays
+    its own state (per-pair FIFO delivery keeps that order on the
+    wire).  If the far side never suspected (asymmetric loss), two
+    kinds of its state are stale: the forwarding bookkeeping claiming
+    we hold filters we dropped, and the inbound entries we retracted
+    during the outage whose Unsubscribe/Unadvertise never crossed the
+    dead link.  The receiver discards both and replays its own state;
+    the sender's replay follows right behind this message.
+    """
+
+
+# -- heartbeat failure detection ----------------------------------------
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Detector tuning.
+
+    ``interval`` is the beat period; a link is declared dead after
+    ``miss_limit`` intervals without inbound traffic plus ``grace``
+    seconds of transit allowance (derived from the latency model's
+    worst case when ``None``) — a timeout-style detector in the phi
+    lineage: the threshold scales with the expected arrival process
+    rather than being an absolute constant.  ``jitter`` (a fraction of
+    the interval) desynchronises the fleet's beats so a large overlay
+    does not emit its control traffic in lockstep bursts; the timeout
+    accounts for it (a jittered sender may legitimately stretch the gap
+    between beats by up to ``1 + jitter`` per interval).
+    """
+
+    interval: float = 0.5
+    miss_limit: int = 3
+    grace: float | None = None
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.miss_limit < 1:
+            raise ValueError("miss_limit must be at least 1")
+        if self.grace is not None and self.grace < 0:
+            raise ValueError("grace must be non-negative")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+
+class FailureDetector:
+    """Heartbeat-driven link failure detection for one broker.
+
+    Attaching a detector sets ``broker.failure_detector``; the broker
+    routes inbound :class:`Heartbeat` messages here and reports
+    intentional topology changes via :meth:`watch`/:meth:`forget` so
+    they are never mistaken for failures.
+    """
+
+    def __init__(self, broker: "BrokerNode", config: HeartbeatConfig | None = None):
+        self.broker = broker
+        self.config = config or HeartbeatConfig()
+        self._seq = 0
+        self._last_seen: dict[Address, float] = {}
+        self._suspected: set[Address] = set()
+        self.heartbeats_sent = 0
+        self.links_declared_dead = 0
+        self.links_restored = 0
+        broker.failure_detector = self
+        now = broker.sim.now
+        for neighbour in broker.neighbours:
+            self._last_seen[neighbour] = now
+        self._task = PeriodicTask(
+            broker.sim,
+            self.config.interval,
+            self._tick,
+            jitter=self.config.jitter,
+            rng=broker.sim.rng_for(f"failure-detector-{broker.addr}"),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def timeout(self) -> float:
+        """Silence longer than this declares the link dead."""
+        grace = self.config.grace
+        if grace is None:
+            worst_case = getattr(self.broker.network.latency, "worst_case_s", None)
+            grace = (
+                2.0 * worst_case(HEARTBEAT_BYTES)
+                if worst_case is not None
+                else self.config.interval
+            )
+        interval = self.config.interval * (1.0 + self.config.jitter)
+        return self.config.miss_limit * interval + grace
+
+    @property
+    def suspected(self) -> frozenset:
+        """Links currently declared dead and being probed for revival."""
+        return frozenset(self._suspected)
+
+    def stop(self) -> None:
+        """Stop beating and suspecting (the broker keeps its links)."""
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    # Broker notifications (intentional topology changes)
+    # ------------------------------------------------------------------
+    def watch(self, neighbour: Address) -> None:
+        """An administrative ``connect()`` added this link: monitor it,
+        granting a full timeout window before the first suspicion."""
+        self._suspected.discard(neighbour)
+        self._last_seen[neighbour] = self.broker.sim.now
+
+    def forget(self, neighbour: Address) -> None:
+        """An administrative ``disconnect()`` removed this link: its
+        silence is intentional, so stop monitoring and probing it."""
+        self._suspected.discard(neighbour)
+        self._last_seen.pop(neighbour, None)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.broker.sim.now
+        beat = Heartbeat(self._seq)
+        self._seq += 1
+        for addr in set(self.broker.neighbours) | self._suspected:
+            self.broker.send(addr, beat, size_bytes=HEARTBEAT_BYTES)
+            self.heartbeats_sent += 1
+        timeout = self.timeout
+        for addr in list(self.broker.neighbours):
+            last = self._last_seen.get(addr)
+            if last is None:
+                # Link appeared without a connect() notification (e.g.
+                # the far side restored one-sidedly): start its window.
+                self._last_seen[addr] = now
+            elif now - last > timeout:
+                self._suspected.add(addr)
+                self.links_declared_dead += 1
+                self.broker.drop_link(addr)
+
+    def on_heartbeat(self, src: Address, beat: Heartbeat) -> None:
+        if src not in self.broker.neighbours and src not in self._suspected:
+            # A stray beat (e.g. racing an administrative disconnect):
+            # recording it would grow state for links we no longer track.
+            return
+        self._last_seen[src] = self.broker.sim.now
+        if src in self._suspected:
+            # The neighbour is back.  Announce the link reset *first* —
+            # per-pair FIFO guarantees the far side discards its stale
+            # view of this link before our replay (restore_link's state
+            # push) lands behind it.
+            self._suspected.discard(src)
+            self.links_restored += 1
+            self.broker.send(src, Resync(), size_bytes=HEARTBEAT_BYTES)
+            self.broker.restore_link(src)
+
+
+def install_detectors(
+    brokers, config: HeartbeatConfig | None = None
+) -> list[FailureDetector]:
+    """Attach one :class:`FailureDetector` per broker; returns them."""
+    config = config or HeartbeatConfig()
+    return [FailureDetector(broker, config) for broker in brokers]
+
+
+# -- publication-duplicate state (per-origin sequence floors) -----------
+@dataclass
+class _OriginState:
+    floor: int = -1  # every sequence <= floor has been seen
+    pending: dict[int, float] = field(default_factory=dict)  # seq -> arrival
+    last_active: float = 0.0
+
+
+class OriginFloorCache:
+    """Per-origin sequence floors with TTL expiry.
+
+    ``seen(pub_id, now)`` returns True iff the publication was
+    recorded before.  Contiguously-seen sequences collapse into the
+    floor; out-of-order arrivals wait (timestamped) in ``pending`` until
+    the gap below them fills.  A sweep — run lazily at most once per
+    ``ttl`` — drops origins idle longer than ``ttl`` and compacts
+    pending entries older than ``ttl``: a gap that stayed open that long
+    means the missing publications exceeded the transit bound, so the
+    floor may jump over them.
+
+    The contract: pick ``ttl`` above the longest time a publication (or
+    its duplicates) can spend crossing the overlay.  Then a never-seen
+    publication is never reported as a duplicate, and the state is
+    bounded by the live-origin count rather than a fixed-size guess.
+    """
+
+    def __init__(self, ttl: float = 30.0):
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = ttl
+        self._origins: dict[Address, _OriginState] = {}
+        self._last_sweep = 0.0
+
+    def __len__(self) -> int:
+        """Number of origins currently tracked."""
+        return len(self._origins)
+
+    def pending_count(self) -> int:
+        """Out-of-order sequences currently waiting across all origins."""
+        return sum(len(state.pending) for state in self._origins.values())
+
+    def seen(self, pub_id: tuple[Address, int], now: float) -> bool:
+        """Record ``pub_id``; True iff it was already recorded."""
+        if now - self._last_sweep >= self.ttl:
+            self.expire(now)
+        origin, seq = pub_id
+        state = self._origins.get(origin)
+        if state is None:
+            state = self._origins[origin] = _OriginState()
+        state.last_active = now
+        if seq <= state.floor or seq in state.pending:
+            return True
+        state.pending[seq] = now
+        while state.floor + 1 in state.pending:
+            state.floor += 1
+            del state.pending[state.floor]
+        return False
+
+    def expire(self, now: float) -> int:
+        """Drop idle origins and compact stale gaps; returns drop count."""
+        self._last_sweep = now
+        cutoff = now - self.ttl
+        dropped = 0
+        for origin in list(self._origins):
+            state = self._origins[origin]
+            if state.last_active <= cutoff:
+                del self._origins[origin]
+                dropped += 1
+                continue
+            stale = [seq for seq, at in state.pending.items() if at <= cutoff]
+            if stale:
+                state.floor = max(state.floor, max(stale))
+                state.pending = {
+                    seq: at for seq, at in state.pending.items()
+                    if seq > state.floor
+                }
+                while state.floor + 1 in state.pending:
+                    state.floor += 1
+                    del state.pending[state.floor]
+        return dropped

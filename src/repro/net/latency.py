@@ -2,18 +2,28 @@
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Protocol
 
-from repro.net.geo import Position, haversine_km
+from repro.net.geo import EARTH_RADIUS_KM, Position, haversine_km
 
 # Light in fibre covers roughly 200,000 km/s; real WAN paths are longer than
 # great circles, so we default to an effective 100,000 km/s.
 DEFAULT_KM_PER_SECOND = 100_000.0
 
+# No two points on the globe are further apart than half a great circle.
+MAX_GREAT_CIRCLE_KM = math.pi * EARTH_RADIUS_KM
+
 
 class LatencyModel(Protocol):
-    """One-way delay in seconds for a payload of ``size_bytes``."""
+    """One-way delay in seconds for a payload of ``size_bytes``.
+
+    Models may additionally expose ``worst_case_s(size_bytes)`` — an
+    upper bound on the delay over any host pair — which timeout-based
+    failure detectors use to size their grace allowance; consumers must
+    treat it as optional.
+    """
 
     def delay(
         self,
@@ -58,6 +68,12 @@ class GeographicLatency:
             delay *= 1.0 + rng.uniform(0.0, self.jitter_frac)
         return delay
 
+    def worst_case_s(self, size_bytes: int) -> float:
+        """Upper bound over any host pair: antipodal distance, full jitter."""
+        propagation = MAX_GREAT_CIRCLE_KM / self.km_per_second
+        transmission = (size_bytes * 8) / self.bandwidth_bps
+        return (self.base_s + propagation + transmission) * (1.0 + self.jitter_frac)
+
 
 class FixedLatency:
     """Constant delay — handy for unit tests that assert exact timings."""
@@ -72,4 +88,7 @@ class FixedLatency:
         size_bytes: int,
         rng: random.Random,
     ) -> float:
+        return self.delay_s
+
+    def worst_case_s(self, size_bytes: int) -> float:
         return self.delay_s

@@ -66,6 +66,14 @@ class Network:
         self.stats = NetworkStats()
         self._hosts: dict[Address, "Host"] = {}
         self._partition: dict[Address, int] | None = None
+        self._failed_links: set[frozenset] = set()
+        self._link_loss: dict[frozenset, float] = {}
+        # Per-(src, dst) FIFO: messages between one ordered pair are
+        # never delivered out of send order (jitter can stretch delays
+        # but not overtake) — the guarantee a TCP-like transport gives,
+        # and one the broker resync protocol relies on.  Multi-path
+        # reordering across *different* pairs remains possible.
+        self._fifo_horizon: dict[tuple[Address, Address], float] = {}
         self._rng = sim.rng_for("network")
         self._next_addr = 0
         self.delivery_hooks: list[Callable[[Message], None]] = []
@@ -85,6 +93,8 @@ class Network:
 
     def unregister(self, addr: Address) -> None:
         self._hosts.pop(addr, None)
+        for pair in [p for p in self._fifo_horizon if addr in p]:
+            del self._fifo_horizon[pair]
 
     def host(self, addr: Address) -> "Host | None":
         return self._hosts.get(addr)
@@ -118,6 +128,42 @@ class Network:
         return ga != gb
 
     # ------------------------------------------------------------------
+    # Link failures and per-link loss
+    # ------------------------------------------------------------------
+    def fail_link(self, a: Address, b: Address) -> None:
+        """Silently drop all traffic between ``a`` and ``b`` (both ways).
+
+        Unlike a partition this kills one pairwise link only; unlike
+        :meth:`unregister` both endpoints stay up.  Neither endpoint is
+        told — noticing is the failure detector's job (heartbeats stop
+        arriving), which is exactly what the self-healing overlay tests
+        and the E5 heal-time phase exercise.
+        """
+        self._failed_links.add(frozenset((a, b)))
+
+    def heal_link(self, a: Address, b: Address) -> None:
+        """Revive a failed link; traffic (and heartbeats) flow again."""
+        self._failed_links.discard(frozenset((a, b)))
+
+    def link_failed(self, a: Address, b: Address) -> bool:
+        return frozenset((a, b)) in self._failed_links
+
+    def set_link_loss(self, a: Address, b: Address, rate: float) -> None:
+        """Make one link flaky: drop each message with probability ``rate``.
+
+        Independent of the network-wide ``loss_rate``; a rate of 0 clears
+        the override.  Lets tests hold a detector's miss threshold against
+        a lossy-but-alive link.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("link loss rate must be in [0, 1)")
+        key = frozenset((a, b))
+        if rate == 0.0:
+            self._link_loss.pop(key, None)
+        else:
+            self._link_loss[key] = rate
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send(
@@ -143,14 +189,28 @@ class Network:
         if self._partitioned(src, dst):
             self.stats.messages_dropped += 1
             return False
+        if self._failed_links and frozenset((src, dst)) in self._failed_links:
+            self.stats.messages_dropped += 1
+            return False
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.stats.messages_dropped += 1
             return False
+        if self._link_loss:
+            link_rate = self._link_loss.get(frozenset((src, dst)), 0.0)
+            if link_rate > 0.0 and self._rng.random() < link_rate:
+                self.stats.messages_dropped += 1
+                return False
         message = Message(src, dst, payload, size_bytes, self.sim.now)
         delay = self.latency.delay(
             src_host.position, dst_host.position, size_bytes, self._rng
         )
-        self.sim.schedule(delay, self._deliver, message)
+        arrival = self.sim.now + delay
+        pair = (src, dst)
+        horizon = self._fifo_horizon.get(pair, 0.0)
+        if arrival < horizon:
+            arrival = horizon
+        self._fifo_horizon[pair] = arrival
+        self.sim.schedule_at(arrival, self._deliver, message)
         return True
 
     def _deliver(self, message: Message) -> None:

@@ -288,7 +288,7 @@ def run_scenario(
         "deliveries": deliveries,
         "duplicates_ok": duplicates_ok,
         "duplicates_suppressed": sum(b.duplicates_suppressed for b in brokers),
-        "seen_cache_sizes": [len(b._seen_pubs) for b in brokers],
+        "dedup_origins": [len(b.pub_dedup) for b in brokers],
     }
 
 
@@ -374,10 +374,11 @@ class TestDuplicateSuppression:
         # The publication crossed the redundant link and was dropped there.
         assert sum(b.duplicates_suppressed for b in brokers) > 0
 
-    def test_seen_cache_is_bounded(self):
-        """The cache never outgrows its bound, and keeps suppressing
-        correctly as long as it outlives each publication's transit."""
-        sim, network, brokers = triangle(seen_cache_size=8)
+    def test_dedup_state_bounded_by_live_origins(self):
+        """The dedup state is one floor per live origin — not one entry
+        per publication — suppression stays exact across a long stream,
+        and an origin idle past the TTL is reclaimed entirely."""
+        sim, network, brokers = triangle(seen_ttl=5.0)
         sub = SienaClient(sim, network, Position(1.0, 0.0), brokers[0])
         pub = SienaClient(sim, network, Position(1.0, 1.0), brokers[1])
         sub.subscribe(Filter(Constraint("type", Op.EQ, "t")))
@@ -387,7 +388,13 @@ class TestDuplicateSuppression:
             sim.run_for(1.0)
         assert [n["n"] for _, n in sub.received] == list(range(40))
         for broker in brokers:
-            assert len(broker._seen_pubs) <= 8
+            # One publishing origin; contiguous delivery leaves no gaps.
+            assert len(broker.pub_dedup) <= 1
+            assert broker.pub_dedup.pending_count() == 0
+        sim.run_for(10.0)
+        for broker in brokers:
+            broker.pub_dedup.expire(sim.now)
+            assert len(broker.pub_dedup) == 0
 
     def test_reflections_never_stored(self):
         """A broker's own forwarding looping around the cycle must not
@@ -413,6 +420,103 @@ class TestDuplicateSuppression:
             assert broker.subs_by_source == {}
             assert all(not fs for fs in broker.forwarded.values())
             assert broker._sub_paths == {}
+
+
+class TestPathRewidening:
+    """Unsubscribe/unadvertise must *re-widen* narrowed paths.
+
+    Two origins registering the same filter narrow its recorded paths to
+    the chains' intersection; when one origin leaves, the long-lived
+    overlay's stored/sent paths must converge back to exactly what a
+    fresh overlay holding only the survivor would build — otherwise
+    heavy churn leaves control floods wider than necessary forever.
+    """
+
+    @staticmethod
+    def _nonempty(sent_by_neighbour):
+        return {
+            n: dict(sent) for n, sent in sent_by_neighbour.items() if sent
+        }
+
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_unsubscribe_restores_fresh_overlay_paths(self, mode):
+        filter = Filter(Constraint("type", Op.EQ, "t"))
+
+        def build(churn: bool):
+            sim = Simulator(seed=0)
+            network = Network(sim, latency=FixedLatency(0.01))
+            hub = BrokerNode(sim, network, Position(0.0, 0.0), **MODES[mode])
+            spokes = [
+                BrokerNode(sim, network, Position(0.0, float(i + 1)), **MODES[mode])
+                for i in range(3)
+            ]
+            for spoke in spokes:
+                spoke.connect(hub)
+            s1 = SienaClient(sim, network, Position(1.0, 0.0), spokes[0])
+            s2 = SienaClient(sim, network, Position(1.0, 1.0), spokes[1])
+            producers = [
+                SienaClient(sim, network, Position(1.0, 2.0 + i), broker)
+                for i, broker in enumerate([spokes[0], spokes[1]])
+            ]
+            for producer in producers:
+                producer.advertise(Filter(Constraint("type", Op.EXISTS)))
+            sim.run_for(2.0)
+            if churn:
+                s1.subscribe(filter)
+                sim.run_for(2.0)
+            s2.subscribe(filter)
+            sim.run_for(2.0)
+            if churn:
+                s1.unsubscribe(filter)
+                sim.run_for(2.0)
+            sim.run_for(5.0)
+            return [hub] + spokes
+
+        churned = build(churn=True)
+        fresh = build(churn=False)
+        # Host-allocation order is identical, so state is comparable
+        # address-for-address: every stored path and every sent path the
+        # churned world retains must equal the fresh world's.
+        for world_a, world_b in zip(churned, fresh):
+            assert world_a._sub_paths == world_b._sub_paths
+            assert self._nonempty(world_a._fwd_sent) == self._nonempty(
+                world_b._fwd_sent
+            )
+
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_unadvertise_restores_fresh_overlay_paths(self, mode):
+        advert = Filter(Constraint("type", Op.EQ, "t"))
+
+        def build(churn: bool):
+            sim = Simulator(seed=0)
+            network = Network(sim, latency=FixedLatency(0.01))
+            hub = BrokerNode(sim, network, Position(0.0, 0.0), **MODES[mode])
+            spokes = [
+                BrokerNode(sim, network, Position(0.0, float(i + 1)), **MODES[mode])
+                for i in range(3)
+            ]
+            for spoke in spokes:
+                spoke.connect(hub)
+            p1 = SienaClient(sim, network, Position(1.0, 0.0), spokes[0])
+            p2 = SienaClient(sim, network, Position(1.0, 1.0), spokes[1])
+            if churn:
+                p1.advertise(advert)
+                sim.run_for(2.0)
+            p2.advertise(advert)
+            sim.run_for(2.0)
+            if churn:
+                p1.unadvertise(advert)
+                sim.run_for(2.0)
+            sim.run_for(5.0)
+            return [hub] + spokes
+
+        churned = build(churn=True)
+        fresh = build(churn=False)
+        for world_a, world_b in zip(churned, fresh):
+            assert world_a._adv_paths == world_b._adv_paths
+            assert self._nonempty(world_a._advfwd_sent) == self._nonempty(
+                world_b._advfwd_sent
+            )
 
 
 class TestLinkFailureSurvival:

@@ -1,0 +1,137 @@
+"""Property tests for the per-origin sequence-floor dedup cache.
+
+:class:`~repro.events.failure.OriginFloorCache` replaces PR 4's
+FIFO-bounded publication seen-cache.  Its contract, pinned here against
+randomized delivery schedules:
+
+* **Safety** — a publication that was never presented is never reported
+  as a duplicate, as long as every copy arrives within ``ttl`` of being
+  sent (the worst-transit bound the broker's ``seen_ttl`` encodes).
+  This holds through out-of-order arrival, duplicate storms, origins
+  going idle past the TTL and returning, and floor compaction over
+  permanently-lost gaps.
+
+* **Exactness while live** — while an origin stays active within the
+  TTL, every duplicate presentation is reported as one.
+
+* **Boundedness** — the state tracks live origins, not publications:
+  after a sweep, origins idle past the TTL are gone, and the
+  out-of-order pending set never outlives a TTL window.
+"""
+
+import random
+
+import pytest
+
+from repro.events.failure import OriginFloorCache
+
+
+def well_behaved_schedule(rng: random.Random, ttl: float):
+    """Arrival schedule where every copy lands within ``ttl`` of its send.
+
+    Origins publish in sequence order with idle gaps shorter than the
+    TTL; each publication arrives 1–3 times, possibly out of order
+    (delays overlap across consecutive sends), possibly interleaved
+    across origins.
+    """
+    events = []  # (arrival_time, origin, seq)
+    for origin in range(rng.randint(1, 5)):
+        t = rng.uniform(0.0, 5.0)
+        for seq in range(rng.randint(5, 60)):
+            t += rng.uniform(0.01, ttl * 0.3)
+            for _ in range(rng.randint(1, 3)):
+                events.append((t + rng.uniform(0.0, ttl * 0.6), origin, seq))
+    events.sort()
+    return events
+
+
+def churned_schedule(rng: random.Random, ttl: float):
+    """Harsher world: long idle gaps (past the TTL), permanently lost
+    publications (sequence gaps that never arrive), duplicate storms.
+    Only the copies that do arrive still respect the transit bound."""
+    events = []
+    for origin in range(rng.randint(2, 6)):
+        t = rng.uniform(0.0, 5.0)
+        for seq in range(rng.randint(10, 80)):
+            t += rng.uniform(0.01, ttl * 0.3)
+            if rng.random() < 0.15:
+                t += rng.uniform(ttl, ttl * 3)  # origin goes dark, returns
+            if rng.random() < 0.2:
+                continue  # lost in transit: no copy ever arrives
+            for _ in range(rng.randint(1, 4)):
+                events.append((t + rng.uniform(0.0, ttl * 0.8), origin, seq))
+    events.sort()
+    return events
+
+
+class TestOriginFloorCacheProperties:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_exactly_once_under_reorder_and_duplicates(self, seed):
+        """Well-behaved regime: first presentation of every id is fresh,
+        every later presentation is a duplicate — exactly-once, exactly."""
+        rng = random.Random(seed)
+        ttl = 10.0
+        cache = OriginFloorCache(ttl=ttl)
+        first_seen = set()
+        for now, origin, seq in well_behaved_schedule(rng, ttl):
+            duplicate = cache.seen((origin, seq), now)
+            assert duplicate == ((origin, seq) in first_seen), (origin, seq)
+            first_seen.add((origin, seq))
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_never_drops_an_undelivered_publication_under_churn(self, seed):
+        """Churn regime (idle origins, lost sequences): duplicates may be
+        forgotten once an origin expires — the safe direction — but a
+        never-presented publication must never be called a duplicate,
+        even after floor compaction jumps over permanently-lost gaps."""
+        rng = random.Random(seed + 1000)
+        ttl = 10.0
+        cache = OriginFloorCache(ttl=ttl)
+        first_seen = set()
+        for now, origin, seq in churned_schedule(rng, ttl):
+            duplicate = cache.seen((origin, seq), now)
+            if (origin, seq) not in first_seen:
+                assert not duplicate, (origin, seq)
+            first_seen.add((origin, seq))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_state_bounded_by_live_origins(self, seed):
+        """Origins churn in and out; after every sweep the cache holds
+        exactly the origins active within the last TTL, and the pending
+        (out-of-order) state never outlives a TTL window."""
+        rng = random.Random(seed + 2000)
+        ttl = 5.0
+        cache = OriginFloorCache(ttl=ttl)
+        last_active: dict[int, float] = {}
+        now = 0.0
+        for step in range(2000):
+            now += rng.uniform(0.05, 0.4)
+            origin = rng.randrange(40)
+            seq = rng.randrange(200)  # wildly out of order on purpose
+            cache.seen((origin, seq), now)
+            last_active[origin] = now
+            if step % 50 == 0:
+                cache.expire(now)
+                live = {o for o, t in last_active.items() if t > now - ttl}
+                assert set(cache._origins) == live
+        cache.expire(now + ttl * 1.01)
+        assert len(cache) == 0 and cache.pending_count() == 0
+
+    def test_floor_compaction_jumps_permanently_lost_gaps(self):
+        cache = OriginFloorCache(ttl=5.0)
+        assert not cache.seen(("o", 0), 0.0)
+        assert not cache.seen(("o", 5), 1.0)  # 1–4 lost: pending holds 5
+        assert not cache.seen(("o", 6), 4.0)  # origin stays live
+        assert cache.pending_count() == 2
+        # The gap below 5 has been open longer than the TTL: the sweep
+        # concludes 1–4 exceeded the transit bound and folds the floor
+        # over them (then straight through the contiguous 6).
+        cache.expire(6.2)
+        assert cache.pending_count() == 0
+        assert cache.seen(("o", 5), 6.5)  # late duplicates still caught
+        assert cache.seen(("o", 6), 6.5)
+        assert not cache.seen(("o", 7), 6.5)
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError):
+            OriginFloorCache(ttl=0.0)
