@@ -113,7 +113,7 @@ from repro.events.failure import (
     Resync,
     install_detectors,
 )
-from repro.events.filters import Filter, filters_intersect
+from repro.events.filters import Filter, eq, exists, filters_intersect
 from repro.events.index import CoveringPoset, PredicateIndex
 from repro.events.model import Notification
 from repro.events.subscriptions import Subscription
@@ -143,19 +143,19 @@ from repro.simulation import Simulator
 # is strictly wider, instead of intersecting.  Retractions carry no tag:
 # they terminate via state-presence checks (removing an absent entry is
 # a no-op), not flood scoping.
-@dataclass
+@dataclass(slots=True)
 class Subscribe:
     filter: Filter
     path: tuple[Address, ...] = ()
     path_reset: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Unsubscribe:
     filter: Filter
 
 
-@dataclass
+@dataclass(slots=True)
 class Advertise:
     """A producer declares the notifications it will publish (§3)."""
 
@@ -164,12 +164,12 @@ class Advertise:
     path_reset: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Unadvertise:
     filter: Filter
 
 
-@dataclass
+@dataclass(slots=True)
 class Publish:
     """A publication in flight, tagged for duplicate suppression.
 
@@ -184,17 +184,39 @@ class Publish:
     pub_id: tuple[Address, int] | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Notify:
     notification: Notification
 
 
-@dataclass
+@dataclass(slots=True)
+class PublishBatch:
+    """A burst of publications travelling as one wire message.
+
+    ``items`` is an ordered tuple of ``(notification, pub_id)`` pairs —
+    each pair carries exactly what a standalone :class:`Publish` would,
+    so a receiver without the batched fast path can unbundle and process
+    them one at a time with identical results.  Order within the batch
+    is the publish order, and the network's per-(src, dst) FIFO makes
+    batch boundaries invisible to delivery ordering.
+    """
+
+    items: tuple
+
+
+@dataclass(slots=True)
+class NotifyBatch:
+    """A burst of client deliveries coalesced into one wire message."""
+
+    notifications: tuple
+
+
+@dataclass(slots=True)
 class MoveOut:
     """Client announces disconnection; broker must proxy for it (Mobikit)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class MoveIn:
     """Client reappears at a (possibly different) broker."""
 
@@ -203,13 +225,13 @@ class MoveIn:
     filters: tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class TransferRequest:
     client: Address
     new_broker: Address
 
 
-@dataclass
+@dataclass(slots=True)
 class Transfer:
     """Proxy handover from the old broker to the new one (Mobikit).
 
@@ -257,12 +279,27 @@ class BrokerNode(Host):
         covering_enabled: bool = True,
         indexed: bool = True,
         adv_pruned: bool = False,
+        batched: bool = False,
+        advert_on_first_publish: bool = False,
         seen_ttl: float = 30.0,
     ):
         super().__init__(sim, network, position)
         self.covering_enabled = covering_enabled
         self.indexed = indexed
         self.adv_pruned = adv_pruned
+        # Batched publication fast path: inbound PublishBatch bursts are
+        # matched through PredicateIndex.match_batch and forwarded as
+        # per-destination batches.  Off, a batch is unbundled and walked
+        # through the one-at-a-time path — deliveries are identical
+        # either way (the batch-equivalence suite pins this).
+        self.batched = batched
+        # Legacy-producer escape hatch for advertisement pruning: when a
+        # directly-attached client publishes without ever advertising,
+        # synthesise an advertisement from the publication's shape so
+        # remote subscriptions get routed toward this broker.  The first
+        # publication may still miss remote subscribers (the synthesised
+        # advert races outward); later ones ride the unblocked routes.
+        self.advert_on_first_publish = advert_on_first_publish
         self.seen_ttl = seen_ttl
         # Broker→neighbour control traffic by message type — the E5
         # benchmark reads the Subscribe row to price routing-table upkeep.
@@ -327,6 +364,9 @@ class BrokerNode(Host):
         self.pub_dedup = OriginFloorCache(ttl=seen_ttl)
         self._pub_seq = 0
         self.duplicates_suppressed = 0
+        # Advertisements synthesised by advert_on_first_publish, so one
+        # publication shape registers (and floods) only once per client.
+        self._auto_adverts: set[tuple[Address, Filter]] = set()
         # Set by an attached FailureDetector; inbound Heartbeats route
         # there, and connect()/disconnect() report intentional topology
         # changes so they are never mistaken for failures.
@@ -1103,6 +1143,8 @@ class BrokerNode(Host):
             self.duplicates_suppressed += 1
             return
         self.notifications_processed += 1
+        if self.advert_on_first_publish:
+            self._maybe_auto_advertise(source, notification)
         size = notification.size_bytes()
         if self.indexed:
             matched = self._sub_index.match(notification)
@@ -1122,6 +1164,99 @@ class BrokerNode(Host):
                 continue
             self._deliver(dest, notification, size, pub_id)
 
+    def _maybe_auto_advertise(self, source: Address, notification: Notification) -> None:
+        """Synthesise an advertisement for a non-advertising local producer.
+
+        Only first-hop traffic qualifies (``source`` is an attached
+        client): remote publications were either advertised at their own
+        first hop or are legacy traffic whose broker carries this knob.
+        The synthesised filter is the publication's type equality when a
+        ``type`` attribute is present — the shape adv_pruned routing
+        prunes on — falling back to the attribute-existence skeleton.
+        """
+        if source not in self.client_addrs:
+            return
+        if "type" in notification:
+            advert = Filter(eq("type", notification["type"]))
+        else:
+            advert = Filter(*(exists(name) for name in sorted(notification.keys())))
+        key = (source, advert)
+        if key in self._auto_adverts:
+            return
+        self._auto_adverts.add(key)
+        self._store_advertisement(source, advert)
+
+    def _process_publication_batch(
+        self,
+        source: Address,
+        items: tuple | list,
+    ) -> None:
+        """Route a burst of publications through one index traversal.
+
+        Dedup, counters and the auto-advertise hook run per item in
+        batch order — their outcomes cannot depend on batching because
+        each decision reads only per-publication state.  The survivors
+        share one :meth:`PredicateIndex.match_batch` sweep, and each
+        destination receives its matched subset as a single batch, in
+        publish order.
+        """
+        survivors: list[tuple[Notification, tuple[Address, int]]] = []
+        for notification, pub_id in items:
+            if pub_id is None:
+                pub_id = (self.addr, self._pub_seq)
+                self._pub_seq += 1
+            if self.pub_dedup.seen(pub_id, self.sim.now):
+                self.duplicates_suppressed += 1
+                continue
+            self.notifications_processed += 1
+            if self.advert_on_first_publish:
+                self._maybe_auto_advertise(source, notification)
+            survivors.append((notification, pub_id))
+        if not survivors:
+            return
+        per_dest: dict[Address, list] = {}
+        if self.indexed:
+            matched_sets = self._sub_index.match_batch(
+                [notification for notification, _ in survivors]
+            )
+            payload = self._sub_index.payload
+            for (notification, pub_id), matched in zip(survivors, matched_sets):
+                if not matched:
+                    continue
+                interested = {payload(fid) for fid in matched}
+                for dest in list(self.subs_by_source):
+                    if dest == source or dest not in interested:
+                        continue
+                    per_dest.setdefault(dest, []).append((notification, pub_id))
+        else:
+            for notification, pub_id in survivors:
+                for dest, subs in list(self.subs_by_source.items()):
+                    if dest == source:
+                        continue
+                    if not any(s.filter.matches(notification) for s in subs):
+                        continue
+                    per_dest.setdefault(dest, []).append((notification, pub_id))
+        for dest, batch in per_dest.items():
+            self._deliver_batch(dest, batch)
+
+    def publish_batch(
+        self,
+        notifications: list,
+        source: Address | None = None,
+    ) -> None:
+        """Inject a burst of locally-originated publications.
+
+        Each notification is stamped with a fresh ``pub_id`` exactly as
+        the single-publication path would; with ``batched`` off the
+        burst is unbundled through the one-at-a-time path instead.
+        """
+        items = [(notification, None) for notification in notifications]
+        if self.batched:
+            self._process_publication_batch(source, items)
+        else:
+            for notification, pub_id in items:
+                self._process_publication(source, notification, pub_id)
+
     def _deliver(
         self,
         dest: Address,
@@ -1136,6 +1271,27 @@ class BrokerNode(Host):
             self.send(dest, Notify(notification), size_bytes=size)
         elif dest in self.neighbours:
             self.send(dest, Publish(notification, pub_id), size_bytes=size)
+
+    def _deliver_batch(self, dest: Address, batch: list) -> None:
+        """Deliver a publish-ordered batch to one destination.
+
+        Clients get one :class:`NotifyBatch`, neighbours one
+        :class:`PublishBatch` (pub_ids intact for their dedup), proxies
+        buffer in order — mirroring :meth:`_deliver` case for case.
+        """
+        if dest in self.proxies:
+            self.proxies[dest].extend(notification for notification, _ in batch)
+        elif dest in self.client_addrs:
+            self.notifications_delivered += len(batch)
+            size = sum(notification.size_bytes() for notification, _ in batch)
+            self.send(
+                dest,
+                NotifyBatch(tuple(notification for notification, _ in batch)),
+                size_bytes=size,
+            )
+        elif dest in self.neighbours:
+            size = sum(notification.size_bytes() for notification, _ in batch)
+            self.send(dest, PublishBatch(tuple(batch)), size_bytes=size)
 
     # ------------------------------------------------------------------
     # Mobility (Mobikit §3: static proxies for mobile entities)
@@ -1238,6 +1394,13 @@ class BrokerNode(Host):
             self._remove_advertisement(src, payload.filter)
         elif isinstance(payload, Publish):
             self._process_publication(src, payload.notification, payload.pub_id)
+        elif isinstance(payload, PublishBatch):
+            if self.batched:
+                self._process_publication_batch(src, payload.items)
+            else:
+                # Unbundle: a batch is just its publications in order.
+                for notification, pub_id in payload.items:
+                    self._process_publication(src, notification, pub_id)
         elif isinstance(payload, Heartbeat):
             if self.failure_detector is not None:
                 self.failure_detector.on_heartbeat(src, payload)
@@ -1298,11 +1461,32 @@ class SienaClient(Host):
             size_bytes=notification.size_bytes(),
         )
 
+    def publish_batch(self, notifications: list) -> None:
+        """Publish a burst as one wire message, pub_ids stamped in order.
+
+        The sequence numbers are exactly those ``publish`` would have
+        assigned, so dedup state downstream cannot tell the difference.
+        """
+        items = []
+        for notification in notifications:
+            items.append((notification, (self.addr, self._pub_seq)))
+            self._pub_seq += 1
+        self.send(
+            self.broker_addr,
+            PublishBatch(tuple(items)),
+            size_bytes=sum(n.size_bytes() for n in notifications),
+        )
+
     def handle_message(self, src: Address, payload) -> None:
         if isinstance(payload, Notify):
             self.received.append((self.sim.now, payload.notification))
             for handler in list(self.handlers):
                 handler(payload.notification)
+        elif isinstance(payload, NotifyBatch):
+            for notification in payload.notifications:
+                self.received.append((self.sim.now, notification))
+                for handler in list(self.handlers):
+                    handler(notification)
 
 
 def build_broker_tree(
@@ -1313,6 +1497,8 @@ def build_broker_tree(
     covering_enabled: bool = True,
     indexed: bool = True,
     adv_pruned: bool = False,
+    batched: bool = False,
+    advert_on_first_publish: bool = False,
     seen_ttl: float = 30.0,
     heartbeat: "HeartbeatConfig | None" = None,
 ) -> list[BrokerNode]:
@@ -1331,6 +1517,8 @@ def build_broker_tree(
             covering_enabled=covering_enabled,
             indexed=indexed,
             adv_pruned=adv_pruned,
+            batched=batched,
+            advert_on_first_publish=advert_on_first_publish,
             seen_ttl=seen_ttl,
         )
         for i in range(count)
@@ -1352,6 +1540,8 @@ def build_broker_mesh(
     covering_enabled: bool = True,
     indexed: bool = True,
     adv_pruned: bool = False,
+    batched: bool = False,
+    advert_on_first_publish: bool = False,
     seen_ttl: float = 30.0,
     heartbeat: "HeartbeatConfig | None" = None,
 ) -> list[BrokerNode]:
@@ -1373,6 +1563,8 @@ def build_broker_mesh(
         covering_enabled=covering_enabled,
         indexed=indexed,
         adv_pruned=adv_pruned,
+        batched=batched,
+        advert_on_first_publish=advert_on_first_publish,
         seen_ttl=seen_ttl,
         heartbeat=heartbeat,
     )

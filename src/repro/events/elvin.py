@@ -45,8 +45,22 @@ class ElvinPublish:
 
 
 @dataclass
+class ElvinPublishBatch:
+    """A burst of publications in one wire message, in publish order."""
+
+    notifications: tuple
+
+
+@dataclass
 class ElvinNotify:
     notification: Notification
+
+
+@dataclass
+class ElvinNotifyBatch:
+    """A burst of deliveries to one client in one wire message."""
+
+    notifications: tuple
 
 
 class ElvinServer(Host):
@@ -58,9 +72,15 @@ class ElvinServer(Host):
         network: Network,
         position: Position,
         indexed: bool = True,
+        batched: bool = False,
     ):
         super().__init__(sim, network, position)
         self.indexed = indexed
+        # Batched fast path: ElvinPublishBatch bursts share one
+        # PredicateIndex.match_batch sweep and clients receive one
+        # ElvinNotifyBatch each.  Off (or unindexed), bursts unbundle
+        # through the one-at-a-time path with identical deliveries.
+        self.batched = batched
         self.subscriptions: dict[Address, list[Filter]] = {}
         self.notifications_processed = 0
         self.notifications_delivered = 0
@@ -105,6 +125,36 @@ class ElvinServer(Host):
                 self.notifications_delivered += 1
                 self.send(client, ElvinNotify(notification), size_bytes=size)
 
+    def _publish_batch(self, notifications: tuple | list) -> None:
+        if not (self.indexed and self.batched):
+            for notification in notifications:
+                self._publish(notification)
+            return
+        self.notifications_processed += len(notifications)
+        ops_before = self._index.ops
+        matched_sets = self._index.match_batch(list(notifications))
+        self.match_operations += self._index.ops - ops_before
+        payload_of = self._index.payload
+        per_client: dict[Address, list] = {}
+        for notification, matched in zip(notifications, matched_sets):
+            if not matched:
+                continue
+            interested = {payload_of(fid) for fid in matched}
+            for client in self.subscriptions:
+                if client in interested:
+                    per_client.setdefault(client, []).append(notification)
+        for client, batch in per_client.items():
+            self.notifications_delivered += len(batch)
+            self.send(
+                client,
+                ElvinNotifyBatch(tuple(batch)),
+                size_bytes=sum(n.size_bytes() for n in batch),
+            )
+
+    def publish_batch(self, notifications: list) -> None:
+        """Inject a burst of publications directly at the server."""
+        self._publish_batch(notifications)
+
     def handle_message(self, src: Address, payload) -> None:
         if isinstance(payload, ElvinSubscribe):
             self._subscribe(src, payload.filter)
@@ -112,6 +162,8 @@ class ElvinServer(Host):
             self._unsubscribe(src, payload.filter)
         elif isinstance(payload, ElvinPublish):
             self._publish(payload.notification)
+        elif isinstance(payload, ElvinPublishBatch):
+            self._publish_batch(payload.notifications)
         else:
             raise TypeError(f"unknown elvin message: {payload!r}")
 
@@ -142,8 +194,21 @@ class ElvinClient(Host):
             self.server_addr, ElvinPublish(notification), size_bytes=notification.size_bytes()
         )
 
+    def publish_batch(self, notifications: list) -> None:
+        """Publish a burst as one wire message."""
+        self.send(
+            self.server_addr,
+            ElvinPublishBatch(tuple(notifications)),
+            size_bytes=sum(n.size_bytes() for n in notifications),
+        )
+
     def handle_message(self, src: Address, payload) -> None:
         if isinstance(payload, ElvinNotify):
             self.received.append((self.sim.now, payload.notification))
             for handler in list(self.handlers):
                 handler(payload.notification)
+        elif isinstance(payload, ElvinNotifyBatch):
+            for notification in payload.notifications:
+                self.received.append((self.sim.now, notification))
+                for handler in list(self.handlers):
+                    handler(notification)

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
-from typing import Any, Iterable
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
 from repro.events.model import AttributeValue, Notification
 
@@ -39,9 +40,41 @@ class Op(enum.Enum):
 
 _NUMERIC_OPS = {Op.LT, Op.LE, Op.GT, Op.GE}
 _STRING_OPS = {Op.PREFIX, Op.SUFFIX, Op.CONTAINS}
+_ORDER_CMP = {Op.EQ: operator.eq, Op.NE: operator.ne, Op.LT: operator.lt,
+              Op.LE: operator.le, Op.GT: operator.gt, Op.GE: operator.ge}
 
 
-@dataclass(frozen=True, eq=False)
+def _compile(name: str, op: Op, value: Any) -> Callable[[Any], bool]:
+    """Fuse one constraint into a closure over a Mapping-like notification.
+
+    The operator dispatch, family check, and value comparison are
+    resolved once here instead of re-branching on every ``matches``
+    call; the closure is exactly equivalent to the interpreted
+    :meth:`Constraint._matches_interpreted` (a property test pins this
+    over every operator family).  Missing attributes come back as
+    ``None`` from ``get``, which no family admits.
+    """
+    if op is Op.EXISTS:
+        return lambda n: name in n
+    if op is Op.PREFIX:
+        return lambda n: isinstance(a := n.get(name), str) and a.startswith(value)
+    if op is Op.SUFFIX:
+        return lambda n: isinstance(a := n.get(name), str) and a.endswith(value)
+    if op is Op.CONTAINS:
+        return lambda n: isinstance(a := n.get(name), str) and value in a
+    cmp = _ORDER_CMP[op]
+    if isinstance(value, bool):
+        return lambda n: isinstance(a := n.get(name), bool) and cmp(a, value)
+    if isinstance(value, (int, float)):
+        return lambda n: (
+            isinstance(a := n.get(name), (int, float))
+            and not isinstance(a, bool)
+            and cmp(a, value)
+        )
+    return lambda n: isinstance(a := n.get(name), str) and cmp(a, value)
+
+
+@dataclass(frozen=True, eq=False, slots=True)
 class Constraint:
     """One (attribute, operator, value) predicate.
 
@@ -51,11 +84,18 @@ class Constraint:
     collapse into one identity in subscription stores, advertisement
     stores, or forwarded-filter sets — an advertisement silently
     deduplicated away would make pruning drop live traffic.
+
+    ``matches`` dispatches through a closure compiled at construction
+    (see :func:`_compile`); the per-call interpretation it replaces is
+    kept as :meth:`_matches_interpreted` for the agreement tests.
     """
 
     name: str
     op: Op
     value: AttributeValue | None = None
+    check: Callable[[Any], bool] = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Constraint):
@@ -78,8 +118,20 @@ class Constraint:
             raise ValueError(f"{self.op.value} requires a value")
         if self.op in _STRING_OPS and not isinstance(self.value, str):
             raise ValueError(f"{self.op.value} requires a string value")
+        object.__setattr__(self, "check", _compile(self.name, self.op, self.value))
+
+    def __reduce__(self):
+        # The compiled closure is unpicklable (and stale state anyway);
+        # rebuild from the triple so __post_init__ recompiles it.
+        if self.op is Op.EXISTS:
+            return (Constraint, (self.name, self.op))
+        return (Constraint, (self.name, self.op, self.value))
 
     def matches(self, notification: Notification) -> bool:
+        return self.check(notification)
+
+    def _matches_interpreted(self, notification: Notification) -> bool:
+        """Per-call interpreted matching; the reference for ``check``."""
         if self.name not in notification:
             return False
         actual = notification[self.name]
@@ -136,15 +188,19 @@ def _family_tag(value: Any) -> str:
 class Filter:
     """A conjunction of constraints; matches when every constraint does."""
 
-    __slots__ = ("constraints",)
+    __slots__ = ("constraints", "_checks")
 
     def __init__(self, *constraints: Constraint):
         if not constraints:
             raise ValueError("a filter needs at least one constraint")
         self.constraints = tuple(constraints)
+        self._checks = tuple(c.check for c in constraints)
 
     def matches(self, notification: Notification) -> bool:
-        return all(c.matches(notification) for c in self.constraints)
+        for check in self._checks:
+            if not check(notification):
+                return False
+        return True
 
     def attribute_names(self) -> set[str]:
         return {c.name for c in self.constraints}
@@ -306,11 +362,30 @@ def _string_satisfiable(constraints: list[Constraint]) -> bool:
             if lo_open or hi_open:
                 return False
             return all(constraint_admits(c, lo) for c in constraints)
+    if hi == "" and hi_open:
+        return False  # no string is strictly below "", the lexicographic minimum
+    if prefixes:
+        # Every string with prefix P sits in the half-line [P, …): P is
+        # its minimum, and any string above P *not* extending P differs
+        # from P at some index i < len(P) with a larger character there —
+        # so P-prefixed strings can never reach it.  That turns the
+        # conservatively-True range × prefix corner exact:
+        longest = max(prefixes, key=len)
+        if hi is not None:
+            if longest > hi:
+                return False  # the whole half-line lies above the cap
+            if longest == hi:
+                if hi_open:
+                    return False  # only P itself meets the cap, excluded
+                # The cap pins the witness to exactly P.
+                return all(constraint_admits(c, longest) for c in constraints)
+        if lo is not None and lo > longest and not lo.startswith(longest):
+            return False  # the whole half-line below lo's first divergence
     # Remaining combinations (pattern constraints, one-sided or roomy
     # ranges, NE exclusions over an infinite domain) either always admit
     # a witness — prefix+contains+suffix concatenations do — or are
     # conservatively declared satisfiable: lexicographic ranges fencing
-    # with patterns is the over-approximated corner.
+    # with suffix/contains patterns is the over-approximated corner.
     return True
 
 

@@ -14,26 +14,45 @@ event→pattern pinning):
   decomposed into their attribute constraints and each constraint is
   filed in a per-attribute operator index: hash buckets for ``EQ`` /
   ``NE`` / ``EXISTS``, bisect-sorted threshold arrays for ``LT`` /
-  ``LE`` / ``GT`` / ``GE``, and first/last-character-bucketed tables
-  for ``PREFIX`` / ``SUFFIX`` / ``CONTAINS``.  Matching a notification
-  is one pass over its attributes: every satisfied constraint bumps a
-  per-filter counter, and a filter matches when its counter reaches its
-  constraint count.  Only predicates that could plausibly be satisfied
-  are ever examined.
+  ``LE`` / ``GT`` / ``GE``, exact-pattern hash tables for ``PREFIX`` /
+  ``SUFFIX`` (probed with every prefix/suffix of the actual value, so
+  a probe costs O(len(actual)) dict lookups instead of a bucket scan)
+  and first-character-bucketed tables for ``CONTAINS``.  Matching a
+  notification is one pass over its attributes: every satisfied
+  constraint bumps a per-filter counter, and a filter matches when its
+  counter reaches its constraint count.  Only predicates that could
+  plausibly be satisfied are ever examined.  The counters live in
+  preallocated arrays reused across calls — the match hot path
+  allocates no per-event dicts (the PR 6 profile in
+  ``benchmarks/PROFILE.md`` showed per-event dict churn dominating).
+
+* :meth:`PredicateIndex.match_batch` — the *batched* hot path.  A batch
+  shares one candidate-collection sweep per distinct (attribute, value)
+  pair (repeated values — event types, room names, URLs — collapse into
+  one sweep), and when numpy is available the per-event counter
+  accumulation vectorises into one ``bincount`` over concatenated
+  candidate-id arrays (threshold ranges are zero-copy slices of lazily
+  maintained numpy mirrors).  Results are exactly ``[match(n) for n in
+  batch]`` — the randomized batch-equivalence suite enforces it — and
+  the pure-python fallback (numpy absent, or ``vectorized=False``)
+  factors batch-common keys into a shared base counter array instead.
 
 * :class:`CoveringPoset` — the covering partial order.  ``a`` can only
   cover ``b`` when every attribute ``a`` constrains is also constrained
   by ``b`` (:func:`~repro.events.covering.constraint_covers` requires
   equal names), so candidates are pruned with an attribute-name
-  inverted index before the exact
-  :func:`~repro.events.covering.filter_covers` check runs.
+  inverted index — refined with per-name operator/family bitsets: a
+  stored ``[x > 5]`` can only be covered by an ``x`` constraint from
+  the numeric ``{>, >=, =}`` families, so probes lacking those never
+  reach the exact :func:`~repro.events.covering.filter_covers` check.
 
-Both structures are exact: they return precisely what the naive
+All structures are exact: they return precisely what the naive
 ``Filter.matches`` / ``filter_covers`` scans return — the randomized
-equivalence suite in ``tests/test_index_equivalence.py`` enforces this
-across all ten operators — so consumers can dispatch through them while
-the ``indexed=False`` ablation keeps the naive path measurable
-(benchmark E13 reports the speedup).
+equivalence suites in ``tests/test_index_equivalence.py`` and
+``tests/test_batch_equivalence.py`` enforce this across all ten
+operators — so consumers can dispatch through them while the
+``indexed=False`` ablation keeps the naive path measurable (benchmark
+E13 reports the speedup; its ``batch`` phase reports the batched one).
 """
 
 from __future__ import annotations
@@ -41,6 +60,11 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from collections import Counter
 from typing import Any
+
+try:  # vectorised batch counting; every path has a pure-python fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
 
 from repro.events.covering import filter_covers
 from repro.events.filters import (
@@ -72,16 +96,18 @@ def _family(value: Any) -> str:
 class _Thresholds:
     """Parallel (sorted values, filter ids) arrays for one range operator."""
 
-    __slots__ = ("values", "fids")
+    __slots__ = ("values", "fids", "np_fids")
 
     def __init__(self) -> None:
         self.values: list = []
         self.fids: list[int] = []
+        self.np_fids = None  # lazily rebuilt numpy mirror of ``fids``
 
     def insert(self, value: Any, fid: int) -> None:
         at = bisect_right(self.values, value)
         self.values.insert(at, value)
         self.fids.insert(at, fid)
+        self.np_fids = None
 
     def remove(self, value: Any, fid: int) -> None:
         at = bisect_left(self.values, value)
@@ -89,12 +115,35 @@ class _Thresholds:
             at += 1
         del self.values[at]
         del self.fids[at]
+        self.np_fids = None
+
+    def window(self, op: Op, actual: Any) -> tuple[int, int]:
+        """The [lo, hi) index window of thresholds ``actual`` satisfies."""
+        values = self.values
+        if op is Op.LT:  # actual < threshold
+            return bisect_right(values, actual), len(values)
+        if op is Op.LE:  # actual <= threshold
+            return bisect_left(values, actual), len(values)
+        if op is Op.GT:  # threshold < actual
+            return 0, bisect_left(values, actual)
+        return 0, bisect_right(values, actual)  # GE: threshold <= actual
+
+    def mirror(self):
+        """The numpy mirror of ``fids`` (rebuilt after mutations)."""
+        arr = self.np_fids
+        if arr is None:
+            arr = self.np_fids = _np.array(self.fids, dtype=_np.int64)
+        return arr
 
 
 class _AttributeIndex:
     """Every constraint on one attribute name, filed by operator class."""
 
-    __slots__ = ("exists", "eq", "ne_all", "ne_eq", "ranges", "prefix", "suffix", "contains")
+    __slots__ = (
+        "exists", "eq", "ne_all", "ne_eq", "ranges", "prefix", "suffix",
+        "contains", "prefix_maxlen", "suffix_maxlen",
+        "np_exists", "np_eq", "np_ne_all",
+    )
 
     def __init__(self) -> None:
         self.exists: list[int] = []
@@ -104,28 +153,46 @@ class _AttributeIndex:
         self.ne_eq: dict[tuple, list[int]] = {}
         # (op, family) -> sorted threshold arrays.
         self.ranges: dict[tuple, _Thresholds] = {}
-        # first/last character -> [(constraint value, filter id)]; the ""
+        # Exact pattern value -> filter ids.  A probe enumerates every
+        # prefix (suffix) of the actual value — O(len) dict hits instead
+        # of scanning a shared-first-character bucket (every URL starts
+        # with "h", every user id with "u": the buckets degenerate).
+        self.prefix: dict[str, list[int]] = {}
+        self.suffix: dict[str, list[int]] = {}
+        # first character -> [(constraint value, filter id)]; the ""
         # bucket holds empty-string patterns, which match everything.
-        self.prefix: dict[str, list[tuple[str, int]]] = {}
-        self.suffix: dict[str, list[tuple[str, int]]] = {}
         self.contains: dict[str, list[tuple[str, int]]] = {}
+        # Longest registered pattern: bounds the prefix/suffix probes.
+        self.prefix_maxlen = 0
+        self.suffix_maxlen = 0
+        # Lazily rebuilt numpy mirrors (None = stale or absent).
+        self.np_exists = None
+        self.np_eq: dict[tuple, Any] | None = None
+        self.np_ne_all: dict[str, Any] | None = None
 
     def add(self, constraint: Constraint, fid: int) -> None:
         op, value = constraint.op, constraint.value
         if op is Op.EXISTS:
             self.exists.append(fid)
+            self.np_exists = None
         elif op is Op.EQ:
             self.eq.setdefault((_family(value), value), []).append(fid)
+            self.np_eq = None
         elif op is Op.NE:
             fam = _family(value)
             self.ne_all.setdefault(fam, []).append(fid)
             self.ne_eq.setdefault((fam, value), []).append(fid)
+            self.np_ne_all = None
         elif op in _RANGE_OPS:
             self.ranges.setdefault((op, _family(value)), _Thresholds()).insert(value, fid)
         elif op is Op.PREFIX:
-            self.prefix.setdefault(value[:1], []).append((value, fid))
+            self.prefix.setdefault(value, []).append(fid)
+            if len(value) > self.prefix_maxlen:
+                self.prefix_maxlen = len(value)
         elif op is Op.SUFFIX:
-            self.suffix.setdefault(value[-1:], []).append((value, fid))
+            self.suffix.setdefault(value, []).append(fid)
+            if len(value) > self.suffix_maxlen:
+                self.suffix_maxlen = len(value)
         else:  # CONTAINS
             self.contains.setdefault(value[:1], []).append((value, fid))
 
@@ -133,39 +200,118 @@ class _AttributeIndex:
         op, value = constraint.op, constraint.value
         if op is Op.EXISTS:
             self.exists.remove(fid)
+            self.np_exists = None
         elif op is Op.EQ:
-            self.eq[(_family(value), value)].remove(fid)
+            bucket = self.eq[(_family(value), value)]
+            bucket.remove(fid)
+            if not bucket:
+                del self.eq[(_family(value), value)]
+            self.np_eq = None
         elif op is Op.NE:
             fam = _family(value)
             self.ne_all[fam].remove(fid)
             self.ne_eq[(fam, value)].remove(fid)
+            if not self.ne_eq[(fam, value)]:
+                del self.ne_eq[(fam, value)]
+            self.np_ne_all = None
         elif op in _RANGE_OPS:
             self.ranges[(op, _family(value))].remove(value, fid)
         elif op is Op.PREFIX:
-            self.prefix[value[:1]].remove((value, fid))
+            bucket = self.prefix[value]
+            bucket.remove(fid)
+            if not bucket:
+                del self.prefix[value]
+                # maxlen stays a (harmless) upper bound on probe count.
         elif op is Op.SUFFIX:
-            self.suffix[value[-1:]].remove((value, fid))
+            bucket = self.suffix[value]
+            bucket.remove(fid)
+            if not bucket:
+                del self.suffix[value]
         else:
             self.contains[value[:1]].remove((value, fid))
 
-    def collect(self, actual: Any, counts: dict[int, int]) -> int:
-        """Bump ``counts`` for every constraint ``actual`` satisfies.
+    def candidate_fids(self, actual: Any) -> list[int]:
+        """Ids of every constraint ``actual`` satisfies, with multiplicity.
+
+        One entry per satisfied constraint (a filter constraining the
+        same attribute twice appears twice) — the caller bumps a counter
+        per entry, exactly like the unbatched collect path.
+        """
+        out: list[int] = []
+        fam = _family(actual)
+        if self.exists:
+            out.extend(self.exists)
+        hits = self.eq.get((fam, actual))
+        if hits:
+            out.extend(hits)
+        pool = self.ne_all.get(fam)
+        if pool:
+            excluded = self.ne_eq.get((fam, actual))
+            if excluded:
+                skip = Counter(excluded)
+                for fid in pool:
+                    if skip.get(fid):
+                        skip[fid] -= 1
+                        continue
+                    out.append(fid)
+            else:
+                out.extend(pool)
+        if self.ranges:
+            for (op, rfam), thresholds in self.ranges.items():
+                if rfam != fam:
+                    continue
+                lo, hi = thresholds.window(op, actual)
+                if hi > lo:
+                    out.extend(thresholds.fids[lo:hi])
+        if fam == "s":
+            if self.prefix:
+                for i in range(min(self.prefix_maxlen, len(actual)) + 1):
+                    hits = self.prefix.get(actual[:i])
+                    if hits:
+                        out.extend(hits)
+            if self.suffix:
+                n = len(actual)
+                for i in range(min(self.suffix_maxlen, n) + 1):
+                    hits = self.suffix.get(actual[n - i:])
+                    if hits:
+                        out.extend(hits)
+            if self.contains:
+                bucket = self.contains.get("")
+                if bucket:
+                    out.extend(fid for _value, fid in bucket)  # "" is in every string
+                for char in set(actual):
+                    bucket = self.contains.get(char)
+                    if not bucket:
+                        continue
+                    for value, fid in bucket:
+                        if value in actual:
+                            out.append(fid)
+        return out
+
+    def collect(self, actual: Any, counts: list[int], touched: list[int]) -> int:
+        """Bump ``counts`` (a flat array indexed by fid) for every
+        constraint ``actual`` satisfies, recording first-touched fids.
 
         Returns the number of candidate predicates examined (the
         indexed analogue of the naive scan's match operations).
         """
-        get = counts.get
         ops = 0
         fam = _family(actual)
 
         for fid in self.exists:
-            counts[fid] = get(fid, 0) + 1
+            c = counts[fid]
+            if not c:
+                touched.append(fid)
+            counts[fid] = c + 1
         ops += len(self.exists)
 
         hits = self.eq.get((fam, actual))
         if hits:
             for fid in hits:
-                counts[fid] = get(fid, 0) + 1
+                c = counts[fid]
+                if not c:
+                    touched.append(fid)
+                counts[fid] = c + 1
             ops += len(hits)
 
         pool = self.ne_all.get(fam)
@@ -178,53 +324,60 @@ class _AttributeIndex:
                     if skip.get(fid):
                         skip[fid] -= 1
                         continue
-                    counts[fid] = get(fid, 0) + 1
+                    c = counts[fid]
+                    if not c:
+                        touched.append(fid)
+                    counts[fid] = c + 1
             else:
                 for fid in pool:
-                    counts[fid] = get(fid, 0) + 1
+                    c = counts[fid]
+                    if not c:
+                        touched.append(fid)
+                    counts[fid] = c + 1
 
         if self.ranges:
             for (op, rfam), thresholds in self.ranges.items():
                 if rfam != fam:
                     continue
-                values = thresholds.values
-                if op is Op.LT:  # actual < threshold
-                    lo, hi = bisect_right(values, actual), len(values)
-                elif op is Op.LE:  # actual <= threshold
-                    lo, hi = bisect_left(values, actual), len(values)
-                elif op is Op.GT:  # threshold < actual
-                    lo, hi = 0, bisect_left(values, actual)
-                else:  # GE: threshold <= actual
-                    lo, hi = 0, bisect_right(values, actual)
+                lo, hi = thresholds.window(op, actual)
                 for fid in thresholds.fids[lo:hi]:
-                    counts[fid] = get(fid, 0) + 1
+                    c = counts[fid]
+                    if not c:
+                        touched.append(fid)
+                    counts[fid] = c + 1
                 ops += hi - lo
 
         if fam == "s":
             if self.prefix:
-                for bucket_key in ("", actual[:1]) if actual else ("",):
-                    bucket = self.prefix.get(bucket_key)
-                    if not bucket:
-                        continue
-                    ops += len(bucket)
-                    for value, fid in bucket:
-                        if actual.startswith(value):
-                            counts[fid] = get(fid, 0) + 1
+                for i in range(min(self.prefix_maxlen, len(actual)) + 1):
+                    hits = self.prefix.get(actual[:i])
+                    if hits:
+                        ops += len(hits)
+                        for fid in hits:
+                            c = counts[fid]
+                            if not c:
+                                touched.append(fid)
+                            counts[fid] = c + 1
             if self.suffix:
-                for bucket_key in ("", actual[-1:]) if actual else ("",):
-                    bucket = self.suffix.get(bucket_key)
-                    if not bucket:
-                        continue
-                    ops += len(bucket)
-                    for value, fid in bucket:
-                        if actual.endswith(value):
-                            counts[fid] = get(fid, 0) + 1
+                n = len(actual)
+                for i in range(min(self.suffix_maxlen, n) + 1):
+                    hits = self.suffix.get(actual[n - i:])
+                    if hits:
+                        ops += len(hits)
+                        for fid in hits:
+                            c = counts[fid]
+                            if not c:
+                                touched.append(fid)
+                            counts[fid] = c + 1
             if self.contains:
                 bucket = self.contains.get("")
                 if bucket:
                     ops += len(bucket)
                     for _value, fid in bucket:
-                        counts[fid] = get(fid, 0) + 1  # "" is in every string
+                        c = counts[fid]
+                        if not c:
+                            touched.append(fid)
+                        counts[fid] = c + 1  # "" is in every string
                 for char in set(actual):
                     bucket = self.contains.get(char)
                     if not bucket:
@@ -232,7 +385,100 @@ class _AttributeIndex:
                     ops += len(bucket)
                     for value, fid in bucket:
                         if value in actual:
-                            counts[fid] = get(fid, 0) + 1
+                            c = counts[fid]
+                            if not c:
+                                touched.append(fid)
+                            counts[fid] = c + 1
+        return ops
+
+    # -- numpy mirrors (vectorised batch path) --------------------------
+    def candidate_arrays(self, actual: Any, out: list) -> int:
+        """Append numpy candidate-id arrays for ``actual`` to ``out``.
+
+        Shared pools (EXISTS, EQ buckets, NE pools, threshold windows)
+        come from lazily maintained mirrors — threshold windows are
+        zero-copy slices — while per-probe hit lists (patterns, NE
+        exclusions) are materialised on the spot.  Returns the candidate
+        count (the ``ops`` contribution).
+        """
+        ops = 0
+        fam = _family(actual)
+        if self.exists:
+            arr = self.np_exists
+            if arr is None:
+                arr = self.np_exists = _np.array(self.exists, dtype=_np.int64)
+            out.append(arr)
+            ops += len(self.exists)
+        if self.eq:
+            cache = self.np_eq
+            if cache is None:
+                cache = self.np_eq = {}
+            key = (fam, actual)
+            arr = cache.get(key)
+            if arr is None and key in self.eq:
+                arr = cache[key] = _np.array(self.eq[key], dtype=_np.int64)
+            if arr is not None:
+                out.append(arr)
+                ops += arr.size
+        pool = self.ne_all.get(fam)
+        if pool:
+            ops += len(pool)
+            excluded = self.ne_eq.get((fam, actual))
+            if excluded:
+                skip = Counter(excluded)
+                kept = []
+                for fid in pool:
+                    if skip.get(fid):
+                        skip[fid] -= 1
+                        continue
+                    kept.append(fid)
+                if kept:
+                    out.append(_np.array(kept, dtype=_np.int64))
+            else:
+                cache = self.np_ne_all
+                if cache is None:
+                    cache = self.np_ne_all = {}
+                arr = cache.get(fam)
+                if arr is None:
+                    arr = cache[fam] = _np.array(pool, dtype=_np.int64)
+                out.append(arr)
+        if self.ranges:
+            for (op, rfam), thresholds in self.ranges.items():
+                if rfam != fam:
+                    continue
+                lo, hi = thresholds.window(op, actual)
+                if hi > lo:
+                    out.append(thresholds.mirror()[lo:hi])
+                    ops += hi - lo
+        if fam == "s":
+            hits: list[int] = []
+            if self.prefix:
+                for i in range(min(self.prefix_maxlen, len(actual)) + 1):
+                    bucket = self.prefix.get(actual[:i])
+                    if bucket:
+                        hits.extend(bucket)
+            if self.suffix:
+                n = len(actual)
+                for i in range(min(self.suffix_maxlen, n) + 1):
+                    bucket = self.suffix.get(actual[n - i:])
+                    if bucket:
+                        hits.extend(bucket)
+            if self.contains:
+                bucket = self.contains.get("")
+                if bucket:
+                    hits.extend(fid for _value, fid in bucket)
+                    ops += len(bucket)
+                for char in set(actual):
+                    bucket = self.contains.get(char)
+                    if not bucket:
+                        continue
+                    ops += len(bucket)
+                    for value, fid in bucket:
+                        if value in actual:
+                            hits.append(fid)
+            if hits:
+                ops += len(hits)
+                out.append(_np.array(hits, dtype=_np.int64))
         return ops
 
 
@@ -244,15 +490,27 @@ class PredicateIndex:
     address) and withdrawn with :meth:`remove`.  :attr:`ops` accumulates
     the candidate predicates examined across all ``match`` calls — the
     indexed counterpart of the naive scan's match-operation count.
+
+    :meth:`match_batch` amortises a batch of notifications: one
+    candidate sweep per distinct (attribute, value) pair and — with
+    numpy — one vectorised counter accumulation per notification.  Both
+    batched paths return exactly what per-notification :meth:`match`
+    calls would.
     """
 
     def __init__(self) -> None:
         self._attributes: dict[str, _AttributeIndex] = {}
         self._filters: dict[int, Filter] = {}
-        self._needs: dict[int, int] = {}
+        # Constraint counts indexed by fid (-1 = freed id); the dense
+        # array backs both the scalar and the vectorised hot paths.
+        self._needs: list[int] = []
         self._payloads: dict[int, Any] = {}
         self._next_id = 0
         self.ops = 0
+        # Reusable per-call scratch: counter array + touched-fid list.
+        self._counts: list[int] = []
+        self._touched: list[int] = []
+        self._np_needs = None  # lazily rebuilt numpy mirror of _needs
 
     def __len__(self) -> int:
         return len(self._filters)
@@ -261,19 +519,22 @@ class PredicateIndex:
         fid = self._next_id
         self._next_id += 1
         self._filters[fid] = filter
-        self._needs[fid] = len(filter.constraints)
+        self._needs.append(len(filter.constraints))
+        self._counts.append(0)
         self._payloads[fid] = payload
         for constraint in filter.constraints:
             self._attributes.setdefault(constraint.name, _AttributeIndex()).add(
                 constraint, fid
             )
+        self._np_needs = None
         return fid
 
     def remove(self, fid: int) -> Any:
         filter = self._filters.pop(fid)
-        del self._needs[fid]
+        self._needs[fid] = -1
         for constraint in filter.constraints:
             self._attributes[constraint.name].remove(constraint, fid)
+        self._np_needs = None
         return self._payloads.pop(fid)
 
     def payload(self, fid: int) -> Any:
@@ -284,16 +545,246 @@ class PredicateIndex:
 
     def match(self, notification: Notification) -> set[int]:
         """Ids of every registered filter the notification satisfies."""
-        counts: dict[int, int] = {}
+        counts = self._counts
+        touched = self._touched
         ops = 0
         attributes = self._attributes
         for name, actual in notification.items():
             attr = attributes.get(name)
             if attr is not None:
-                ops += attr.collect(actual, counts)
+                ops += attr.collect(actual, counts, touched)
         self.ops += ops
         needs = self._needs
-        return {fid for fid, count in counts.items() if count == needs[fid]}
+        out = set()
+        for fid in touched:
+            if counts[fid] == needs[fid]:
+                out.add(fid)
+            counts[fid] = 0
+        del touched[:]
+        return out
+
+    # ------------------------------------------------------------------
+    # Batched matching
+    # ------------------------------------------------------------------
+    def match_batch(
+        self, notifications: list, vectorized: bool | None = None
+    ) -> list[set[int]]:
+        """``[self.match(n) for n in notifications]``, amortised.
+
+        Candidate collection runs once per distinct (attribute, value)
+        pair in the batch.  With numpy (``vectorized`` None/True) the
+        per-notification counter accumulation is one ``bincount`` over
+        concatenated candidate arrays; the pure-python fallback factors
+        the batch's common keys into a shared base counter array and
+        only walks each notification's rare keys.  Both are exact.
+        """
+        if vectorized is None:
+            vectorized = _np is not None
+        elif vectorized and _np is None:
+            raise RuntimeError("vectorized match_batch requires numpy")
+        if vectorized:
+            return self._match_batch_np(notifications)
+        return self._match_batch_py(notifications)
+
+    def _batch_keys(self, notifications: list):
+        """Per-notification (attr, key) lists plus batch key frequency."""
+        attributes = self._attributes
+        freq: dict[tuple, int] = {}
+        per_event: list[list] = []
+        get = freq.get
+        for notification in notifications:
+            keys = []
+            for name, actual in notification.items():
+                attr = attributes.get(name)
+                if attr is not None:
+                    key = (name, _family(actual), actual)
+                    keys.append((attr, key))
+                    freq[key] = get(key, 0) + 1
+            per_event.append(keys)
+        return per_event, freq
+
+    def _match_batch_np(self, notifications: list) -> list[set[int]]:
+        n_ids = self._next_id
+        needs = self._np_needs
+        if needs is None or needs.size != n_ids:
+            needs = self._np_needs = _np.array(self._needs, dtype=_np.int64)
+        memo: dict[tuple, tuple[list, int]] = {}
+        results: list[set[int]] = []
+        ops = 0
+        concatenate = _np.concatenate
+        bincount = _np.bincount
+        for notification in notifications:
+            arrs: list = []
+            for name, actual in notification.items():
+                attr = self._attributes.get(name)
+                if attr is None:
+                    continue
+                key = (name, _family(actual), actual)
+                cached = memo.get(key)
+                if cached is None:
+                    sub: list = []
+                    key_ops = attr.candidate_arrays(actual, sub)
+                    cached = memo[key] = (sub, key_ops)
+                arrs.extend(cached[0])
+                ops += cached[1]
+            if not arrs:
+                results.append(set())
+                continue
+            cat = concatenate(arrs) if len(arrs) > 1 else arrs[0]
+            counts = bincount(cat, minlength=n_ids)
+            matched = _np.nonzero(counts == needs[: counts.size])[0]
+            results.append(set(matched.tolist()))
+        self.ops += ops
+        return results
+
+    def _match_batch_py(
+        self, notifications: list, heavy_min: int = 4
+    ) -> list[set[int]]:
+        per_event, freq = self._batch_keys(notifications)
+        needs = self._needs
+        n_ids = self._next_id
+        memo: dict[tuple, list[int]] = {}
+
+        def candidates(attr: _AttributeIndex, key: tuple) -> list[int]:
+            fids = memo.get(key)
+            if fids is None:
+                fids = memo[key] = attr.candidate_fids(key[2])
+            return fids
+
+        # Keys shared by >= heavy_min notifications are folded into one
+        # base counter array per distinct heavy-key signature; each
+        # notification then only walks its rare keys.
+        bases: dict[frozenset, tuple[list[int], frozenset]] = {}
+
+        def base_for(sig: frozenset, attrs: dict) -> tuple[list[int], frozenset]:
+            entry = bases.get(sig)
+            if entry is None:
+                counts = [0] * n_ids
+                for key in sig:
+                    for fid in candidates(attrs[key], key):
+                        counts[fid] += 1
+                matched = frozenset(
+                    fid
+                    for key in sig
+                    for fid in candidates(attrs[key], key)
+                    if counts[fid] == needs[fid]
+                )
+                entry = bases[sig] = (counts, matched)
+            return entry
+
+        results: list[set[int]] = []
+        scratch = [0] * n_ids
+        touched: list[int] = []
+        ops = 0
+        for keys in per_event:
+            heavy = {}
+            rare = []
+            for attr, key in keys:
+                ops += len(candidates(attr, key))
+                if freq[key] >= heavy_min:
+                    heavy[key] = attr
+                else:
+                    rare.append((attr, key))
+            base_counts, base_matched = base_for(frozenset(heavy), heavy)
+            del touched[:]
+            for attr, key in rare:
+                for fid in candidates(attr, key):
+                    c = scratch[fid]
+                    if not c:
+                        touched.append(fid)
+                    scratch[fid] = c + 1
+            out = set(base_matched)
+            for fid in touched:
+                if base_counts[fid] + scratch[fid] == needs[fid]:
+                    out.add(fid)
+                scratch[fid] = 0
+            results.append(out)
+        self.ops += ops
+        return results
+
+
+# ----------------------------------------------------------------------
+# Covering-poset candidate pruning: operator/family bitsets
+# ----------------------------------------------------------------------
+# Each constraint op × value family gets one bit; EXISTS (valueless) gets
+# its own.  For a stored constraint ``ca``, _COVER_NEEDS[ca] is the set
+# of probe-constraint bits that could possibly cover it (derived from
+# the constraint_covers truth table as a *necessary* condition) — a
+# candidate whose probe lacks every such bit on some constrained name
+# cannot cover, so the exact filter_covers check is skipped.
+_FAMILY_SLOT = {"b": 0, "n": 1, "s": 2}
+_OPS_ORDER = (
+    Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE, Op.PREFIX, Op.SUFFIX, Op.CONTAINS
+)
+_OP_SLOT = {op: i for i, op in enumerate(_OPS_ORDER)}
+_EXISTS_BIT = 1 << (len(_OPS_ORDER) * 3)
+_ALL_BITS = (_EXISTS_BIT << 1) - 1
+
+
+def _constraint_bit(constraint: Constraint) -> int:
+    """The presence bit a constraint contributes to its name's mask."""
+    if constraint.op is Op.EXISTS:
+        return _EXISTS_BIT
+    from repro.events.filters import _family_tag
+
+    return 1 << (
+        _OP_SLOT[constraint.op] * 3 + _FAMILY_SLOT[_family_tag(constraint.value)]
+    )
+
+
+def _bit(op: Op, family: str) -> int:
+    return 1 << (_OP_SLOT[op] * 3 + _FAMILY_SLOT[family])
+
+
+def _cover_needs(constraint: Constraint) -> int:
+    """Probe bits that could cover ``constraint`` (necessary condition).
+
+    Mirrors :func:`~repro.events.covering.constraint_covers`: e.g. a
+    numeric ``<`` is only ever covered by numeric ``<``/``<=``/``=``
+    constraints, a string range covers nothing, EXISTS covers anything.
+    """
+    op = constraint.op
+    if op is Op.EXISTS:
+        return _ALL_BITS
+    from repro.events.filters import _family_tag
+
+    fam = _family_tag(constraint.value)
+    if op is Op.EQ:
+        return _bit(Op.EQ, fam)
+    if op is Op.NE:
+        mask = _bit(Op.NE, fam) | _bit(Op.EQ, fam)
+        if fam == "n":
+            mask |= _bit(Op.LT, "n") | _bit(Op.GT, "n")
+        return mask
+    if op in (Op.LT, Op.LE):
+        if fam != "n":
+            return 0  # range constraints over strings/bools cover nothing
+        return _bit(Op.LT, "n") | _bit(Op.LE, "n") | _bit(Op.EQ, "n")
+    if op in (Op.GT, Op.GE):
+        if fam != "n":
+            return 0
+        return _bit(Op.GT, "n") | _bit(Op.GE, "n") | _bit(Op.EQ, "n")
+    if op is Op.PREFIX:
+        return _bit(Op.PREFIX, "s") | _bit(Op.EQ, "s")
+    if op is Op.SUFFIX:
+        return _bit(Op.SUFFIX, "s") | _bit(Op.EQ, "s")
+    # CONTAINS
+    return (
+        _bit(Op.CONTAINS, "s")
+        | _bit(Op.PREFIX, "s")
+        | _bit(Op.SUFFIX, "s")
+        | _bit(Op.EQ, "s")
+    )
+
+
+def _name_masks(filter: Filter) -> dict[str, int]:
+    """Per-name OR of the filter's constraint presence bits."""
+    masks: dict[str, int] = {}
+    for constraint in filter.constraints:
+        masks[constraint.name] = masks.get(constraint.name, 0) | _constraint_bit(
+            constraint
+        )
+    return masks
 
 
 class CoveringPoset:
@@ -301,8 +792,10 @@ class CoveringPoset:
 
     Stored filters are indexed by attribute name; since ``a`` covering
     ``b`` requires ``names(a) ⊆ names(b)``, covering queries touch only
-    filters passing that subset test before the exact
-    :func:`filter_covers` verification — answers are identical to the
+    filters passing that subset test — refined by per-name
+    operator/family bitsets (a stored numeric range can only be covered
+    by numeric range/equality constraints, etc.) — before the exact
+    :func:`filter_covers` verification; answers are identical to the
     pairwise scan's.  Duplicate filters may be stored (e.g. the same
     subscription from two sources); each entry keeps its own id and
     optional payload.  Query results are in insertion (id) order.
@@ -313,6 +806,11 @@ class CoveringPoset:
         self._payloads: dict[int, Any] = {}
         self._name_counts: dict[int, int] = {}
         self._by_name: dict[str, set[int]] = {}
+        # Per-entry pruning state: the (name, needed-bits) requirements a
+        # probe must meet to possibly cover the entry, and the entry's
+        # own per-name presence masks (the mirror-direction test).
+        self._cover_reqs: dict[int, tuple] = {}
+        self._masks: dict[int, dict[str, int]] = {}
         self._next_id = 0
         self.checks = 0  # exact filter_covers verifications performed
 
@@ -328,11 +826,17 @@ class CoveringPoset:
         self._name_counts[pid] = len(names)
         for name in names:
             self._by_name.setdefault(name, set()).add(pid)
+        self._cover_reqs[pid] = tuple(
+            (c.name, _cover_needs(c)) for c in filter.constraints
+        )
+        self._masks[pid] = _name_masks(filter)
         return pid
 
     def remove(self, pid: int) -> Any:
         filter = self._filters.pop(pid)
         del self._name_counts[pid]
+        del self._cover_reqs[pid]
+        del self._masks[pid]
         for name in filter.attribute_names():
             members = self._by_name[name]
             members.discard(pid)
@@ -361,6 +865,20 @@ class CoveringPoset:
         name_counts = self._name_counts
         return [pid for pid, n in hits.items() if n == name_counts[pid]]
 
+    def _cover_candidates(self, filter: Filter) -> list[int]:
+        """Stored ids that could cover ``filter``: name-subset candidates
+        whose every constraint sees a compatible-operator probe bit."""
+        probe_masks = _name_masks(filter)
+        reqs = self._cover_reqs
+        out = []
+        for pid in self._subset_candidates(set(probe_masks)):
+            for name, needed in reqs[pid]:
+                if not probe_masks[name] & needed:
+                    break
+            else:
+                out.append(pid)
+        return out
+
     def _superset_candidates(self, names: set[str]) -> list[int]:
         """Stored ids whose attribute names ⊇ ``names`` (could be covered)."""
         need = len(names)
@@ -375,7 +893,7 @@ class CoveringPoset:
     def covers_any(self, filter: Filter) -> bool:
         """Is ``filter`` covered by some stored filter?"""
         filters = self._filters
-        for pid in self._subset_candidates(filter.attribute_names()):
+        for pid in self._cover_candidates(filter):
             self.checks += 1
             if filter_covers(filters[pid], filter):
                 return True
@@ -385,7 +903,7 @@ class CoveringPoset:
         """Every stored filter that covers ``filter``, in insertion order."""
         filters = self._filters
         out = []
-        for pid in sorted(self._subset_candidates(filter.attribute_names())):
+        for pid in sorted(self._cover_candidates(filter)):
             self.checks += 1
             if filter_covers(filters[pid], filter):
                 out.append(pid)
@@ -398,8 +916,18 @@ class CoveringPoset:
         filters the removed one covers can have been suppressed by it.
         """
         filters = self._filters
+        probe_reqs = [(c.name, _cover_needs(c)) for c in filter.constraints]
+        masks = self._masks
         out = []
         for pid in self._superset_candidates(filter.attribute_names()):
+            stored_masks = masks[pid]
+            ok = True
+            for name, needed in probe_reqs:
+                if not stored_masks.get(name, 0) & needed:
+                    ok = False
+                    break
+            if not ok:
+                continue
             self.checks += 1
             if filter_covers(filter, filters[pid]):
                 out.append(pid)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.events.filters import Filter
 
@@ -15,7 +15,7 @@ def next_subscription_id() -> int:
     return next(_sub_counter)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Subscription:
     """A filter registered by a client or a neighbouring broker."""
 
@@ -28,7 +28,7 @@ class Subscription:
         return cls(next_subscription_id(), filter, subscriber)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Advertisement:
     """A producer's declaration of the notifications it will publish (§3)."""
 

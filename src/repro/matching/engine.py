@@ -155,6 +155,24 @@ class MatchingEngine:
         self.stats.synthesized += len(out)
         return out
 
+    def ingest_batch(self, events: list) -> list[Notification]:
+        """Process a burst of events; returns all synthesised events.
+
+        Correlation is inherently order-sensitive — each event must see
+        the windows as its predecessors left them, and a rule's action
+        may add or remove rules mid-burst — so events run through the
+        full :meth:`ingest` pipeline one at a time, in order: the result
+        is exactly the concatenation of per-event ``ingest`` calls.  The
+        amortisation the batch buys is upstream of the engine: pattern
+        constraints dispatch through closures compiled once at
+        construction, and broker/Elvin layers hand bursts over without
+        per-event wire messages.
+        """
+        out: list[Notification] = []
+        for event in events:
+            out.extend(self.ingest(event))
+        return out
+
     def _join(
         self, rule: Rule, pinned_alias: str, pinned: Notification, now: float
     ) -> list[Notification]:

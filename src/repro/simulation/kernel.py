@@ -60,6 +60,7 @@ class Simulator:
         self._seed = seed
         self.rng = random.Random(seed)
         self._named_rngs: dict[str, random.Random] = {}
+        self._coalesced: dict[Any, ScheduledHandle] = {}
         self.events_processed = 0
 
     # ------------------------------------------------------------------
@@ -87,6 +88,32 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         return self.schedule_at(self._now + delay, fn, *args)
+
+    def coalesce_at(
+        self, time: float, key: Any, fn: Callable[..., Any], *args: Any
+    ) -> ScheduledHandle:
+        """Schedule ``fn(*args)`` at ``time``, once per (``key``, ``time``).
+
+        While a coalesced callback for the same key and instant is still
+        pending, further calls return its handle without scheduling
+        anything — the building block for batched delivery: N same-tick
+        messages on one link collapse into one simulator event, and the
+        callback drains whatever accumulated behind the key.  A call
+        with the same key but a *different* time schedules normally (the
+        earlier handle keeps its slot and still fires).
+        """
+        pending = self._coalesced.get(key)
+        if pending is not None and pending.time == time and not pending.cancelled:
+            return pending
+
+        def runner() -> None:
+            if self._coalesced.get(key) is handle:
+                del self._coalesced[key]
+            fn(*args)
+
+        handle = self.schedule_at(time, runner)
+        self._coalesced[key] = handle
+        return handle
 
     # ------------------------------------------------------------------
     # Execution

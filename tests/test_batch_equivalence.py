@@ -1,0 +1,434 @@
+"""Batch-vs-sequential equivalence: batching must be invisible.
+
+The batched fast paths — ``PredicateIndex.match_batch``, broker/Elvin
+``publish_batch`` + batch wire messages, and the network's same-instant
+link coalescing — are pure mechanics: they may only change what the hot
+path *costs*, never what it does.  The suites here hold them to that:
+
+* ``match_batch`` (vectorised and pure-python) returns exactly
+  ``[match(n) for n in batch]`` across all ten operators, under
+  add/remove churn and shuffled batch boundaries;
+* randomized broker scenarios (reusing the topology-equivalence
+  generator) deliver identically across
+  ``{naive, indexed, adv_pruned} × {batched on/off}`` with random batch
+  boundaries, including control state and duplicate counters;
+* mesh overlays suppress exactly the same duplicates whether bursts
+  travel as batches or as single publications;
+* the Elvin server and the correlation engine produce identical output
+  through their batch entry points;
+* the batched network preserves per-link FIFO order and per-message
+  delivery semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.events.broker import (
+    BrokerNode,
+    SienaClient,
+    build_broker_mesh,
+)
+from repro.events.elvin import ElvinClient, ElvinServer
+from repro.events.filters import Filter, eq, gt
+from repro.events.index import PredicateIndex
+from repro.events.model import Notification, make_event
+from repro.knowledge.base import KnowledgeBase
+from repro.matching.engine import MatchingEngine
+from repro.matching.patterns import EventPattern
+from repro.matching.rules import Rule
+from repro.net import FixedLatency, Network, Position
+from repro.simulation import Simulator
+from tests.test_broker_topology_equivalence import (
+    _delivery_key,
+    generate_scenario,
+    random_publication,
+)
+from tests.test_index_equivalence import random_filter, random_notification
+
+try:
+    import numpy  # noqa: F401 - availability probe only
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    HAVE_NUMPY = False
+
+BATCH_VECTOR_MODES = [False] + ([True] if HAVE_NUMPY else [])
+
+
+def random_boundaries(rng: random.Random, n: int) -> list[int]:
+    """Random split points turning ``n`` items into 1..n chunks."""
+    if n <= 1:
+        return [n]
+    sizes = []
+    left = n
+    while left > 0:
+        take = rng.randint(1, left)
+        sizes.append(take)
+        left -= take
+    return sizes
+
+
+# ----------------------------------------------------------------------
+# PredicateIndex.match_batch ≡ per-notification match
+# ----------------------------------------------------------------------
+class TestMatchBatchEquivalence:
+    @pytest.mark.parametrize("vectorized", BATCH_VECTOR_MODES)
+    def test_match_batch_equals_sequential_under_churn(self, vectorized):
+        rng = random.Random(20260808)
+        index = PredicateIndex()
+        live: list[int] = []
+        for _ in range(40):
+            for _ in range(rng.randint(1, 12)):
+                live.append(index.add(random_filter(rng)))
+            for _ in range(rng.randint(0, min(4, len(live) - 1))):
+                live.remove(fid := rng.choice(live))
+                index.remove(fid)
+            batch = [random_notification(rng) for _ in range(rng.randint(1, 20))]
+            # Repeated values across the batch exercise the memo paths.
+            for _ in range(rng.randint(0, 5)):
+                batch.append(rng.choice(batch))
+            expected = [index.match(n) for n in batch]
+            assert index.match_batch(batch, vectorized=vectorized) == expected
+
+    @pytest.mark.parametrize("vectorized", BATCH_VECTOR_MODES)
+    def test_batch_boundaries_are_invisible(self, vectorized):
+        rng = random.Random(99)
+        index = PredicateIndex()
+        for _ in range(120):
+            index.add(random_filter(rng))
+        stream = [random_notification(rng) for _ in range(60)]
+        expected = [index.match(n) for n in stream]
+        for trial in range(6):
+            chop = random.Random(trial)
+            got, at = [], 0
+            for size in random_boundaries(chop, len(stream)):
+                got.extend(
+                    index.match_batch(stream[at : at + size], vectorized=vectorized)
+                )
+                at += size
+            assert got == expected
+
+    def test_empty_and_unknown_attribute_batches(self):
+        index = PredicateIndex()
+        index.add(Filter(eq("known", 1)))
+        assert index.match_batch([]) == []
+        stranger = Notification({"unknown": 5})
+        assert index.match_batch([stranger, stranger]) == [set(), set()]
+
+    def test_ops_accounting_matches_sequential(self):
+        rng = random.Random(7)
+        seq_index, batch_index = PredicateIndex(), PredicateIndex()
+        for _ in range(80):
+            f = random_filter(rng)
+            seq_index.add(f)
+            batch_index.add(f)
+        batch = [random_notification(rng) for _ in range(30)]
+        for n in batch:
+            seq_index.match(n)
+        batch_index.match_batch(batch)
+        # ``ops`` is a coarse work counter, and the batched path accounts
+        # candidate pools slightly differently than the per-event sweep,
+        # so exact equality isn't guaranteed — but it must stay live and
+        # in the same ballpark (the memoised sweep never does an order of
+        # magnitude more work than one-at-a-time matching).
+        assert 0 < batch_index.ops <= 2 * seq_index.ops
+
+
+# ----------------------------------------------------------------------
+# Broker scenarios: {naive, indexed, adv_pruned} × {batched on/off}
+# ----------------------------------------------------------------------
+BROKER_MODES = {
+    "naive": dict(indexed=False),
+    "indexed": dict(indexed=True),
+    "adv_pruned": dict(indexed=True, adv_pruned=True),
+}
+
+
+def run_scenario_batched(
+    scenario: dict, mode_kwargs: dict, batched: bool, boundary_seed: int
+) -> dict:
+    """The topology-equivalence scenario runner, batch-aware.
+
+    With ``batched`` each multi-publication op is chopped at random
+    boundaries and sent through ``publish_batch`` over a batching
+    network; otherwise it runs publication-at-a-time.  Everything else —
+    topology, churn script, publication payloads — is byte-identical.
+    """
+    sim = Simulator(seed=11)
+    network = Network(sim, latency=FixedLatency(0.01), batched=batched)
+    brokers = [
+        BrokerNode(
+            sim, network, Position(1.0, float(i)), batched=batched, **mode_kwargs
+        )
+        for i in range(scenario["n_brokers"])
+    ]
+    for child, parent in scenario["edges"]:
+        if child not in scenario["late_roots"]:
+            brokers[child].connect(brokers[parent])
+    sub_clients = [
+        SienaClient(sim, network, Position(2.0, float(i)), brokers[broker])
+        for i, (broker, _) in enumerate(scenario["subscribers"])
+    ]
+    pub_clients = [
+        SienaClient(sim, network, Position(3.0, float(i)), brokers[broker])
+        for i, (broker, _) in enumerate(scenario["producers"])
+    ]
+    pub_rng = random.Random(scenario["seed"] * 7919 + 13)
+    chop_rng = random.Random(boundary_seed)
+    for op in scenario["ops"]:
+        kind = op[0]
+        if kind == "sub":
+            _, index, slot = op
+            sub_clients[index].subscribe(scenario["subscribers"][index][1][slot])
+        elif kind == "unsub":
+            _, index, slot = op
+            sub_clients[index].unsubscribe(scenario["subscribers"][index][1][slot])
+        elif kind == "adv":
+            _, index = op
+            pub_clients[index].advertise(scenario["producers"][index][1]["advert"])
+        elif kind == "unadv":
+            _, index = op
+            pub_clients[index].unadvertise(scenario["producers"][index][1]["advert"])
+        elif kind == "pub":
+            _, index, seq, count = op
+            profile = scenario["producers"][index][1]
+            burst = [
+                random_publication(pub_rng, profile, seq + offset)
+                for offset in range(count)
+            ]
+            if batched:
+                at = 0
+                for size in random_boundaries(chop_rng, len(burst)):
+                    pub_clients[index].publish_batch(burst[at : at + size])
+                    at += size
+            else:
+                for notification in burst:
+                    pub_clients[index].publish(notification)
+        elif kind == "connect":
+            _, child, parent = op
+            brokers[child].connect(brokers[parent])
+        sim.run_for(2.0)
+    sim.run_for(5.0)
+    return {
+        "deliveries": [
+            sorted(_delivery_key(n) for _, n in client.received)
+            for client in sub_clients + pub_clients
+        ],
+        "duplicates_suppressed": sum(b.duplicates_suppressed for b in brokers),
+        "processed": sum(b.notifications_processed for b in brokers),
+        "control_state": [
+            {
+                "forwarded": {k: sorted(map(repr, v)) for k, v in b.forwarded.items()},
+                "adv_forwarded": {
+                    k: sorted(map(repr, v)) for k, v in b.adverts_forwarded.items()
+                },
+            }
+            for b in brokers
+        ],
+    }
+
+
+class TestBrokerBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("mode", sorted(BROKER_MODES))
+    def test_batched_matches_sequential(self, seed, mode):
+        scenario = generate_scenario(seed)
+        baseline = run_scenario_batched(
+            scenario, BROKER_MODES[mode], batched=False, boundary_seed=0
+        )
+        for boundary_seed in (1, 2):
+            batched = run_scenario_batched(
+                scenario, BROKER_MODES[mode], batched=True, boundary_seed=boundary_seed
+            )
+            assert batched == baseline
+
+    def test_mesh_duplicate_counters_identical(self):
+        """Redundant mesh links suppress the same duplicates either way."""
+
+        def run(batched: bool) -> tuple:
+            sim = Simulator(seed=5)
+            network = Network(sim, latency=FixedLatency(0.01), batched=batched)
+            brokers = build_broker_mesh(
+                sim, network, 7, extra_links=3, batched=batched
+            )
+            subs = [
+                SienaClient(sim, network, Position(2.0, float(i)), brokers[i])
+                for i in range(len(brokers))
+            ]
+            pub = SienaClient(sim, network, Position(3.0, 0.0), brokers[0])
+            for i, client in enumerate(subs):
+                client.subscribe(Filter(eq("type", "t"), gt("x", i % 4)))
+            sim.run_for(5.0)
+            burst = [Notification({"type": "t", "x": i % 8}) for i in range(24)]
+            if batched:
+                pub.publish_batch(burst[:10])
+                pub.publish_batch(burst[10:])
+            else:
+                for n in burst:
+                    pub.publish(n)
+            sim.run_for(30.0)
+            return (
+                [sorted(_delivery_key(n) for _, n in c.received) for c in subs],
+                sum(b.duplicates_suppressed for b in brokers),
+            )
+
+        sequential = run(False)
+        assert sequential[1] > 0  # the mesh actually produced duplicates
+        assert run(True) == sequential
+
+    def test_unbatched_broker_unbundles_batch_messages(self):
+        """A batch sent at a ``batched=False`` broker is processed
+        one publication at a time with identical results."""
+        sim = Simulator(seed=3)
+        network = Network(sim, latency=FixedLatency(0.01))
+        broker = BrokerNode(sim, network, Position(0.0, 0.0), batched=False)
+        sub = SienaClient(sim, network, Position(1.0, 0.0), broker)
+        pub = SienaClient(sim, network, Position(2.0, 0.0), broker)
+        sub.subscribe(Filter(gt("x", 1)))
+        sim.run_for(2.0)
+        pub.publish_batch([Notification({"x": i}) for i in range(4)])
+        sim.run_for(10.0)
+        assert sorted(n["x"] for _, n in sub.received) == [2, 3]
+
+
+# ----------------------------------------------------------------------
+# Elvin server and correlation engine batch entry points
+# ----------------------------------------------------------------------
+class TestElvinBatchEquivalence:
+    @pytest.mark.parametrize("server_batched", [False, True])
+    def test_batched_server_matches_sequential(self, server_batched):
+        def run(use_batch_api: bool) -> tuple:
+            sim = Simulator(seed=9)
+            network = Network(sim, latency=FixedLatency(0.01))
+            server = ElvinServer(
+                sim, network, Position(0.0, 0.0), batched=server_batched
+            )
+            clients = [
+                ElvinClient(sim, network, Position(1.0, float(i)), server)
+                for i in range(5)
+            ]
+            for i, client in enumerate(clients):
+                client.subscribe(Filter(gt("x", i)))
+            sim.run_for(2.0)
+            burst = [Notification({"x": i % 7}) for i in range(20)]
+            if use_batch_api:
+                clients[0].publish_batch(burst)
+            else:
+                for n in burst:
+                    clients[0].publish(n)
+            sim.run_for(10.0)
+            return (
+                [sorted(n["x"] for _, n in c.received) for c in clients],
+                server.notifications_processed,
+                server.notifications_delivered,
+            )
+
+        assert run(True) == run(False)
+
+
+class TestEngineBatchEquivalence:
+    def test_ingest_batch_equals_sequential_ingest(self):
+        def build() -> MatchingEngine:
+            sim = Simulator(seed=1)
+            kb = KnowledgeBase()
+            rule = Rule(
+                name="pair",
+                events=(
+                    EventPattern("a", "ping", ()),
+                    EventPattern("b", "pong", ()),
+                ),
+                window_s=10.0,
+                action=lambda bound, ctx: make_event(
+                    "paired", a=bound["a"]["seq"], b=bound["b"]["seq"]
+                ),
+            )
+            return MatchingEngine(sim, kb, rules=[rule])
+
+        rng = random.Random(44)
+        stream = [
+            make_event(rng.choice(["ping", "pong", "noise"]), seq=i, subject="s")
+            for i in range(30)
+        ]
+        sequential = build()
+        expected = []
+        for event in stream:
+            expected.extend(sequential.ingest(event))
+        batched = build()
+        got = batched.ingest_batch(stream)
+        key = lambda n: sorted((k, repr(v)) for k, v in n.items())
+        assert [key(n) for n in got] == [key(n) for n in expected]
+        assert batched.stats.events_in == sequential.stats.events_in
+        assert batched.stats.matches == sequential.stats.matches
+
+
+# ----------------------------------------------------------------------
+# Batched network delivery
+# ----------------------------------------------------------------------
+class DeliveryRecorder:
+    def __init__(self, sim, network, position):
+        from repro.net.host import Host
+
+        class _Sink(Host):
+            def __init__(inner_self):
+                inner_self.log = []
+                super().__init__(sim, network, position)
+
+            def handle_message(inner_self, src, payload):
+                inner_self.log.append((inner_self.sim.now, src, payload))
+
+        self.host = _Sink()
+
+
+class TestBatchedNetwork:
+    def _run(self, batched: bool):
+        sim = Simulator(seed=2)
+        network = Network(sim, latency=FixedLatency(0.05), batched=batched)
+        sink = DeliveryRecorder(sim, network, Position(0.0, 0.0)).host
+        src = DeliveryRecorder(sim, network, Position(1.0, 0.0)).host
+        other = DeliveryRecorder(sim, network, Position(2.0, 0.0)).host
+        for i in range(10):  # same-tick burst on one link
+            src.send(sink.addr, ("burst", i))
+        other.send(sink.addr, ("other", 0))
+        sim.run_for(1.0)
+        for i in range(3):  # second burst, later tick
+            sim.schedule(0.0, src.send, sink.addr, ("late", i))
+        sim.run_for(5.0)
+        return sink.log, sim.events_processed
+
+    def test_fifo_and_payloads_preserved(self):
+        sequential_log, sequential_events = self._run(False)
+        batched_log, batched_events = self._run(True)
+        assert batched_log == sequential_log
+        # The burst collapsed into fewer simulator events.
+        assert batched_events < sequential_events
+
+    def test_same_instant_coalescing_keeps_per_message_liveness(self):
+        sim = Simulator(seed=4)
+        network = Network(sim, latency=FixedLatency(0.05), batched=True)
+        sink = DeliveryRecorder(sim, network, Position(0.0, 0.0)).host
+        src = DeliveryRecorder(sim, network, Position(1.0, 0.0)).host
+        for i in range(4):
+            src.send(sink.addr, i)
+        # The destination dies before the burst lands: every message in
+        # the coalesced batch must be dropped at delivery time.
+        sink.crash()
+        sim.run_for(1.0)
+        assert sink.log == []
+        assert network.stats.messages_dropped == 4
+
+    def test_coalesce_at_is_per_key_and_instant(self):
+        sim = Simulator(seed=0)
+        fired = []
+        h1 = sim.coalesce_at(1.0, "k", fired.append, "a")
+        h2 = sim.coalesce_at(1.0, "k", fired.append, "ignored")
+        assert h1 is h2  # same (key, time): coalesced
+        h3 = sim.coalesce_at(2.0, "k", fired.append, "b")
+        assert h3 is not h1  # later instant schedules afresh
+        sim.coalesce_at(1.0, "other", fired.append, "c")
+        sim.run_for(3.0)
+        assert fired == ["a", "c", "b"]
+        # After firing, the key is free again.
+        sim.coalesce_at(sim.now + 1.0, "k", fired.append, "d")
+        sim.run_for(2.0)
+        assert fired[-1] == "d"

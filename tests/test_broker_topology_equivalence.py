@@ -687,3 +687,138 @@ class TestAdvertisementPruning:
         # The rfid subscriptions (no producer anywhere) and the weather
         # ones heading away from the producer all stay local.
         assert pruned < flooded / 2
+
+
+class TestAdvertOnFirstPublish:
+    """The ``advert_on_first_publish`` compatibility knob.
+
+    Advertisement pruning assumes producers advertise before they
+    publish.  The knob lets a broker front legacy producers that never
+    do: the first publication from an attached client synthesises a
+    type-equality advertisement (or an attribute-existence skeleton) on
+    the producer's behalf, so subscriptions get pulled toward it and
+    every *subsequent* publication routes normally.  The first
+    publication itself still races the synthesised advertisement
+    outward and may only be delivered locally — exactly the legacy
+    semantics the knob promises, no better.
+    """
+
+    def _chain(self, n, **kwargs):
+        sim = Simulator(seed=0)
+        network = Network(sim, latency=FixedLatency(0.01))
+        brokers = [
+            BrokerNode(sim, network, Position(0.0, float(i)), **kwargs)
+            for i in range(n)
+        ]
+        for i in range(1, n):
+            brokers[i].connect(brokers[i - 1])
+        return sim, network, brokers
+
+    def test_unadvertised_producer_heals_after_first_publish(self):
+        sim, network, brokers = self._chain(
+            3, indexed=True, adv_pruned=True, advert_on_first_publish=True
+        )
+        remote = SienaClient(sim, network, Position(1.0, 2.0), brokers[2])
+        local = SienaClient(sim, network, Position(1.0, 0.0), brokers[0])
+        pub = SienaClient(sim, network, Position(2.0, 0.0), brokers[0])
+        remote.subscribe(Filter(type_is("weather")))
+        local.subscribe(Filter(type_is("weather")))
+        sim.run_for(2.0)
+        # No advertisement anywhere: the remote subscription stayed home.
+        assert brokers[0].subs_by_source.get(brokers[1].addr) is None
+        pub.publish(make_event("weather", n=1))
+        sim.run_for(2.0)
+        pub.publish(make_event("weather", n=2))
+        sim.run_for(2.0)
+        # First hop synthesised eq("type", "weather") and flooded it.
+        assert Filter(eq("type", "weather")) in (
+            brokers[2].adverts_by_source.get(brokers[1].addr) or []
+        )
+        # The local subscriber saw everything; the remote one joined the
+        # stream from the second publication on.
+        assert [n["n"] for _, n in local.received] == [1, 2]
+        assert [n["n"] for _, n in remote.received] == [2]
+
+    def test_without_knob_unadvertised_producer_stays_dark(self):
+        sim, network, brokers = self._chain(3, indexed=True, adv_pruned=True)
+        remote = SienaClient(sim, network, Position(1.0, 2.0), brokers[2])
+        pub = SienaClient(sim, network, Position(2.0, 0.0), brokers[0])
+        remote.subscribe(Filter(type_is("weather")))
+        sim.run_for(2.0)
+        for n in range(3):
+            pub.publish(make_event("weather", n=n))
+            sim.run_for(2.0)
+        assert remote.received == []
+
+    def test_advert_synthesised_once_per_producer_and_shape(self):
+        sim, network, brokers = self._chain(
+            2, indexed=True, adv_pruned=True, advert_on_first_publish=True
+        )
+        pub = SienaClient(sim, network, Position(2.0, 0.0), brokers[0])
+        for n in range(5):
+            pub.publish(make_event("weather", n=n))
+        sim.run_for(2.0)
+        # control_counts tallies *sent* control traffic: the first hop
+        # (brokers[0]) advertises toward its neighbour exactly once.
+        assert brokers[0].control_counts.get("Advertise", 0) == 1
+        # A second attached producer of the same type advertises again —
+        # the dedup key is (producer, shape), not the shape alone.
+        pub2 = SienaClient(sim, network, Position(2.0, 1.0), brokers[0])
+        pub2.publish(make_event("weather", n=99))
+        sim.run_for(2.0)
+        assert len(brokers[0]._auto_adverts) == 2
+
+    def test_untyped_publication_falls_back_to_existence_skeleton(self):
+        sim, network, brokers = self._chain(
+            2, indexed=True, adv_pruned=True, advert_on_first_publish=True
+        )
+        remote = SienaClient(sim, network, Position(1.0, 1.0), brokers[1])
+        pub = SienaClient(sim, network, Position(2.0, 0.0), brokers[0])
+        remote.subscribe(Filter(gt("x", 0)))
+        sim.run_for(2.0)
+        pub.publish(make_event("weather", x=1))
+        sim.run_for(2.0)
+        pub.publish(make_event("weather", x=2))
+        sim.run_for(2.0)
+        # make_event stamps a "type" attribute, so this one synthesises
+        # the type filter; a raw typeless notification takes the
+        # existence-skeleton branch instead.
+        from repro.events.model import Notification
+
+        pub.publish(Notification({"x": 5, "y": 1}))
+        sim.run_for(2.0)
+        pub.publish(Notification({"x": 6, "y": 1}))
+        sim.run_for(2.0)
+        stored = brokers[1].adverts_by_source.get(brokers[0].addr) or []
+        assert Filter(exists("x"), exists("y")) in stored
+        assert sorted(n["x"] for _, n in remote.received) == [2, 5, 6]
+
+    def test_remote_publications_do_not_synthesise(self):
+        sim, network, brokers = self._chain(
+            2, indexed=True, adv_pruned=True, advert_on_first_publish=True
+        )
+        pub = SienaClient(sim, network, Position(2.0, 1.0), brokers[1])
+        pub.publish(make_event("weather", n=1))
+        sim.run_for(2.0)
+        # brokers[0] received the publication from its *neighbour*, not
+        # from an attached client: it must not advertise on its behalf.
+        # The first hop (brokers[1]) synthesised and forwarded instead.
+        assert not brokers[0]._auto_adverts
+        assert len(brokers[1]._auto_adverts) == 1
+        assert Filter(eq("type", "weather")) in (
+            brokers[0].adverts_by_source.get(brokers[1].addr) or []
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_scenario_deliveries_unchanged_for_advertising_producers(self, seed):
+        """For producers that *do* advertise (the scenario contract),
+        the knob only adds redundant routing state — deliveries must be
+        byte-identical to every other mode."""
+        scenario = generate_scenario(seed)
+        baseline = run_scenario(scenario, MODES["naive"])
+        with_knob = run_scenario(
+            scenario,
+            dict(indexed=True, adv_pruned=True, advert_on_first_publish=True),
+        )
+        assert with_knob["deliveries"] == baseline["deliveries"]
+        assert with_knob["duplicates_ok"]

@@ -67,12 +67,22 @@ def _candidate_values(constraints: list[Constraint]) -> list:
         elif isinstance(v, (int, float)):
             values.update({v - 1, v + 1, v - 0.5, v + 0.5})
         else:
+            # The immediate lexicographic successor of v: the witness for
+            # "strictly above v but still inside v's prefix cone", which
+            # no composition over the test alphabet can reach (every
+            # alphabet char sorts above NUL).
+            values.add(v + "\x00")
             if c.op is Op.PREFIX:
                 prefixes.append(v)
             elif c.op is Op.SUFFIX:
                 suffixes.append(v)
             else:
                 middles.append(v)
+                # Order-constraint values double as prefixes so bound
+                # compositions like lo + "a" land in the pool — where
+                # witnesses of string-range × prefix overlaps live.
+                if c.op in (Op.LT, Op.LE, Op.GT, Op.GE):
+                    prefixes.append(v)
     for p, m, s in itertools.product(prefixes, middles, suffixes):
         values.add(p + m + s)
     # bools hash like 0/1: dedupe by (type, value) so both survive.  The
@@ -196,6 +206,17 @@ class TestExactUnsatisfiability:
             (Filter(gt("s", "b")), Filter(lt("s", "a"))),
             (Filter(eq("b", True)), Filter(eq("b", False))),
             (Filter(type_eq("weather")), Filter(type_eq("presence"))),
+            # String-range × prefix corners, previously conservative-True:
+            # every "c"-prefixed string is >= "c", so an open upper bound
+            # at "c" (or any bound below it) is empty ...
+            (Filter(prefix("s", "c")), Filter(lt("s", "c"))),
+            (Filter(prefix("s", "c")), Filter(le("s", "b"))),
+            (Filter(prefix("s", "b")), Filter(lt("s", "a"))),
+            # ... every "bb"-prefixed string is < "bc" (a non-extension
+            # lower bound above the prefix is unreachable) ...
+            (Filter(prefix("s", "bb")), Filter(gt("s", "bc"))),
+            # ... and nothing sorts strictly below the empty string.
+            (Filter(exists("s")), Filter(lt("s", ""))),
         ]
         for a, b in pairs:
             assert not filters_intersect(a, b), (a, b)
@@ -220,6 +241,14 @@ class TestExactUnsatisfiability:
             (Filter(gt("flag", False)), Filter(eq("flag", True))),
             (Filter(ne("t", 5)), Filter(ne("t", 6))),
             (Filter(exists("x")), Filter(eq("x", "anything"))),
+            # Near-misses of the new UNSAT rules must stay True: a
+            # *closed* bound at the prefix admits the prefix itself ...
+            (Filter(prefix("s", "c")), Filter(le("s", "c"))),
+            # ... a strict lower bound at the prefix leaves the rest of
+            # the cone ("ba", "bb", ...) ...
+            (Filter(prefix("s", "b")), Filter(gt("s", "b"))),
+            # ... and an extension lower bound only trims the cone.
+            (Filter(prefix("s", "bc")), Filter(gt("s", "b"), lt("s", "c"))),
         ]
         for a, b in pairs:
             assert filters_intersect(a, b), (a, b)
@@ -277,3 +306,104 @@ class TestPosetIntersectionEquivalence:
         broken = Filter(eq("a", 1), eq("a", 2))
         assert not poset.intersecting_any(broken)
         assert poset.intersecting(broken) == []
+
+
+class TestPrefixRangeExactness:
+    """On the prefix × lexicographic-range family the predicate is now
+    *exact*, not merely sound: ``False`` iff no witness exists.  The
+    witness pool contains each bound's immediate successor (bound +
+    NUL), so the brute-force search is complete for bounds drawn from
+    the test alphabet and the iff can be asserted in both directions."""
+
+    def test_intersection_iff_witness_on_prefix_range_pairs(self):
+        rng = random.Random(31337)
+        order_ops = [Op.LT, Op.LE, Op.GT, Op.GE]
+        seen = {True: 0, False: 0}
+        for _ in range(400):
+            a = Filter(prefix("s", rng.choice(STRINGS)))
+            b = Filter(
+                *(
+                    Constraint("s", rng.choice(order_ops), rng.choice(STRINGS))
+                    for _ in range(rng.randint(1, 2))
+                )
+            )
+            verdict = filters_intersect(a, b)
+            witness = _search_witness(a, b, rng)
+            assert verdict == (witness is not None), (a, b, witness)
+            seen[verdict] += 1
+        # The generator must exercise both outcomes for the iff to bite.
+        assert seen[True] > 40 and seen[False] > 40
+
+
+class TestOperatorFamilyMaskPruning:
+    """``_subset_candidates``/``_cover_candidates`` pruning by per-name
+    operator-family bitsets: populations whose constraints cannot be
+    satisfied by the probe's operator family are excluded *before* any
+    exact ``filter_covers`` check runs."""
+
+    def test_cross_family_population_is_masked_out(self):
+        poset = CoveringPoset()
+        numeric = [poset.add(Filter(gt("x", float(i)))) for i in range(40)]
+        # Same attribute, string family: none of these can ever cover a
+        # numeric range probe, and none should reach the exact check.
+        for i in range(40):
+            poset.add(Filter(prefix("x", f"s{i}")))
+        before = poset.checks
+        covering = poset.covering(Filter(gt("x", 10.0)))
+        assert covering == numeric[:11]  # gt(x, i) covers gt(x, 10) iff i <= 10
+        assert poset.checks - before <= len(numeric)
+
+    def test_exists_probe_reaches_every_same_name_entry(self):
+        # EXISTS gives the probe every bit for the name: masking must
+        # not exclude anything a naive scan would check.
+        poset = CoveringPoset()
+        pids = {
+            poset.add(f): f
+            for f in (
+                Filter(exists("x")),
+                Filter(eq("x", 1)),
+                Filter(gt("x", 0)),
+                Filter(prefix("x", "a")),
+            )
+        }
+        probe = Filter(eq("x", 2))
+        expected = sorted(
+            pid for pid, f in pids.items() if filter_covers(f, probe)
+        )
+        assert poset.covering(probe) == expected
+        assert expected  # exists("x") and gt("x", 0) do cover eq("x", 2)
+
+    def test_masked_queries_equal_naive_scan_under_churn(self):
+        rng = random.Random(909)
+        poset = CoveringPoset()
+        live: dict[int, Filter] = {}
+        for step in range(400):
+            roll = rng.random()
+            if roll < 0.45 or not live:
+                f = random_filter(rng)
+                live[poset.add(f)] = f
+            elif roll < 0.6:
+                pid = rng.choice(list(live))
+                del live[pid]
+                poset.remove(pid)
+            else:
+                probe = random_filter(rng)
+                assert poset.covering(probe) == sorted(
+                    pid for pid, f in live.items() if filter_covers(f, probe)
+                )
+                assert poset.covers_any(probe) == any(
+                    filter_covers(f, probe) for f in live.values()
+                )
+
+    def test_pruning_never_costs_more_checks_than_population(self):
+        rng = random.Random(77)
+        poset = CoveringPoset()
+        for _ in range(120):
+            poset.add(random_filter(rng))
+        probes = [random_filter(rng) for _ in range(60)]
+        before = poset.checks
+        for probe in probes:
+            poset.covering(probe)
+        # The bitset prefilter keeps exact checks well below the naive
+        # population × probes product.
+        assert poset.checks - before < 0.5 * 120 * len(probes)
