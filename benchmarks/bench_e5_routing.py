@@ -32,6 +32,20 @@ first returning beat: the phase reports zero post-reconvergence loss
 and the time from heal to the first delivery reaching the churned
 subscriber.
 
+The sixth phase prices *where* the mesh's redundant links land: the
+latency/disjointness-aware planner (``placement="latency"``) against the
+uniform-random ablation, on protected tree edges per chord, remaining
+bridges (single points of partition) and the latency stretch of the
+detours traffic takes when a protected edge dies.
+
+The seventh phase runs adversarial failures against a detector-equipped
+mesh: a flapping link (damping must bound restore churn), a correlated
+regional outage (every broker in one geographic region goes dark at
+once), and a full broker crash + restart.  Each scenario reports the
+deliveries lost during the disturbance, the steady-state loss after it
+heals (always zero), the time to reconvergence and the detector's
+control-message bill.
+
 Set ``E5_SMOKE=1`` to run the reduced CI sweep of the broker phases.
 """
 
@@ -42,12 +56,14 @@ import os
 
 import pytest
 
-from repro.events.broker import SienaClient, build_broker_tree
+from repro.events import placement
+from repro.events.broker import SienaClient, build_broker_mesh, build_broker_tree
 from repro.events.failure import HeartbeatConfig
 from repro.events.filters import Filter, gt, type_is
 from repro.events.model import make_event
 from repro.ids import guid_from_content, random_guid
-from repro.net import FixedLatency, Network, Position
+from repro.net import FixedLatency, GeographicLatency, Network, Position
+from repro.net.geo import AUSTRALIA
 from repro.overlay import OverlayApplication, build_freenet, fast_build
 from repro.simulation import Simulator
 from benchmarks._harness import emit, emit_json, fmt
@@ -60,6 +76,10 @@ BROKER_SWEEP = [(7, 2, 16), (15, 2, 20)] if SMOKE else [(15, 2, 30), (31, 3, 40)
 FAULT_SWEEP = [(15, 2, 12, 2)] if SMOKE else [(15, 2, 24, 2), (31, 2, 32, 2)]
 # (brokers, subscribers per broker)
 SELFHEAL_SWEEP = [(15, 2)] if SMOKE else [(15, 2), (31, 2)]
+# (brokers, extra links)
+PLACEMENT_SWEEP = [(15, 4)] if SMOKE else [(15, 4), (31, 6)]
+# brokers per adversarial scenario
+ADVERSARIAL_SWEEP = [15] if SMOKE else [15, 31]
 
 
 class _Collector(OverlayApplication):
@@ -576,6 +596,297 @@ def test_e5_selfheal_time(benchmark):
             # The ablation: without the detector the mid-outage
             # subscription is stranded — post-heal loss never recovers.
             assert lost_after_heal > 0
+
+
+def mesh_edges(brokers) -> list[tuple[int, int]]:
+    return sorted(
+        (i, j)
+        for i in range(len(brokers))
+        for j in range(i + 1, len(brokers))
+        if brokers[j].addr in brokers[i].neighbours
+    )
+
+
+def placement_stats(brokers_n: int, extra: int, policy: str) -> dict:
+    """Graph quality of the mesh a placement policy builds.
+
+    ``protected`` counts tree edges on some chord's cycle (survivable
+    kills), ``bridges`` the edges whose death still partitions the
+    overlay, and ``mean_detour_stretch`` the average latency factor
+    traffic pays routing around a protected tree edge.
+    """
+    sim = Simulator(seed=77)
+    network = Network(sim, latency=GeographicLatency(jitter_frac=0.0))
+    brokers = build_broker_mesh(
+        sim, network, brokers_n, branching=2, extra_links=extra,
+        placement=policy,
+    )
+    edges = mesh_edges(brokers)
+    tree_edges = [(index, (index - 1) // 2) for index in range(1, brokers_n)]
+    tree_set = {frozenset(e) for e in tree_edges}
+    chords = [e for e in edges if frozenset(e) not in tree_set]
+    paths = placement.tree_paths(brokers_n, tree_edges)
+    protected = placement.protected_edges(chords, paths)
+    positions = [broker.position for broker in brokers]
+    stretches = placement.detour_stretch(positions, edges, network.latency)
+    covered = [
+        stretches[edge] for edge in sorted(protected, key=sorted)
+        if edge in stretches and edge in tree_set
+    ]
+    return {
+        "brokers": brokers_n,
+        "extra": extra,
+        "policy": policy,
+        "protected": len(protected),
+        "tree_edges": len(tree_edges),
+        "bridges": len(placement.bridges(brokers_n, edges)),
+        "resilience_per_link": len(protected) / max(1, extra),
+        "mean_detour_stretch": (
+            sum(covered) / len(covered) if covered else float("nan")
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_placement_quality(benchmark):
+    def sweep():
+        rows = []
+        for brokers_n, extra in PLACEMENT_SWEEP:
+            rows.append(
+                (
+                    placement_stats(brokers_n, extra, "latency"),
+                    placement_stats(brokers_n, extra, "random"),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "e5_placement",
+        "E5/placement: latency-aware vs random chord placement "
+        f"({'smoke' if SMOKE else 'full'} sweep)",
+        ["brokers", "chords", "policy", "protected", "bridges",
+         "resil/link", "detour stretch"],
+        [
+            [
+                row["brokers"],
+                row["extra"],
+                row["policy"],
+                f"{row['protected']}/{row['tree_edges']}",
+                row["bridges"],
+                fmt(row["resilience_per_link"], 2),
+                fmt(row["mean_detour_stretch"], 2),
+            ]
+            for pair in rows
+            for row in pair
+        ],
+    )
+    emit_json(
+        "e5_placement",
+        {
+            "smoke": SMOKE,
+            "rows": [
+                {
+                    "brokers": latency_row["brokers"],
+                    "extra": latency_row["extra"],
+                    "latency": latency_row,
+                    "random": random_row,
+                }
+                for latency_row, random_row in rows
+            ],
+        },
+    )
+    for latency_row, random_row in rows:
+        # The planner never buys less protection than random chance...
+        assert latency_row["protected"] >= random_row["protected"]
+        assert latency_row["bridges"] <= random_row["bridges"]
+        # ...and each planned chord protects at least a 2-edge tree path.
+        assert latency_row["protected"] >= 2 * latency_row["extra"]
+
+
+def adversarial_stats(brokers_n: int, scenario: str, fail: bool) -> dict:
+    """Deliveries across one adversarial failure scenario, ± the failure.
+
+    A detector-equipped mesh carries a publication stream while the
+    scenario runs between FAIL_AT and HEAL_AT: ``flap`` bounces the
+    root's busiest uplink, ``regional`` drops every message touching a
+    broker inside AUSTRALIA, ``crash`` takes a subtree-root broker down
+    entirely and revives it.  A probe batch after everything settles
+    measures steady-state loss; detector counters price the control
+    traffic and the restore churn.
+    """
+    FAIL_AT, HEAL_AT = 15.0, 30.0
+    STREAM_START, STREAM_STEP, STREAM_COUNT = 10.0, 0.5, 60
+    PROBE_START, PROBE_COUNT, END_AT = 50.0, 12, 65.0
+    sim = Simulator(seed=77)
+    network = Network(sim, latency=FixedLatency(0.005))
+    brokers = build_broker_mesh(
+        sim, network, brokers_n, branching=2, extra_links=4,
+        heartbeat=HeartbeatConfig(interval=0.5, miss_limit=3, hold_down=6.0),
+    )
+    rng = sim.rng_for("e5-adversarial-workload")
+    topics = ["topic-0", "topic-1"]
+    producers = []
+    for slot, topic in enumerate(topics):
+        # Latitude 0 sits outside every geographic region, so clients
+        # never share the regional scenario's outage with their broker.
+        client = SienaClient(sim, network, Position(0.0, float(slot)), brokers[0])
+        client.advertise(Filter(type_is(topic)))
+        producers.append((client, topic))
+    sim.run_for(5.0)
+    if scenario == "regional":
+        victims = [
+            index for index, broker in enumerate(brokers)
+            if AUSTRALIA.contains(broker.position)
+        ]
+    else:
+        victims = [1]
+    clients = []
+    for index, broker in enumerate(brokers):
+        for slot in range(2):
+            client = SienaClient(
+                sim, network,
+                Position(0.0, float(10 + (index * 4 + slot) % 170)), broker,
+            )
+            client.subscribe(Filter(type_is(rng.choice(topics))))
+            clients.append((index, client))
+    sim.run_for(5.0)  # now at t=10
+    for seq in range(STREAM_COUNT):
+        client, topic = producers[seq % len(producers)]
+        sim.schedule_at(
+            STREAM_START + seq * STREAM_STEP, client.publish,
+            make_event(topic, level=round(rng.uniform(0.0, 8.0), 2), seq=seq),
+        )
+    for offset in range(PROBE_COUNT):
+        client, topic = producers[offset % len(producers)]
+        sim.schedule_at(
+            PROBE_START + offset * STREAM_STEP, client.publish,
+            make_event(topic, level=round(rng.uniform(0.0, 8.0), 2),
+                       seq=9000 + offset),
+        )
+    if fail:
+        if scenario == "flap":
+            a, b = brokers[1].addr, brokers[0].addr
+            at = FAIL_AT
+            while at + 3.0 < HEAL_AT:  # 3s down, 2.5s up, repeat
+                sim.schedule_at(at, network.fail_link, a, b)
+                sim.schedule_at(at + 3.0, network.heal_link, a, b)
+                at += 5.5
+        elif scenario == "regional":
+            sim.schedule_at(FAIL_AT, network.fail_region, AUSTRALIA)
+            sim.schedule_at(HEAL_AT, network.heal_region, AUSTRALIA)
+        elif scenario == "crash":
+            sim.schedule_at(FAIL_AT, brokers[1].crash)
+            sim.schedule_at(HEAL_AT, brokers[1].recover)
+        else:
+            raise ValueError(f"unknown scenario {scenario!r}")
+    sim.run(until=END_AT)
+
+    def seq_window(client, low, high):
+        return sorted(
+            n["seq"] for _, n in client.received if low <= n["seq"] < high
+        )
+
+    outage_lo = int((FAIL_AT - STREAM_START) / STREAM_STEP)
+    outage_hi = int((HEAL_AT - STREAM_START) / STREAM_STEP)
+    victim_set = set(victims)
+    reconverge = min(
+        (
+            at - HEAL_AT
+            for index, client in clients
+            if index in victim_set
+            for at, _ in client.received
+            if at > HEAL_AT
+        ),
+        default=None,
+    )
+    detectors = [broker.failure_detector for broker in brokers]
+    return {
+        "brokers": brokers_n,
+        "scenario": scenario,
+        "outage": [seq_window(c, outage_lo, outage_hi) for _, c in clients],
+        "probes": [seq_window(c, 9000, 9000 + PROBE_COUNT) for _, c in clients],
+        "reconverge_s": reconverge,
+        "declared_dead": sum(d.links_declared_dead for d in detectors),
+        "restores": sum(d.links_restored for d in detectors),
+        "quarantines": sum(d.links_quarantined for d in detectors),
+        "control_msgs": sum(d.heartbeats_sent for d in detectors),
+        "probes_sent": sum(d.probes_sent for d in detectors),
+    }
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_adversarial_failures(benchmark):
+    def sweep():
+        rows = []
+        for brokers_n in ADVERSARIAL_SWEEP:
+            for scenario in ("flap", "regional", "crash"):
+                control = adversarial_stats(brokers_n, scenario, fail=False)
+                failed = adversarial_stats(brokers_n, scenario, fail=True)
+                rows.append((control, failed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = []
+    json_rows = []
+    for control, failed in rows:
+        lost_during = sum(len(c) for c in control["outage"]) - sum(
+            len(c) for c in failed["outage"]
+        )
+        lost_after = sum(len(c) for c in control["probes"]) - sum(
+            len(c) for c in failed["probes"]
+        )
+        reconverge = failed["reconverge_s"]
+        table.append(
+            [
+                failed["brokers"],
+                failed["scenario"],
+                lost_during,
+                lost_after,
+                "never" if reconverge is None else fmt(reconverge, 2) + "s",
+                failed["restores"],
+                failed["quarantines"],
+                failed["control_msgs"],
+            ]
+        )
+        json_rows.append(
+            {
+                "brokers": failed["brokers"],
+                "scenario": failed["scenario"],
+                "lost_during_outage": lost_during,
+                "lost_after_heal": lost_after,
+                "reconverge_s": reconverge,
+                "declared_dead": failed["declared_dead"],
+                "restores": failed["restores"],
+                "quarantines": failed["quarantines"],
+                "control_msgs": failed["control_msgs"],
+                "probes_sent": failed["probes_sent"],
+            }
+        )
+    emit(
+        "e5_adversarial",
+        "E5/adversarial: flap / regional / crash+restart on a detector "
+        f"mesh ({'smoke' if SMOKE else 'full'} sweep)",
+        ["brokers", "scenario", "lost (during)", "lost (after)",
+         "reconverge", "restores", "quarantined", "control msgs"],
+        table,
+    )
+    emit_json("e5_adversarial", {"smoke": SMOKE, "rows": json_rows})
+    for control, failed in rows:
+        # A quiet mesh never declares anyone dead (no false positives).
+        assert control["declared_dead"] == 0
+        # Every scenario is actually detected...
+        assert failed["declared_dead"] >= 1
+        # ...heals back to zero steady-state loss...
+        assert failed["probes"] == control["probes"]
+        # ...and reconverges promptly once the disturbance ends.
+        assert failed["reconverge_s"] is not None
+        assert failed["reconverge_s"] < 15.0
+        if failed["scenario"] == "flap":
+            # Damping bounds restore churn: at most one restore per end
+            # per up-window (3 cycles), and the quarantine engages.
+            assert failed["restores"] <= 8
+            assert failed["quarantines"] >= 1
 
 
 @pytest.mark.benchmark(group="e5")

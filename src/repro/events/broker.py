@@ -115,6 +115,7 @@ from repro.events.failure import (
 )
 from repro.events.filters import Filter, eq, exists, filters_intersect
 from repro.events.index import CoveringPoset, PredicateIndex
+from repro.events.placement import plan_extra_links
 from repro.events.model import Notification
 from repro.events.subscriptions import Subscription
 
@@ -1544,16 +1545,27 @@ def build_broker_mesh(
     advert_on_first_publish: bool = False,
     seen_ttl: float = 30.0,
     heartbeat: "HeartbeatConfig | None" = None,
+    placement: str = "latency",
+    stretch_bound: float = 3.0,
 ) -> list[BrokerNode]:
     """A broker mesh: the :func:`build_broker_tree` overlay plus
-    ``extra_links`` redundant links between randomly chosen non-adjacent
-    brokers.
+    ``extra_links`` redundant links between non-adjacent brokers.
 
     Every extra link closes a cycle, so any single link on that cycle
     can fail without partitioning the overlay — the fault-tolerance
-    property the E5 benchmark's failure phase measures.  The link
-    choice is seeded through the simulator (``sim.rng_for``), so the
-    same simulator seed always yields the same mesh.
+    property the E5 benchmark's failure phase measures.  Where the
+    links land is the ``placement`` policy:
+
+    * ``"latency"`` (default) — the greedy latency/disjointness-aware
+      plan from :func:`repro.events.placement.plan_extra_links`: each
+      chord maximizes newly-protected tree edges subject to a direct
+      latency at most ``stretch_bound`` times the mean tree-link delay.
+      Deterministic given broker positions (which the builder draws
+      from ``sim.rng_for``, so the same simulator seed still yields the
+      same mesh).
+    * ``"random"`` — uniformly random non-adjacent pairs, seeded
+      through ``sim.rng_for``; the ablation the E5 placement phase
+      prices the planner against.
     """
     brokers = build_broker_tree(
         sim,
@@ -1568,6 +1580,20 @@ def build_broker_mesh(
         seen_ttl=seen_ttl,
         heartbeat=heartbeat,
     )
+    if placement == "latency":
+        tree_edges = [(index, (index - 1) // branching) for index in range(1, count)]
+        plan = plan_extra_links(
+            [broker.position for broker in brokers],
+            tree_edges,
+            extra_links,
+            network.latency,
+            stretch_bound=stretch_bound,
+        )
+        for i, j in plan:
+            brokers[i].connect(brokers[j])
+        return brokers
+    if placement != "random":
+        raise ValueError(f"unknown placement policy: {placement!r}")
     rng = sim.rng_for("broker-mesh")
     candidates = [
         (i, j)

@@ -54,14 +54,14 @@ HEARTBEAT_BYTES = 64
 
 
 # -- wire messages ------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class Heartbeat:
     """One liveness beat; ``seq`` only aids debugging, not the protocol."""
 
     seq: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Resync:
     """Announce a link reset: drop my stale state, then expect a replay.
 
@@ -97,6 +97,20 @@ class HeartbeatConfig:
     miss_limit: int = 3
     grace: float | None = None
     jitter: float = 0.1
+    # Suspected links are probed on a capped exponential schedule rather
+    # than every interval: the gap grows by ``probe_backoff`` per probe
+    # up to ``probe_cap`` intervals, so a permanently-dead neighbour
+    # costs O(t / cap) probes instead of O(t / interval).
+    probe_backoff: float = 2.0
+    probe_cap: float = 8.0
+    # Flap damping: a link that dies again within ``flap_window`` of
+    # being restored earns a flap point; at ``flap_threshold`` points it
+    # is quarantined — restoration (and its full-state resync) is
+    # withheld until the link stays continuously alive for
+    # ``hold_down`` seconds.  ``None`` derives both from the timeout.
+    flap_threshold: int = 2
+    flap_window: float | None = None
+    hold_down: float | None = None
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -107,6 +121,16 @@ class HeartbeatConfig:
             raise ValueError("grace must be non-negative")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError("jitter must be in [0, 1)")
+        if self.probe_backoff < 1.0:
+            raise ValueError("probe_backoff must be at least 1")
+        if self.probe_cap < 1.0:
+            raise ValueError("probe_cap must be at least 1 interval")
+        if self.flap_threshold < 1:
+            raise ValueError("flap_threshold must be at least 1")
+        if self.flap_window is not None and self.flap_window <= 0:
+            raise ValueError("flap_window must be positive")
+        if self.hold_down is not None and self.hold_down <= 0:
+            raise ValueError("hold_down must be positive")
 
 
 class FailureDetector:
@@ -124,19 +148,38 @@ class FailureDetector:
         self._seq = 0
         self._last_seen: dict[Address, float] = {}
         self._suspected: set[Address] = set()
+        # Per-suspected-link probe schedule (capped exponential backoff).
+        self._probe_next: dict[Address, float] = {}
+        self._probe_interval: dict[Address, float] = {}
+        # Flap damping: re-deaths shortly after a restore earn points;
+        # past the threshold the link is quarantined behind a hold-down.
+        self._flap_score: dict[Address, int] = {}
+        self._restored_at: dict[Address, float] = {}
+        self._hold_since: dict[Address, float] = {}
+        self._stopped = False
         self.heartbeats_sent = 0
+        self.probes_sent = 0
         self.links_declared_dead = 0
         self.links_restored = 0
+        self.links_quarantined = 0
         broker.failure_detector = self
         now = broker.sim.now
         for neighbour in broker.neighbours:
             self._last_seen[neighbour] = now
-        self._task = PeriodicTask(
-            broker.sim,
+        self._task = self._start_task()
+        # A crashed broker must not keep beating (a dead NIC puts
+        # nothing on the wire), and on revival its liveness windows are
+        # all stale — reset them before judging anyone.
+        broker.on_crash_hooks.append(self._on_broker_crash)
+        broker.on_recover_hooks.append(self._on_broker_recover)
+
+    def _start_task(self) -> PeriodicTask:
+        return PeriodicTask(
+            self.broker.sim,
             self.config.interval,
             self._tick,
             jitter=self.config.jitter,
-            rng=broker.sim.rng_for(f"failure-detector-{broker.addr}"),
+            rng=self.broker.sim.rng_for(f"failure-detector-{self.broker.addr}"),
         )
 
     # ------------------------------------------------------------------
@@ -155,28 +198,80 @@ class FailureDetector:
         return self.config.miss_limit * interval + grace
 
     @property
+    def flap_window(self) -> float:
+        """A re-death within this span of a restore counts as a flap."""
+        window = self.config.flap_window
+        return 4.0 * self.timeout if window is None else window
+
+    @property
+    def hold_down(self) -> float:
+        """Continuous liveness a quarantined link must show to restore."""
+        hold = self.config.hold_down
+        return 2.0 * self.timeout if hold is None else hold
+
+    @property
     def suspected(self) -> frozenset:
         """Links currently declared dead and being probed for revival."""
         return frozenset(self._suspected)
 
+    def quarantined(self, addr: Address) -> bool:
+        """True while ``addr`` is suspected and flap-damped."""
+        return (
+            addr in self._suspected
+            and self._flap_score.get(addr, 0) >= self.config.flap_threshold
+        )
+
     def stop(self) -> None:
         """Stop beating and suspecting (the broker keeps its links)."""
+        self._stopped = True
         self._task.stop()
+
+    # ------------------------------------------------------------------
+    # Host liveness (fail-stop crash / revival of our own broker)
+    # ------------------------------------------------------------------
+    def _on_broker_crash(self, host) -> None:
+        self._task.stop()
+
+    def _on_broker_recover(self, host) -> None:
+        if self._stopped:
+            return
+        now = self.broker.sim.now
+        # Every window went stale during the outage; restart them all so
+        # revival does not instantly declare the whole world dead.
+        for addr in self._last_seen:
+            self._last_seen[addr] = now
+        # Probe already-suspected links at full rate again: our peers
+        # have been probing us and will restore quickly — so should we.
+        for addr in self._suspected:
+            self._probe_interval[addr] = self.config.interval
+            self._probe_next[addr] = now
+        self._hold_since.clear()
+        self._task = self._start_task()
 
     # ------------------------------------------------------------------
     # Broker notifications (intentional topology changes)
     # ------------------------------------------------------------------
     def watch(self, neighbour: Address) -> None:
         """An administrative ``connect()`` added this link: monitor it,
-        granting a full timeout window before the first suspicion."""
+        granting a full timeout window (and a clean flap record) before
+        the first suspicion."""
         self._suspected.discard(neighbour)
         self._last_seen[neighbour] = self.broker.sim.now
+        self._purge(neighbour)
 
     def forget(self, neighbour: Address) -> None:
         """An administrative ``disconnect()`` removed this link: its
         silence is intentional, so stop monitoring and probing it."""
         self._suspected.discard(neighbour)
         self._last_seen.pop(neighbour, None)
+        self._purge(neighbour)
+
+    def _purge(self, neighbour: Address) -> None:
+        self._probe_next.pop(neighbour, None)
+        self._probe_interval.pop(neighbour, None)
+        self._flap_score.pop(neighbour, None)
+        self._restored_at.pop(neighbour, None)
+        self._hold_since.pop(neighbour, None)
 
     # ------------------------------------------------------------------
     # Protocol
@@ -185,9 +280,24 @@ class FailureDetector:
         now = self.broker.sim.now
         beat = Heartbeat(self._seq)
         self._seq += 1
-        for addr in set(self.broker.neighbours) | self._suspected:
+        for addr in set(self.broker.neighbours):
             self.broker.send(addr, beat, size_bytes=HEARTBEAT_BYTES)
             self.heartbeats_sent += 1
+        for addr in self._suspected:
+            # Suspected links are probed on their backoff schedule, not
+            # every interval: a permanently-dead neighbour settles at
+            # one probe per ``probe_cap`` intervals.
+            if now < self._probe_next.get(addr, 0.0):
+                continue
+            self.broker.send(addr, beat, size_bytes=HEARTBEAT_BYTES)
+            self.heartbeats_sent += 1
+            self.probes_sent += 1
+            gap = self._probe_interval.get(addr, self.config.interval)
+            self._probe_next[addr] = now + gap
+            self._probe_interval[addr] = min(
+                gap * self.config.probe_backoff,
+                self.config.probe_cap * self.config.interval,
+            )
         timeout = self.timeout
         for addr in list(self.broker.neighbours):
             last = self._last_seen.get(addr)
@@ -196,25 +306,67 @@ class FailureDetector:
                 # the far side restored one-sidedly): start its window.
                 self._last_seen[addr] = now
             elif now - last > timeout:
-                self._suspected.add(addr)
-                self.links_declared_dead += 1
-                self.broker.drop_link(addr)
+                self._declare_dead(addr, now)
+
+    def _declare_dead(self, addr: Address, now: float) -> None:
+        self._suspected.add(addr)
+        self.links_declared_dead += 1
+        # Probe at full rate first — backoff grows from here.
+        self._probe_interval[addr] = self.config.interval
+        self._probe_next[addr] = now
+        self._hold_since.pop(addr, None)
+        restored = self._restored_at.pop(addr, None)
+        if restored is not None and now - restored <= self.flap_window:
+            # Re-death on the heels of a restore: that is a flap, and
+            # each one cost a full drop/restore state exchange.
+            score = self._flap_score.get(addr, 0) + 1
+            self._flap_score[addr] = score
+            if score == self.config.flap_threshold:
+                self.links_quarantined += 1
+        else:
+            # A stable stretch clears the record.
+            self._flap_score.pop(addr, None)
+        self.broker.drop_link(addr)
 
     def on_heartbeat(self, src: Address, beat: Heartbeat) -> None:
         if src not in self.broker.neighbours and src not in self._suspected:
             # A stray beat (e.g. racing an administrative disconnect):
             # recording it would grow state for links we no longer track.
             return
-        self._last_seen[src] = self.broker.sim.now
-        if src in self._suspected:
-            # The neighbour is back.  Announce the link reset *first* —
-            # per-pair FIFO guarantees the far side discards its stale
-            # view of this link before our replay (restore_link's state
-            # push) lands behind it.
-            self._suspected.discard(src)
-            self.links_restored += 1
-            self.broker.send(src, Resync(), size_bytes=HEARTBEAT_BYTES)
-            self.broker.restore_link(src)
+        now = self.broker.sim.now
+        previous = self._last_seen.get(src)
+        self._last_seen[src] = now
+        if src not in self._suspected:
+            return
+        # A talking link earns full-rate probing again — backoff is for
+        # silence.  Without this, two mutually-suspecting detectors
+        # could each probe too slowly to ever look alive to the other.
+        self._probe_interval[src] = self.config.interval
+        self._probe_next[src] = now
+        if self._flap_score.get(src, 0) >= self.config.flap_threshold:
+            # Quarantined: restoring now would just buy the next flap's
+            # full-state exchange.  Demand ``hold_down`` seconds of
+            # continuous liveness; any fresh gap restarts the clock.
+            held = self._hold_since.get(src)
+            fresh_gap = previous is not None and now - previous > self.timeout
+            if held is None or fresh_gap:
+                self._hold_since[src] = now
+                return
+            if now - held < self.hold_down:
+                return
+            self._flap_score.pop(src, None)
+            self._hold_since.pop(src, None)
+        # The neighbour is back.  Announce the link reset *first* —
+        # per-pair FIFO guarantees the far side discards its stale
+        # view of this link before our replay (restore_link's state
+        # push) lands behind it.
+        self._suspected.discard(src)
+        self.links_restored += 1
+        self._restored_at[src] = now
+        self._probe_next.pop(src, None)
+        self._probe_interval.pop(src, None)
+        self.broker.send(src, Resync(), size_bytes=HEARTBEAT_BYTES)
+        self.broker.restore_link(src)
 
 
 def install_detectors(

@@ -1,6 +1,6 @@
 """Simulated wide-area network: hosts, geography, latency and failures."""
 
-from repro.net.geo import EARTH_RADIUS_KM, Position, Region, haversine_km
+from repro.net.geo import EARTH_RADIUS_KM, Position, Region, haversine_km, region_for
 from repro.net.host import Host
 from repro.net.latency import FixedLatency, GeographicLatency, LatencyModel
 from repro.net.network import Message, Network, NetworkStats
@@ -17,4 +17,5 @@ __all__ = [
     "Position",
     "Region",
     "haversine_km",
+    "region_for",
 ]

@@ -78,6 +78,21 @@ class Region:
         )
 
 
+def region_for(
+    pos: Position, regions: "list[Region] | None" = None
+) -> "Region | None":
+    """First region (in listing order) containing ``pos``, or None.
+
+    Listing order matters because the world regions overlap (Scotland
+    lies inside Europe's box); callers that care list the specific
+    region first, as WORLD_REGIONS does.
+    """
+    for region in WORLD_REGIONS if regions is None else regions:
+        if region.contains(pos):
+            return region
+    return None
+
+
 # A handful of world regions used throughout examples and benchmarks.
 SCOTLAND = Region("scotland", 55.0, 58.7, -7.5, -1.8)
 EUROPE = Region("europe", 36.0, 60.0, -10.0, 30.0)

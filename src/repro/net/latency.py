@@ -74,6 +74,13 @@ class GeographicLatency:
         transmission = (size_bytes * 8) / self.bandwidth_bps
         return (self.base_s + propagation + transmission) * (1.0 + self.jitter_frac)
 
+    def typical_s(self, src: Position, dst: Position, size_bytes: int) -> float:
+        """Jitter-free expected delay for one pair — the deterministic
+        estimate link-placement planning ranks candidate links by."""
+        propagation = haversine_km(src, dst) / self.km_per_second
+        transmission = (size_bytes * 8) / self.bandwidth_bps
+        return self.base_s + propagation + transmission
+
 
 class FixedLatency:
     """Constant delay — handy for unit tests that assert exact timings."""
@@ -91,4 +98,7 @@ class FixedLatency:
         return self.delay_s
 
     def worst_case_s(self, size_bytes: int) -> float:
+        return self.delay_s
+
+    def typical_s(self, src: Position, dst: Position, size_bytes: int) -> float:
         return self.delay_s

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Hashable
 
+from repro.net.geo import Region
 from repro.net.latency import GeographicLatency, LatencyModel
 from repro.simulation import Simulator
 
@@ -76,6 +77,7 @@ class Network:
         self._hosts: dict[Address, "Host"] = {}
         self._partition: dict[Address, int] | None = None
         self._failed_links: set[frozenset] = set()
+        self._failed_regions: list[Region] = []
         self._link_loss: dict[frozenset, float] = {}
         # Per-(src, dst) FIFO: messages between one ordered pair are
         # never delivered out of send order (jitter can stretch delays
@@ -101,9 +103,23 @@ class Network:
         self._hosts[host.addr] = host
 
     def unregister(self, addr: Address) -> None:
+        """Remove a host along with every piece of per-address link state.
+
+        Link failures, per-link loss and queued batch slots must not
+        outlive the address: addresses can be re-allocated (and a
+        crashed broker may re-register under its old one), and a new
+        host inheriting its predecessor's dead-link or loss entries
+        would start life silently cut off.
+        """
         self._hosts.pop(addr, None)
         for pair in [p for p in self._fifo_horizon if addr in p]:
             del self._fifo_horizon[pair]
+        for link in [link for link in self._failed_links if addr in link]:
+            self._failed_links.discard(link)
+        for link in [link for link in self._link_loss if addr in link]:
+            del self._link_loss[link]
+        for slot in [s for s in self._batch_queues if addr in s[:2]]:
+            del self._batch_queues[slot]
 
     def host(self, addr: Address) -> "Host | None":
         return self._hosts.get(addr)
@@ -126,8 +142,31 @@ class Network:
                 mapping[addr] = index
         self._partition = mapping
 
-    def heal_partition(self) -> None:
-        self._partition = None
+    def heal_partition(self, merge: tuple[Address, Address] | None = None) -> None:
+        """Heal the partition — fully, or one seam at a time.
+
+        With no argument the whole network rejoins.  With
+        ``merge=(a, b)`` only the two groups containing ``a`` and ``b``
+        fuse; every other group stays cut off — the asymmetric healing
+        pattern where one WAN seam comes back before the rest.
+        """
+        if merge is None or self._partition is None:
+            self._partition = None
+            return
+        a, b = merge
+        ga = self._partition.get(a, -1)
+        gb = self._partition.get(b, -1)
+        if ga == gb:
+            return
+        if -1 in (ga, gb):
+            # Fusing with the implicit group means leaving the mapping.
+            named = ga if gb == -1 else gb
+            for addr in [x for x, g in self._partition.items() if g == named]:
+                del self._partition[addr]
+        else:
+            for addr, g in list(self._partition.items()):
+                if g == gb:
+                    self._partition[addr] = ga
 
     def _partitioned(self, a: Address, b: Address) -> bool:
         if self._partition is None:
@@ -156,6 +195,31 @@ class Network:
 
     def link_failed(self, a: Address, b: Address) -> bool:
         return frozenset((a, b)) in self._failed_links
+
+    def fail_region(self, region: Region) -> None:
+        """Correlated failure: drop every message touching ``region``.
+
+        Models a regional outage (backbone cut, grid failure): any
+        message whose source *or* destination currently sits inside the
+        region's bounding box is dropped.  Positions are evaluated at
+        send time, so mobile hosts leave or enter the blast radius as
+        they move.  Hosts themselves stay alive — like
+        :meth:`fail_link`, noticing is the failure detectors' job.
+        """
+        if region not in self._failed_regions:
+            self._failed_regions.append(region)
+
+    def heal_region(self, region: Region) -> None:
+        """End a regional outage; traffic touching the region flows again."""
+        self._failed_regions = [r for r in self._failed_regions if r != region]
+
+    def region_failed(self, addr: Address) -> bool:
+        """True if ``addr``'s current position lies in a failed region."""
+        host = self._hosts.get(addr)
+        return host is not None and self._in_failed_region(host)
+
+    def _in_failed_region(self, host: "Host") -> bool:
+        return any(r.contains(host.position) for r in self._failed_regions)
 
     def set_link_loss(self, a: Address, b: Address, rate: float) -> None:
         """Make one link flaky: drop each message with probability ``rate``.
@@ -199,6 +263,11 @@ class Network:
             self.stats.messages_dropped += 1
             return False
         if self._failed_links and frozenset((src, dst)) in self._failed_links:
+            self.stats.messages_dropped += 1
+            return False
+        if self._failed_regions and (
+            self._in_failed_region(src_host) or self._in_failed_region(dst_host)
+        ):
             self.stats.messages_dropped += 1
             return False
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:

@@ -31,11 +31,16 @@ from collections import deque
 
 import pytest
 
+from repro.events import placement
 from repro.events.broker import BrokerNode, SienaClient, build_broker_mesh
+from repro.events.failure import HeartbeatConfig, install_detectors
 from repro.events.filters import Constraint, Filter, Op
 from repro.events.model import make_event
 from repro.net import FixedLatency, Network, Position
+from repro.net.latency import GeographicLatency
 from repro.simulation import Simulator
+
+FAST_HEARTBEAT = HeartbeatConfig(interval=0.25, miss_limit=3)
 
 MODES = {
     "naive": dict(indexed=False),
@@ -203,6 +208,9 @@ def generate_scenario(seed: int) -> dict:
     mesh_edges = tree_edges + extra_edges
     cut = rng.choice(redundant_links(n_brokers, mesh_edges))
     cut_position = rng.randint(len(ops) // 2, len(ops))
+    # The crash variant fail-stops one whole broker at the same point.
+    # (Drawn last: appending draws keeps earlier scenarios byte-stable.)
+    crash_broker = rng.randrange(n_brokers)
     return {
         "seed": seed,
         "n_brokers": n_brokers,
@@ -210,6 +218,7 @@ def generate_scenario(seed: int) -> dict:
         "extra_edges": extra_edges,
         "cut": cut,
         "cut_position": cut_position,
+        "crash_broker": crash_broker,
         "subscribers": subscribers,
         "producers": producers,
         "ops": ops,
@@ -580,10 +589,14 @@ class TestMeshBuilder:
         assert len(redundant_links(10, edges)) >= 3
 
     def test_same_seed_same_mesh(self):
+        # Random placement: seeded through the simulator, so the same
+        # seed reproduces the mesh and different seeds vary it.
         def topology(seed):
             sim = Simulator(seed=seed)
             network = Network(sim, latency=FixedLatency(0.01))
-            brokers = build_broker_mesh(sim, network, 8, extra_links=2)
+            brokers = build_broker_mesh(
+                sim, network, 8, extra_links=2, placement="random"
+            )
             return [
                 (i, j)
                 for i in range(8)
@@ -593,6 +606,59 @@ class TestMeshBuilder:
 
         assert topology(7) == topology(7)
         assert topology(7) != topology(8)
+
+    def test_latency_placement_is_deterministic(self):
+        # Latency-aware placement is a pure function of broker
+        # positions: the same seed (hence the same positions) must
+        # reproduce the plan exactly.
+        def topology(seed):
+            sim = Simulator(seed=seed)
+            network = Network(sim, latency=GeographicLatency(jitter_frac=0.0))
+            brokers = build_broker_mesh(
+                sim, network, 12, extra_links=3, placement="latency"
+            )
+            return [
+                (i, j)
+                for i in range(12)
+                for j in range(i + 1, 12)
+                if brokers[j].addr in brokers[i].neighbours
+            ]
+
+        assert topology(11) == topology(11)
+
+    def test_latency_placement_protects_more_than_random(self):
+        # The planner's whole point: at the same link budget it leaves
+        # fewer bridges (single points of partition) than random
+        # placement — here, none on the benchmark-sized overlay.
+        count, extra = 15, 4
+        tree_edges = [(i, (i - 1) // 3) for i in range(1, count)]
+        paths = placement.tree_paths(count, tree_edges)
+
+        def chords(policy):
+            sim = Simulator(seed=7)
+            network = Network(sim, latency=GeographicLatency(jitter_frac=0.0))
+            brokers = build_broker_mesh(
+                sim, network, count, extra_links=extra, placement=policy
+            )
+            tree = {frozenset(e) for e in tree_edges}
+            return [
+                (i, j)
+                for i in range(count)
+                for j in range(i + 1, count)
+                if brokers[j].addr in brokers[i].neighbours
+                and frozenset((i, j)) not in tree
+            ]
+
+        protected_latency = placement.protected_edges(chords("latency"), paths)
+        protected_random = placement.protected_edges(chords("random"), paths)
+        assert len(protected_latency) >= len(protected_random)
+        assert len(protected_latency) >= 3 * extra - 1
+
+    def test_unknown_placement_rejected(self):
+        sim = Simulator(seed=5)
+        network = Network(sim, latency=FixedLatency(0.01))
+        with pytest.raises(ValueError):
+            build_broker_mesh(sim, network, 6, placement="closest")
 
     def test_mesh_routes_like_a_tree(self):
         sim = Simulator(seed=5)
@@ -610,3 +676,176 @@ class TestMeshBuilder:
         for i, client in enumerate(clients):
             expected = [] if i == 0 else [1]
             assert [n["n"] for _, n in client.received] == expected
+
+
+# ----------------------------------------------------------------------
+# Shared harness: scripted worlds, folded final state, settle-and-probe.
+# (test_failure_detection builds its detector suites on these too.)
+# ----------------------------------------------------------------------
+def _fold_final_state(ops):
+    """Active (subscriber, slot) pairs and advertised producers after ops."""
+    active: set[tuple[int, int]] = set()
+    advertised: set[int] = set()
+    for op in ops:
+        if op[0] == "sub":
+            active.add((op[1], op[2]))
+        elif op[0] == "unsub":
+            active.discard((op[1], op[2]))
+        elif op[0] == "adv":
+            advertised.add(op[1])
+        elif op[0] == "unadv":
+            advertised.discard(op[1])
+    return active, advertised
+
+
+def _probe(scenario, sim, sub_clients, pub_clients, advertised):
+    marks = [len(c.received) for c in sub_clients + pub_clients]
+    probe_rng = random.Random(scenario["seed"] * 31 + 7)
+    for index in sorted(advertised):
+        profile = scenario["producers"][index][1]
+        for extra in range(3):
+            pub_clients[index].publish(
+                random_publication(probe_rng, profile, 9000 + extra)
+            )
+        sim.run_for(2.0)
+    sim.run_for(8.0)
+    return [
+        sorted(_delivery_key(n) for _, n in client.received[mark:])
+        for mark, client in zip(marks, sub_clients + pub_clients)
+    ]
+
+
+def _build_world(scenario, mode_kwargs, edges, detectors):
+    sim = Simulator(seed=11)
+    network = Network(sim, latency=FixedLatency(0.01))
+    brokers = [
+        BrokerNode(sim, network, Position(1.0, float(i)), **mode_kwargs)
+        for i in range(scenario["n_brokers"])
+    ]
+    for a, b in edges:
+        brokers[a].connect(brokers[b])
+    if detectors:
+        install_detectors(brokers, FAST_HEARTBEAT)
+    sub_clients = [
+        SienaClient(sim, network, Position(2.0, float(i)), brokers[broker])
+        for i, (broker, _) in enumerate(scenario["subscribers"])
+    ]
+    pub_clients = [
+        SienaClient(sim, network, Position(3.0, float(i)), brokers[broker])
+        for i, (broker, _) in enumerate(scenario["producers"])
+    ]
+    return sim, network, brokers, sub_clients, pub_clients
+
+
+def run_rebuilt(scenario, mode_kwargs, with_cut_link: bool):
+    """Fresh overlay in the target topology with only the final state."""
+    edges = list(scenario["tree_edges"]) + list(scenario["extra_edges"])
+    if not with_cut_link:
+        cut = set(scenario["cut"])
+        edges = [e for e in edges if set(e) != cut]
+    sim, network, brokers, sub_clients, pub_clients = _build_world(
+        scenario, mode_kwargs, edges, detectors=False
+    )
+    active, advertised = _fold_final_state(scenario["ops"])
+    for index in sorted(advertised):
+        pub_clients[index].advertise(scenario["producers"][index][1]["advert"])
+        sim.run_for(2.0)
+    for index, slot in sorted(active):
+        sub_clients[index].subscribe(scenario["subscribers"][index][1][slot])
+        sim.run_for(2.0)
+    sim.run_for(8.0)
+    return _probe(scenario, sim, sub_clients, pub_clients, advertised)
+
+
+# ----------------------------------------------------------------------
+# Broker crash + restart: the revived broker must converge to the state
+# a hand-rebuilt overlay would hold — across every routing mode.
+# ----------------------------------------------------------------------
+def run_crash_churn(scenario, mode_kwargs):
+    """Full op script on the mesh with detectors attached; the scenario's
+    crash broker fail-stops mid-script and revives after it.
+
+    Ops issued by the dead broker's own clients during the outage are
+    skipped — their messages would die on the dead host — and the list
+    of ops that actually executed is returned so the rebuilt comparison
+    folds exactly what the overlay heard.
+    """
+    edges = list(scenario["tree_edges"]) + list(scenario["extra_edges"])
+    ops = list(scenario["ops"])
+    ops.insert(scenario["cut_position"], ("crash",))
+    sim, network, brokers, sub_clients, pub_clients = _build_world(
+        scenario, mode_kwargs, edges, detectors=True
+    )
+    victim = brokers[scenario["crash_broker"]]
+    down = False
+    executed: list[tuple] = []
+    pub_rng = random.Random(scenario["seed"] * 7919 + 13)
+    for op in ops:
+        kind = op[0]
+        if kind == "crash":
+            victim.crash()
+            down = True
+            sim.run_for(2.0)
+            continue
+        if down:
+            owner = (
+                scenario["subscribers"][op[1]][0]
+                if kind in ("sub", "unsub")
+                else scenario["producers"][op[1]][0]
+            )
+            if owner == scenario["crash_broker"]:
+                continue
+        executed.append(op)
+        if kind == "sub":
+            _, index, slot = op
+            sub_clients[index].subscribe(scenario["subscribers"][index][1][slot])
+        elif kind == "unsub":
+            _, index, slot = op
+            sub_clients[index].unsubscribe(scenario["subscribers"][index][1][slot])
+        elif kind == "adv":
+            _, index = op
+            pub_clients[index].advertise(scenario["producers"][index][1]["advert"])
+        elif kind == "unadv":
+            _, index = op
+            pub_clients[index].unadvertise(scenario["producers"][index][1]["advert"])
+        elif kind == "pub":
+            _, index, seq, count = op
+            profile = scenario["producers"][index][1]
+            for offset in range(count):
+                pub_clients[index].publish(
+                    random_publication(pub_rng, profile, seq + offset)
+                )
+        sim.run_for(2.0)
+    sim.run_for(8.0)  # peers detect the crash and tear their links down
+    victim.recover()
+    sim.run_for(12.0)  # peers' probes find it; Resync replays both ways
+    _, advertised = _fold_final_state(executed)
+    probes = _probe(scenario, sim, sub_clients, pub_clients, advertised)
+    detected = sum(b.failure_detector.links_declared_dead for b in brokers)
+    return probes, executed, detected
+
+
+class TestCrashRestartEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_revived_broker_converges_to_rebuilt_overlay(self, mode, seed):
+        scenario = generate_scenario(seed)
+        probes, executed, detected = run_crash_churn(scenario, MODES[mode])
+        assert detected >= 1  # somebody noticed the crash
+        rebuilt = run_rebuilt(
+            dict(scenario, ops=executed), MODES[mode], with_cut_link=True
+        )
+        assert probes == rebuilt
+
+    def test_crash_scenarios_actually_exercise_revival(self):
+        """Meta-check: across the seeds the crash victim carries clients
+        and overlay links, so the equivalence above tests a real rejoin
+        rather than a leaf nobody missed."""
+        victims_with_subs = 0
+        for seed in range(4):
+            scenario = generate_scenario(seed)
+            victim = scenario["crash_broker"]
+            assert 0 <= victim < scenario["n_brokers"]
+            if any(broker == victim for broker, _ in scenario["subscribers"]):
+                victims_with_subs += 1
+        assert victims_with_subs >= 1

@@ -34,9 +34,12 @@ from repro.simulation import Simulator
 
 from tests.test_broker_mesh_equivalence import (
     MODES,
-    _delivery_key,
+    _build_world,
+    _fold_final_state,
+    _probe,
     generate_scenario,
     random_publication,
+    run_rebuilt,
 )
 
 FAST = HeartbeatConfig(interval=0.25, miss_limit=3)
@@ -224,6 +227,16 @@ class TestDetection:
             HeartbeatConfig(miss_limit=0)
         with pytest.raises(ValueError):
             HeartbeatConfig(grace=-1.0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(probe_backoff=0.5)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(probe_cap=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(flap_threshold=0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(flap_window=-1.0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(hold_down=0.0)
 
     def test_stray_heartbeat_after_disconnect_leaves_no_state(self):
         """A beat racing an administrative disconnect must not re-create
@@ -249,64 +262,213 @@ class TestDetection:
         assert da.links_declared_dead == 1 and db.links_declared_dead == 1
 
 
-# ----------------------------------------------------------------------
-# Randomized acceptance suite: detector-driven == hand-rebuilt
-# ----------------------------------------------------------------------
-def _fold_final_state(ops):
-    """Active (subscriber, slot) pairs and advertised producers after ops."""
-    active: set[tuple[int, int]] = set()
-    advertised: set[int] = set()
-    for op in ops:
-        if op[0] == "sub":
-            active.add((op[1], op[2]))
-        elif op[0] == "unsub":
-            active.discard((op[1], op[2]))
-        elif op[0] == "adv":
-            advertised.add(op[1])
-        elif op[0] == "unadv":
-            advertised.discard(op[1])
-    return active, advertised
-
-
-def _probe(scenario, sim, sub_clients, pub_clients, advertised):
-    marks = [len(c.received) for c in sub_clients + pub_clients]
-    probe_rng = random.Random(scenario["seed"] * 31 + 7)
-    for index in sorted(advertised):
-        profile = scenario["producers"][index][1]
-        for extra in range(3):
-            pub_clients[index].publish(
-                random_publication(probe_rng, profile, 9000 + extra)
-            )
+class TestProbeBackoff:
+    def test_suspected_link_probe_cost_is_bounded(self):
+        """A permanently-dead neighbour must not be beaten every interval
+        forever: the capped exponential backoff settles at one probe per
+        ``probe_cap`` intervals."""
+        sim, network, a, b, (da, db) = linked_pair()
         sim.run_for(2.0)
-    sim.run_for(8.0)
-    return [
-        sorted(_delivery_key(n) for _, n in client.received[mark:])
-        for mark, client in zip(marks, sub_clients + pub_clients)
-    ]
+        network.fail_link(a.addr, b.addr)
+        sim.run_for(60.0)
+        assert da.links_declared_dead == 1 and db.links_declared_dead == 1
+        # Full-rate probing would have cost ~240 probes per side over
+        # 60 s; the backoff schedule settles near 60 / (cap × interval).
+        full_rate = 60.0 / FAST.interval
+        floor = 60.0 / (FAST.probe_cap * FAST.interval) / 2
+        for detector in (da, db):
+            assert floor <= detector.probes_sent <= full_rate / 4
+
+    def test_heal_after_long_outage_restores_within_the_probe_cap(self):
+        """Backoff bounds revival latency too: once a probe crosses the
+        healed link, both sides fall back to full-rate probing and
+        restore — the saturated gap never exceeds cap × interval."""
+        sim, network, a, b, (da, db) = linked_pair()
+        sim.run_for(2.0)
+        network.fail_link(a.addr, b.addr)
+        sim.run_for(30.0)  # backoff fully saturated on both sides
+        network.heal_link(a.addr, b.addr)
+        sim.run_for(FAST.probe_cap * FAST.interval + 2.0)
+        assert da.links_restored == 1 and db.links_restored == 1
+        assert b.addr in a.neighbours and a.addr in b.neighbours
 
 
-def _build_world(scenario, mode_kwargs, edges, detectors):
-    sim = Simulator(seed=11)
+class TestBrokerCrash:
+    def test_crash_pauses_beats_and_revival_resets_windows(self):
+        sim, network, a, b, (da, db) = linked_pair()
+        sim.run_for(2.0)
+        a.crash()
+        sent_while_down = da.heartbeats_sent
+        sim.run_for(5.0)
+        # A dead NIC puts nothing on the wire — and the counter must not
+        # pretend otherwise.
+        assert da.heartbeats_sent == sent_while_down
+        assert db.suspected == {a.addr}  # the peer noticed the silence
+        a.recover()
+        sim.run_for(5.0)
+        # a's liveness windows were stale for the whole outage; resetting
+        # them on revival means a declares nobody dead...
+        assert da.links_declared_dead == 0
+        # ...while its resumed beats answer b's probes and heal the link.
+        assert da.heartbeats_sent > sent_while_down
+        assert db.links_restored == 1
+        assert b.addr in a.neighbours and a.addr in b.neighbours
+
+    def test_crash_revive_rebuilds_subscriptions_end_to_end(self):
+        """The revived broker's client state must flow again without any
+        client re-subscribing: peers' probes find it, the Resync replay
+        rebuilds both directions."""
+        sim, network, a, b, (da, db) = linked_pair()
+        sub = SienaClient(sim, network, Position(1.0, 0.0), a)
+        pub = SienaClient(sim, network, Position(1.0, 1.0), b)
+        pub.advertise(Filter(type_is("t")))
+        sub.subscribe(Filter(type_is("t")))
+        sim.run_for(2.0)
+        a.crash()
+        sim.run_for(6.0)
+        assert a.addr not in b.neighbours  # b tore the link down
+        a.recover()
+        sim.run_for(8.0)
+        pub.publish(make_event("t", n=1))
+        sim.run_for(2.0)
+        assert [n["n"] for _, n in sub.received] == [1]
+
+    def test_stopped_detector_stays_stopped_across_a_crash_cycle(self):
+        sim, network, a, b, (da, db) = linked_pair()
+        sim.run_for(2.0)
+        da.stop()
+        sent = da.heartbeats_sent
+        a.crash()
+        a.recover()
+        sim.run_for(3.0)
+        assert da.heartbeats_sent == sent
+
+
+class TestFlapDamping:
+    # Explicit window/hold values keep the trace deterministic; the
+    # derived defaults are exercised by the randomized storm below.
+    DAMPED = HeartbeatConfig(
+        interval=0.25, miss_limit=3, flap_window=60.0, hold_down=4.0
+    )
+
+    def test_flapping_link_is_quarantined_then_held_down(self):
+        sim, network, a, b, (da, db) = linked_pair(config=self.DAMPED)
+        sim.run_for(2.0)
+        # Two full drop/restore cycles build each side's flap score...
+        for _ in range(2):
+            network.fail_link(a.addr, b.addr)
+            sim.run_for(3.0)
+            network.heal_link(a.addr, b.addr)
+            sim.run_for(3.0)
+        # ...and the third death crosses the threshold: quarantine.
+        network.fail_link(a.addr, b.addr)
+        sim.run_for(3.0)
+        network.heal_link(a.addr, b.addr)
+        sim.run_for(2.0)
+        assert da.links_quarantined == 1 and db.links_quarantined == 1
+        assert da.quarantined(b.addr) and db.quarantined(a.addr)
+        # Restoration (and its full-state exchange) is withheld: the two
+        # pre-quarantine restores are still the only ones.
+        assert da.links_restored == 2 and db.links_restored == 2
+        assert b.addr not in a.neighbours
+        # The link now stays up; the hold-down elapses and it restores
+        # exactly once, with a clean flap record.
+        sim.run_for(8.0)
+        assert da.links_restored == 3 and db.links_restored == 3
+        assert not da.quarantined(b.addr) and not db.quarantined(a.addr)
+        assert b.addr in a.neighbours and a.addr in b.neighbours
+
+    def test_single_failure_never_quarantines(self):
+        # One clean kill + heal is not a flap: the detector must restore
+        # immediately, without hold-down, exactly as before.
+        sim, network, a, b, (da, db) = linked_pair(config=self.DAMPED)
+        sim.run_for(2.0)
+        network.fail_link(a.addr, b.addr)
+        sim.run_for(5.0)
+        network.heal_link(a.addr, b.addr)
+        sim.run_for(5.0)
+        assert da.links_restored == 1 and db.links_restored == 1
+        assert da.links_quarantined == 0 and db.links_quarantined == 0
+        assert b.addr in a.neighbours and a.addr in b.neighbours
+
+
+def run_flap_storm(seed: int, config: HeartbeatConfig):
+    """A triangle overlay whose 0-1 link flaps at random periods around
+    the detector timeout for 40 s, then stays up.  Returns churn
+    counters and the post-quiet-down probe deliveries."""
+    rng = random.Random(seed * 101 + 3)
+    sim = Simulator(seed=seed)
     network = Network(sim, latency=FixedLatency(0.01))
     brokers = [
-        BrokerNode(sim, network, Position(1.0, float(i)), **mode_kwargs)
-        for i in range(scenario["n_brokers"])
+        BrokerNode(sim, network, Position(0.0, float(i))) for i in range(3)
     ]
-    for a, b in edges:
-        brokers[a].connect(brokers[b])
-    if detectors:
-        install_detectors(brokers, FAST)
-    sub_clients = [
-        SienaClient(sim, network, Position(2.0, float(i)), brokers[broker])
-        for i, (broker, _) in enumerate(scenario["subscribers"])
-    ]
-    pub_clients = [
-        SienaClient(sim, network, Position(3.0, float(i)), brokers[broker])
-        for i, (broker, _) in enumerate(scenario["producers"])
-    ]
-    return sim, network, brokers, sub_clients, pub_clients
+    brokers[0].connect(brokers[1])
+    brokers[1].connect(brokers[2])
+    brokers[2].connect(brokers[0])
+    detectors = install_detectors(brokers, config)
+    sub = SienaClient(sim, network, Position(1.0, 0.0), brokers[0])
+    pub = SienaClient(sim, network, Position(1.0, 2.0), brokers[2])
+    pub.advertise(Filter(type_is("t")))
+    sub.subscribe(Filter(type_is("t")))
+    sim.run_for(2.0)
+    a, b = brokers[0].addr, brokers[1].addr
+    deadline = sim.now + 40.0
+    while sim.now < deadline:
+        network.fail_link(a, b)
+        sim.run_for(rng.uniform(1.0, 2.0))  # long enough to detect
+        network.heal_link(a, b)
+        sim.run_for(rng.uniform(0.5, 1.5))  # short enough to flap
+    network.heal_link(a, b)
+    sim.run_for(12.0)  # quiet-down: hold-down elapses, the link restores
+    link_up = b in brokers[0].neighbours and a in brokers[1].neighbours
+    mark = len(sub.received)
+    for n in range(3):
+        pub.publish(make_event("t", n=n))
+    sim.run_for(3.0)
+    return {
+        "restores": sum(d.links_restored for d in detectors),
+        "quarantines": sum(d.links_quarantined for d in detectors),
+        "link_up": link_up,
+        "delivered": [n["n"] for _, n in sub.received[mark:]],
+    }
 
 
+class TestFlapStorm:
+    # hold_down=5 keeps the quarantine engaged through the storm's
+    # longest calm stretch (1.5 s), so release happens exactly once.
+    DAMPED = HeartbeatConfig(interval=0.25, miss_limit=3, hold_down=5.0)
+    UNDAMPED = HeartbeatConfig(
+        interval=0.25, miss_limit=3, flap_threshold=10**6, hold_down=5.0
+    )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_storm_churn_is_bounded_and_recovery_clean(self, seed):
+        result = run_flap_storm(seed, self.DAMPED)
+        # Each side restores at most flap_threshold times before the
+        # quarantine engages, plus once when the storm ends — however
+        # many times the link actually flapped.
+        per_side = self.DAMPED.flap_threshold + 1
+        assert result["restores"] <= 2 * per_side
+        assert result["quarantines"] == 2  # both ends of the flapping link
+        assert result["link_up"]
+        # Zero delivery loss (and no duplicates) after quiet-down.
+        assert result["delivered"] == [0, 1, 2]
+
+    def test_damping_beats_undamped_churn(self):
+        """The ablation: with the threshold unreachable, every detected
+        flap cycle pays a drop/restore state exchange."""
+        damped = run_flap_storm(0, self.DAMPED)
+        undamped = run_flap_storm(0, self.UNDAMPED)
+        assert undamped["delivered"] == [0, 1, 2]  # correct but churny
+        assert undamped["restores"] >= 4 * damped["restores"]
+
+
+# ----------------------------------------------------------------------
+# Randomized acceptance suite: detector-driven == hand-rebuilt
+# (The scripted-world harness — _build_world, _fold_final_state, _probe,
+# run_rebuilt — lives in test_broker_mesh_equivalence and is shared with
+# its crash+restart suite.)
+# ----------------------------------------------------------------------
 def run_detector_churn(scenario, mode_kwargs, heal: bool):
     """Full op script on the mesh; the cut link dies at the *network*
     level mid-script (and optionally heals after the script); probes run
@@ -353,26 +515,6 @@ def run_detector_churn(scenario, mode_kwargs, heal: bool):
         b.failure_detector.links_declared_dead for b in brokers
     )
     return probes, detected
-
-
-def run_rebuilt(scenario, mode_kwargs, with_cut_link: bool):
-    """Fresh overlay in the target topology with only the final state."""
-    edges = list(scenario["tree_edges"]) + list(scenario["extra_edges"])
-    if not with_cut_link:
-        cut = set(scenario["cut"])
-        edges = [e for e in edges if set(e) != cut]
-    sim, network, brokers, sub_clients, pub_clients = _build_world(
-        scenario, mode_kwargs, edges, detectors=False
-    )
-    active, advertised = _fold_final_state(scenario["ops"])
-    for index in sorted(advertised):
-        pub_clients[index].advertise(scenario["producers"][index][1]["advert"])
-        sim.run_for(2.0)
-    for index, slot in sorted(active):
-        sub_clients[index].subscribe(scenario["subscribers"][index][1][slot])
-        sim.run_for(2.0)
-    sim.run_for(8.0)
-    return _probe(scenario, sim, sub_clients, pub_clients, advertised)
 
 
 class TestRandomizedDetectorEquivalence:

@@ -13,6 +13,7 @@ from repro.net import (
     Region,
     haversine_km,
 )
+from repro.net.geo import ASIA, SCOTLAND, region_for
 from repro.simulation import Simulator
 
 
@@ -65,6 +66,14 @@ class TestGeo:
         rng = random.Random(0)
         for _ in range(20):
             assert region.contains(region.random_position(rng))
+
+    def test_region_for_respects_listing_order(self):
+        # Scotland sits inside Europe's box; listing order decides.
+        assert region_for(Position(56.0, -3.0)) is SCOTLAND
+        assert region_for(Position(20.0, 100.0)) is ASIA
+        assert region_for(Position(0.0, 0.0)) is None
+        only_asia = region_for(Position(56.0, -3.0), regions=[ASIA])
+        assert only_asia is None
 
 
 class TestLatencyModels:
@@ -173,3 +182,109 @@ class TestNetwork:
     def test_send_to_unknown_address_returns_false(self):
         sim, network, a, b = make_pair()
         assert not a.send(999, "void")
+
+    def test_unregister_purges_all_per_address_state(self):
+        """A departed address must leave nothing behind: a successor
+        re-registering under it (or the same broker after a crash)
+        would otherwise inherit dead-link, loss and queued-batch state."""
+        sim = Simulator(seed=1)
+        network = Network(sim, latency=FixedLatency(0.05), batched=True)
+        a = Recorder(sim, network, Position(0.0, 0.0))
+        b = Recorder(sim, network, Position(0.0, 1.0))
+        a.send(b.addr, "pending")  # populates _fifo_horizon + a batch slot
+        network.fail_link(a.addr, b.addr)
+        network.set_link_loss(b.addr, a.addr, 0.5)
+        network.unregister(b.addr)
+        assert all(b.addr not in pair for pair in network._fifo_horizon)
+        assert all(b.addr not in link for link in network._failed_links)
+        assert all(b.addr not in link for link in network._link_loss)
+        assert all(b.addr not in slot[:2] for slot in network._batch_queues)
+        # Re-registering under the same address starts with a clean
+        # slate: without the purge the stale dead-link entry would
+        # silently eat this message.
+        network.register(b)
+        a.send(b.addr, "fresh")
+        sim.run()
+        assert [payload for _, _, payload in b.received] == ["fresh"]
+
+    def test_regional_failure_drops_traffic_touching_the_region(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, latency=FixedLatency(0.01))
+        inside = Recorder(sim, network, SCOTLAND.centre)
+        outside = Recorder(sim, network, Position(0.0, 0.0))
+        other = Recorder(sim, network, Position(0.0, 10.0))
+        network.fail_region(SCOTLAND)
+        assert network.region_failed(inside.addr)
+        assert not network.region_failed(outside.addr)
+        outside.send(inside.addr, "in")    # into the failed region
+        inside.send(outside.addr, "out")   # out of the failed region
+        outside.send(other.addr, "around")  # untouched by the outage
+        sim.run()
+        assert inside.received == []
+        assert outside.received == []
+        assert [payload for _, _, payload in other.received] == ["around"]
+        network.heal_region(SCOTLAND)
+        outside.send(inside.addr, "healed")
+        sim.run()
+        assert [payload for _, _, payload in inside.received] == ["healed"]
+
+    def test_regional_failure_tracks_mobile_hosts(self):
+        # Positions are evaluated at send time: a host that leaves the
+        # region escapes the outage.
+        sim = Simulator(seed=1)
+        network = Network(sim, latency=FixedLatency(0.01))
+        mobile = Recorder(sim, network, SCOTLAND.centre)
+        peer = Recorder(sim, network, Position(0.0, 0.0))
+        network.fail_region(SCOTLAND)
+        peer.send(mobile.addr, "lost")
+        sim.run()
+        mobile.position = Position(0.0, 5.0)
+        peer.send(mobile.addr, "found")
+        sim.run()
+        assert [payload for _, _, payload in mobile.received] == ["found"]
+
+    def test_partial_partition_heal_merges_one_seam(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, latency=FixedLatency(0.01))
+        a = Recorder(sim, network, Position(0.0, 0.0))
+        b = Recorder(sim, network, Position(0.0, 1.0))
+        c = Recorder(sim, network, Position(0.0, 2.0))
+        network.set_partition([{a.addr}, {b.addr}, {c.addr}])
+        network.heal_partition(merge=(a.addr, b.addr))
+        a.send(b.addr, "joined")
+        a.send(c.addr, "still-cut")
+        b.send(c.addr, "also-cut")
+        sim.run()
+        assert [payload for _, _, payload in b.received] == ["joined"]
+        assert c.received == []
+        network.heal_partition(merge=(b.addr, c.addr))
+        a.send(c.addr, "all-joined")
+        sim.run()
+        assert [payload for _, _, payload in c.received] == ["all-joined"]
+
+    def test_partial_heal_with_implicit_group(self):
+        # Hosts never named in a group live in the implicit remainder;
+        # merging a named group with it must work too.
+        sim = Simulator(seed=1)
+        network = Network(sim, latency=FixedLatency(0.01))
+        a = Recorder(sim, network, Position(0.0, 0.0))
+        b = Recorder(sim, network, Position(0.0, 1.0))
+        c = Recorder(sim, network, Position(0.0, 2.0))
+        network.set_partition([{a.addr}, {b.addr}])  # c is implicit
+        network.heal_partition(merge=(a.addr, c.addr))
+        a.send(c.addr, "ok")
+        a.send(b.addr, "blocked")
+        sim.run()
+        assert [payload for _, _, payload in c.received] == ["ok"]
+        assert b.received == []
+
+    def test_full_heal_still_clears_everything(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, latency=FixedLatency(0.01))
+        a = Recorder(sim, network, Position(0.0, 0.0))
+        b = Recorder(sim, network, Position(0.0, 1.0))
+        network.set_partition([{a.addr}, {b.addr}])
+        network.heal_partition()
+        a.send(b.addr, "open")
+        sim.run()
+        assert [payload for _, _, payload in b.received] == ["open"]
