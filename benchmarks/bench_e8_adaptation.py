@@ -1,6 +1,6 @@
-"""E8 — §4.6: adapting data placement to observed usage patterns.
+"""E8 — §4.4-4.6: active adaptation, from data placement to service migration.
 
-Two policies from the paper are measured:
+Three adaptations from the paper are measured:
 
 * latency-reduction — "replicate progressively more of a user's personal
   data at storage units geographically close to the user's current
@@ -8,23 +8,44 @@ Two policies from the paper are measured:
 * diurnal prefetch — "the system might observe diurnal patterns in data
   access ... and modify the caching and replication of data as is
   appropriate": day 1 accesses teach the policy, day 2 reads hit prefetched
-  copies.
+  copies;
+* flash-crowd service migration — the closed active-architecture loop:
+  brokers export load/latency digests as ``resource`` events on the
+  fabric itself, the monitoring engine digests them, a ``LoadConstraint``
+  violation makes the evolution engine push the service bundle (via
+  Cingal) to the broker closest to a demand spike, and a
+  ``ServiceHandoff`` moves the live subscriptions without losing a
+  single delivery.  Measured against an ``adaptation=False`` ablation of
+  the identical workload.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.cingal.bundle import make_bundle
+from repro.cingal.thin_server import ThinServer
+from repro.events.broker import BrokerMetrics, BrokerNode, SienaClient
+from repro.events.filters import Filter, type_is
+from repro.events.mobility import ServiceEndpoint, ServiceHandoff, ServiceInbox
 from repro.events.model import make_event
+from repro.evolution import EvolutionEngine, HeartbeatMonitor, LoadConstraint
 from repro.evolution.advertisement import region_of
+from repro.evolution.constraints import Deployment
+from repro.evolution.engine import BundleTemplate
 from repro.evolution.policies import DiurnalPrefetchPolicy, LatencyReductionPolicy
-from repro.net import GeographicLatency, Network
+from repro.net import GeographicLatency, Network, Position
 from repro.overlay import fast_build
-from repro.simulation import Simulator
+from repro.pipelines.assembly import DeploymentAgent
+from repro.sensors.city import make_synthetic_city
+from repro.simulation import PeriodicTask, Simulator
 from repro.storage import StorageConfig, attach_storage
-from benchmarks._harness import emit, fmt_ms
+from benchmarks._harness import emit, emit_json, fmt_ms
 
 NODES = 30
+SMOKE = bool(os.environ.get("E8_SMOKE"))
 
 
 def build_world(seed: int):
@@ -148,3 +169,229 @@ def test_e8_diurnal_prefetch_policy(benchmark):
     )
     assert result["prefetches"] >= 6
     assert result["day2_mean"] < result["day1_mean"]
+
+
+# ----------------------------------------------------------------------
+# E8c — the closed loop: flash-crowd service migration (§4.4)
+# ----------------------------------------------------------------------
+
+KEY = "e8-deploy-key"
+SERVICE = "alert-service"
+BROKER_SITES = {
+    "scotland": Position(56.34, -2.79),  # St Andrews — the service's home
+    "europe": Position(48.85, 2.35),
+    "north-america": Position(40.71, -74.0),
+    "asia": Position(1.35, 103.82),
+    "australia": Position(-33.87, 151.21),  # Sydney — where the crowd forms
+}
+
+
+class _CrowdPublisher:
+    """One attendee's device publishing weather-alert queries periodically."""
+
+    _seq = 0
+
+    def __init__(self, sim, network, position, broker, period_s, city):
+        self.client = SienaClient(sim, network, position, broker)
+        self.city = city
+        self.sim = sim
+        self.published = 0
+        self.task = PeriodicTask(
+            sim, period_s, self._publish, jitter=0.3, rng=sim.rng_for(f"crowd-{self.client.addr}")
+        )
+
+    def _publish(self) -> None:
+        _CrowdPublisher._seq += 1
+        self.published += 1
+        self.client.publish(
+            make_event(
+                "weather-alert",
+                time=self.sim.now,
+                city=self.city,
+                seq=_CrowdPublisher._seq,
+            )
+        )
+
+    def stop(self) -> None:
+        self.task.stop()
+
+
+def run_flash_crowd(adaptation: bool, seed: int = 88) -> dict:
+    """One flash-crowd timeline; ``adaptation`` switches the LoadConstraint.
+
+    Timeline: a weather-alert service runs beside the St Andrews broker
+    serving a small home crowd.  At ``spike_t`` a flash crowd forms in a
+    synthetic Sydney (``sensors.city``-driven positions) and its traffic
+    must cross the planet to reach the service — mean delivery age jumps
+    to the Scotland↔Sydney latency.  With adaptation on, the Scotland
+    broker's metrics report the high event age, the LoadConstraint
+    fires, the engine deploys the bundle on the Sydney thin server
+    (freshness-ranked candidate) and the ServiceHandoff moves the live
+    subscription; delivery age collapses back to metro scale.
+    """
+    _CrowdPublisher._seq = 0
+    sim = Simulator(seed=seed)
+    # jitter_frac=0: latency is pure geography, so phase means are exact.
+    network = Network(sim, latency=GeographicLatency(jitter_frac=0.0))
+    brokers = {
+        name: BrokerNode(sim, network, pos) for name, pos in BROKER_SITES.items()
+    }
+    root = brokers["scotland"]
+    for name, broker in brokers.items():
+        if broker is not root:
+            broker.connect(root)
+    servers = {
+        name: ThinServer(sim, network, broker.position, KEY)
+        for name, broker in brokers.items()
+    }
+    for name, broker in brokers.items():
+        BrokerMetrics(
+            broker,
+            node_id=f"broker-{name}",
+            period_s=10.0,
+            deploy_addr=servers[name].addr,
+        )
+
+    # Control plane at the root: monitor + engine fed from the fabric.
+    control = SienaClient(sim, network, root.position, root)
+    monitor_out = SienaClient(sim, network, root.position, root)
+    monitor = HeartbeatMonitor(
+        sim, monitor_out.publish, suspect_after_s=60.0, check_interval_s=10.0
+    )
+    agent = DeploymentAgent(sim, network, root.position)
+    engine = EvolutionEngine(
+        sim, agent, monitor, KEY,
+        evaluate_interval_s=5.0, migration_cooldown_s=60.0,
+    )
+    engine.register_template(SERVICE, BundleTemplate(component="probe"))
+    for event_type in ("resource", "node-failed", "node-recovered"):
+        control.subscribe(Filter(type_is(event_type)))
+    control.handlers.append(monitor.on_event)
+    control.handlers.append(engine.on_event)
+    if adaptation:
+        # The paper's latency trigger: migrate when the host's mean
+        # publication age says the service sits far from its demand.
+        engine.add_constraint(
+            LoadConstraint(SERVICE, monitor, max_load=None, max_age_s=0.08)
+        )
+
+    # The service: a bundle on the home thin server, a live subscription
+    # at the home broker, one continuous inbox across migrations.
+    inbox = ServiceInbox(sim)
+    endpoint = ServiceEndpoint(sim, network, root.position, root, inbox)
+    endpoint.subscribe(Filter(type_is("weather-alert")))
+    handoff = ServiceHandoff(sim, network, settle_s=2.0)
+    live = {"endpoint": endpoint}
+
+    def on_migrate(old: Deployment, new: Deployment) -> None:
+        new_broker = brokers[new.node_id.removeprefix("broker-")]
+        live["endpoint"] = handoff.migrate(live["endpoint"], new_broker)
+
+    engine.on_migrate = on_migrate
+    bundle = make_bundle(
+        name=f"{SERVICE}-0@broker-scotland", component="probe", key=KEY
+    )
+    agent.fire(servers["scotland"].addr, bundle)
+    engine.state.record(
+        Deployment(
+            component_type=SERVICE,
+            instance_name=bundle.name,
+            node_id="broker-scotland",
+            addr=servers["scotland"].addr,
+            region="scotland",
+        )
+    )
+
+    rng = sim.rng_for("e8-crowd")
+    st_andrews = make_synthetic_city("st-andrews", rng, centre=BROKER_SITES["scotland"])
+    sydney = make_synthetic_city("sydney", rng, centre=BROKER_SITES["australia"])
+    home_n, crowd_n = (2, 6) if SMOKE else (3, 12)
+    spike_t, end_t = (60.0, 180.0) if SMOKE else (80.0, 260.0)
+    publishers = [
+        _CrowdPublisher(
+            sim, network,
+            st_andrews.region.random_position(rng), root,
+            period_s=4.0, city="st-andrews",
+        )
+        for _ in range(home_n)
+    ]
+    sim.run_for(spike_t)
+
+    # The flash crowd forms in Sydney: an order of magnitude more demand,
+    # all of it a planet away from the service.
+    publishers += [
+        _CrowdPublisher(
+            sim, network,
+            sydney.region.random_position(rng), brokers["australia"],
+            period_s=1.0, city="sydney",
+        )
+        for _ in range(crowd_n)
+    ]
+    sim.run_for(end_t - sim.now)
+    for publisher in publishers:
+        publisher.stop()
+    sim.run_for(30.0)  # drain everything in flight
+
+    published = sum(p.published for p in publishers)
+
+    def phase_mean(start: float, stop: float) -> float:
+        ages = [age for arrival, age in inbox.latencies if start <= arrival < stop]
+        return sum(ages) / len(ages) if ages else float("nan")
+
+    return {
+        "adaptation": adaptation,
+        "published": published,
+        "delivered": len(inbox.deliveries),
+        "lost": published - len(inbox.deliveries),
+        "duplicates": inbox.duplicates,
+        "migrations": len(engine.migrations),
+        "migration_time_s": (
+            engine.migrations[0].time if engine.migrations else None
+        ),
+        "migrated_to": (
+            engine.migrations[0].new_node if engine.migrations else None
+        ),
+        "baseline_s": phase_mean(10.0, spike_t),
+        "degraded_s": phase_mean(spike_t + 5.0, spike_t + 25.0),
+        "end_s": phase_mean(end_t - 30.0, end_t),
+    }
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_flash_crowd_migration(benchmark):
+    def run_both():
+        return {
+            "adapted": run_flash_crowd(adaptation=True),
+            "ablation": run_flash_crowd(adaptation=False),
+        }
+
+    result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    adapted, ablation = result["adapted"], result["ablation"]
+    improvement = ablation["end_s"] / adapted["end_s"]
+    emit(
+        "e8_adaptation",
+        "E8c/§4.4: flash crowd -> degrade -> migrate -> recover",
+        ["metric", "adapted", "ablation"],
+        [
+            ["baseline delivery age", fmt_ms(adapted["baseline_s"]), fmt_ms(ablation["baseline_s"])],
+            ["degraded (spike, pre-migration)", fmt_ms(adapted["degraded_s"]), fmt_ms(ablation["degraded_s"])],
+            ["end state", fmt_ms(adapted["end_s"]), fmt_ms(ablation["end_s"])],
+            ["migrations", adapted["migrations"], ablation["migrations"]],
+            ["deliveries lost", adapted["lost"], ablation["lost"]],
+            ["handoff duplicates absorbed", adapted["duplicates"], ablation["duplicates"]],
+            ["end-state improvement", f"{improvement:.1f}x", "-"],
+        ],
+    )
+    emit_json(
+        "e8_adaptation",
+        {"flash_crowd": {"adapted": adapted, "ablation": ablation,
+                         "end_improvement": improvement}},
+    )
+    # The loop's contract: the spike degrades, the migration recovers,
+    # and the handoff never drops a delivery.
+    assert adapted["lost"] == 0 and ablation["lost"] == 0
+    assert adapted["migrations"] >= 1
+    assert ablation["migrations"] == 0
+    assert adapted["degraded_s"] > adapted["baseline_s"] * 2
+    assert adapted["end_s"] < adapted["degraded_s"] / 2
+    assert adapted["end_s"] < ablation["end_s"]

@@ -1,14 +1,19 @@
-"""Constraint-driven deployment and self-healing (§4.4, §4.6).
+"""Constraint-driven deployment, self-healing, and recovery (§4.4, §4.6).
 
 Installs the paper's own example constraint — "at least 5 pipeline
 components providing a data replication service must be deployed in
-parallel within a given geographical region" — then kills nodes and watches
-the monitoring + evolution engines repair the deployment, RAID-style.
+parallel within a given geographical region" — then kills a node and
+watches the monitoring + evolution engines repair the deployment,
+RAID-style.  Finally the "crashed" node turns out to have been merely
+silent: it resumes advertising, the monitor publishes ``node-recovered``,
+and the engine revives its deployments instead of writing them off.
 
 Run:  python examples/evolution_demo.py
 """
 
 from repro import ActiveArchitecture, ArchitectureConfig
+from repro.events.broker import SienaClient
+from repro.evolution.advertisement import ResourceAdvertiser
 from repro.evolution.constraints import MinComponentsInRegion
 from repro.evolution.engine import BundleTemplate
 
@@ -58,6 +63,35 @@ def main() -> None:
         )
         if satisfied and all(d.node_id != victim.node_id for d in live):
             break
+
+    # -- recovery: the silence was transient, not a crash ----------------
+    # The host comes back and resumes resource advertisements; the monitor
+    # flips it alive, publishes node-recovered, and the engine un-discounts
+    # everything still deployed there.
+    print(f"\nt={arch.sim.now:7.1f}s  RECOVER {victim.node_id}")
+    arch.servers[victim_index].recover()
+    client = SienaClient(
+        arch.sim,
+        arch.network,
+        arch.servers[victim_index].position,
+        arch.brokers[victim_index],
+    )
+    arch.advertisers[victim_index] = ResourceAdvertiser(
+        arch.sim,
+        node_id=victim.node_id,
+        addr=arch.servers[victim_index].addr,
+        position=arch.servers[victim_index].position,
+        publish=client.publish,
+        period_s=arch.config.advertise_period_s,
+    )
+    arch.run(60.0)
+    live = arch.evolution.state.live("replication-service", region)
+    revived = sorted(d.node_id for d in live if d.node_id == victim.node_id)
+    print(
+        f"t={arch.sim.now:7.1f}s  recoveries detected: "
+        f"{[n for _, n in arch.monitor.recoveries_detected]}  "
+        f"live={len(live)}/{want}  revived={revived}"
+    )
 
     print("\nrepair log:")
     for action in arch.evolution.actions:

@@ -33,6 +33,14 @@ class Undeploy:
 
 
 @dataclass
+class UndeployAck:
+    """``ok`` is False when the named component was not deployed here."""
+
+    component_name: str
+    ok: bool
+
+
+@dataclass
 class ConnectLocal:
     src_component: str
     dst_component: str

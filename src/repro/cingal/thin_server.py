@@ -46,6 +46,7 @@ from repro.cingal.messages import (  # noqa: E402
     DeployAck,
     Fire,
     Undeploy,
+    UndeployAck,
 )
 
 
@@ -222,8 +223,9 @@ class ThinServer(Host):
         elif isinstance(payload, ConnectRemote):
             self._handle_connect_remote(src, payload)
         elif isinstance(payload, Undeploy):
-            self.undeploy(payload.component_name)
-        elif isinstance(payload, (DeployAck, ConnectAck)):
+            ok = self.undeploy(payload.component_name)
+            self.send(src, UndeployAck(payload.component_name, ok))
+        elif isinstance(payload, (DeployAck, ConnectAck, UndeployAck)):
             pass  # acks are consumed by assembly processes via hooks
         else:
             raise TypeError(f"unknown thin-server message: {payload!r}")

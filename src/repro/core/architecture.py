@@ -84,7 +84,7 @@ class ActiveArchitecture:
         self.evolution = EvolutionEngine(
             self.sim, self.agent, self.monitor, cfg.deploy_key
         )
-        for event_type in ("resource", "node-leaving", "node-failed"):
+        for event_type in ("resource", "node-leaving", "node-failed", "node-recovered"):
             self.control_client.subscribe(Filter(type_is(event_type)))
         self.control_client.handlers.append(self._control_event)
         self.advertisers: list[ResourceAdvertiser] = []

@@ -116,7 +116,7 @@ from repro.events.failure import (
 from repro.events.filters import Filter, eq, exists, filters_intersect
 from repro.events.index import CoveringPoset, PredicateIndex
 from repro.events.placement import plan_extra_links
-from repro.events.model import Notification
+from repro.events.model import Notification, make_event
 from repro.events.subscriptions import Subscription
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -124,7 +124,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.net.geo import WORLD_REGIONS, Position
 from repro.net.host import Host
 from repro.net.network import Address, Network
-from repro.simulation import Simulator
+from repro.simulation import PeriodicTask, Simulator
 
 
 # -- wire messages ------------------------------------------------------
@@ -228,8 +228,19 @@ class MoveIn:
 
 @dataclass(slots=True)
 class TransferRequest:
+    """Ask the old broker to hand a client's proxy state to ``new_broker``.
+
+    ``successor`` redirects the handover to a *different* endpoint than
+    the one that moved out: a migrating service's replacement instance
+    has its own address, so the old broker addresses the resulting
+    :class:`Transfer` (and its buffered notifications) to the successor
+    rather than back to the departed original.  ``None`` keeps Mobikit's
+    same-client roaming behaviour.
+    """
+
     client: Address
     new_broker: Address
+    successor: Address | None = None
 
 
 @dataclass(slots=True)
@@ -372,6 +383,9 @@ class BrokerNode(Host):
         # there, and connect()/disconnect() report intentional topology
         # changes so they are never mistaken for failures.
         self.failure_detector: "FailureDetector | None" = None
+        # Set by an attached BrokerMetrics; the publication paths feed it
+        # every processed notification so it can age the traffic.
+        self.metrics: "BrokerMetrics | None" = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -1144,6 +1158,8 @@ class BrokerNode(Host):
             self.duplicates_suppressed += 1
             return
         self.notifications_processed += 1
+        if self.metrics is not None:
+            self.metrics.observe(notification)
         if self.advert_on_first_publish:
             self._maybe_auto_advertise(source, notification)
         size = notification.size_bytes()
@@ -1210,6 +1226,8 @@ class BrokerNode(Host):
                 self.duplicates_suppressed += 1
                 continue
             self.notifications_processed += 1
+            if self.metrics is not None:
+                self.metrics.observe(notification)
             if self.advert_on_first_publish:
                 self._maybe_auto_advertise(source, notification)
             survivors.append((notification, pub_id))
@@ -1318,7 +1336,11 @@ class BrokerNode(Host):
         self.client_addrs.discard(msg.client)
         for filter in filters:
             self._remove_subscription(msg.client, filter)
-        self.send(msg.new_broker, Transfer(msg.client, buffered, filters), size_bytes=512)
+        # A service migration names a successor endpoint: the buffered
+        # notifications belong to the replacement instance, not to the
+        # torn-down original.
+        recipient = msg.successor if msg.successor is not None else msg.client
+        self.send(msg.new_broker, Transfer(recipient, buffered, filters), size_bytes=512)
 
     def _handle_transfer(self, msg: Transfer) -> None:
         # Defensive re-registration: the Transfer is self-contained, so
@@ -1417,6 +1439,118 @@ class BrokerNode(Host):
             self._handle_transfer(payload)
         else:
             raise TypeError(f"unknown broker message: {payload!r}")
+
+
+# Event types that are control-plane traffic, not service demand: the
+# metrics layer must not let its own plumbing (or the failure detector's)
+# pollute the demand-age signal migrations key on.
+CONTROL_EVENT_TYPES = frozenset(
+    {"resource", "node-leaving", "node-failed", "node-recovered"}
+)
+
+
+class BrokerMetrics:
+    """Export one broker's load/queue/latency digest on the event fabric.
+
+    §4.4's monitoring loop starts here: the broker itself periodically
+    publishes a ``resource`` event (through its own publication path, so
+    the metrics ride the same fabric as the traffic they describe)
+    carrying
+
+    * ``load`` — processed-notification rate over the interval, as a
+      fraction of ``capacity_eps`` (events/second the host is sized for);
+    * ``queue_depth`` — notifications parked in mobility proxy buffers;
+    * ``event_age`` — mean of ``now - notification.time`` over the
+      service publications processed this interval.  A host far from the
+      traffic's producers sees events that are already old on arrival,
+      so this is the decentralised delivery-latency signal a
+      :class:`~repro.evolution.constraints.LoadConstraint` migrates on.
+      Omitted entirely when the interval carried no service traffic.
+
+    ``deploy_addr`` is the address migration targets should be deployed
+    to (the thin server co-located with this broker); it defaults to the
+    broker's own address.
+    """
+
+    def __init__(
+        self,
+        broker: BrokerNode,
+        node_id: str,
+        period_s: float = 20.0,
+        deploy_addr: Address | None = None,
+        capacity_eps: float = 200.0,
+        capacity: float = 1.0,
+        jitter: float = 0.0,
+        start_delay: float | None = None,
+        ignore_types: frozenset = CONTROL_EVENT_TYPES,
+    ):
+        self.broker = broker
+        self.node_id = node_id
+        self.period_s = period_s
+        self.deploy_addr = deploy_addr if deploy_addr is not None else broker.addr
+        self.capacity_eps = capacity_eps
+        self.capacity = capacity
+        self.ignore_types = ignore_types
+        self.region = self._region_of(broker.position)
+        self.published = 0
+        self._age_sum = 0.0
+        self._age_count = 0
+        self._last_processed = broker.notifications_processed
+        broker.metrics = self
+        rng = broker.sim.rng_for(f"metrics-{node_id}") if jitter else None
+        self._task = PeriodicTask(
+            broker.sim,
+            period_s,
+            self._publish_metrics,
+            jitter=jitter,
+            start_delay=start_delay,
+            rng=rng,
+        )
+
+    @staticmethod
+    def _region_of(position: Position) -> str:
+        for region in WORLD_REGIONS:
+            if region.contains(position):
+                return region.name
+        return "other"
+
+    def observe(self, notification: Notification) -> None:
+        """Called by the broker for every publication it processes."""
+        if notification.event_type in self.ignore_types:
+            return
+        if "time" not in notification:
+            return
+        self._age_sum += max(0.0, self.broker.sim.now - notification.time)
+        self._age_count += 1
+
+    def _publish_metrics(self) -> None:
+        broker = self.broker
+        processed = broker.notifications_processed - self._last_processed
+        self._last_processed = broker.notifications_processed
+        rate = processed / self.period_s
+        queue_depth = sum(len(buffer) for buffer in broker.proxies.values())
+        attrs: dict = {
+            "node": self.node_id,
+            "addr": int(self.deploy_addr),
+            "region": self.region,
+            "lat": broker.position.lat,
+            "lon": broker.position.lon,
+            "load": round(min(1.0, rate / self.capacity_eps), 4),
+            "rate": round(rate, 4),
+            "queue_depth": queue_depth,
+            "capacity": self.capacity,
+        }
+        if self._age_count:
+            attrs["event_age"] = self._age_sum / self._age_count
+        self._age_sum = 0.0
+        self._age_count = 0
+        self.published += 1
+        # Injected as a locally-originated publication: the digest routes
+        # through the overlay exactly like the traffic it measures.
+        broker._process_publication(None, make_event("resource", time=broker.sim.now, **attrs))
+
+    def stop(self) -> None:
+        self._task.stop()
 
 
 class SienaClient(Host):

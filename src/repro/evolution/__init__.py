@@ -12,6 +12,7 @@ from repro.evolution.advertisement import ResourceAdvertiser
 from repro.evolution.monitor import HeartbeatMonitor
 from repro.evolution.constraints import (
     DeploymentState,
+    LoadConstraint,
     MinComponentsGlobal,
     MinComponentsInRegion,
     Violation,
@@ -30,6 +31,7 @@ __all__ = [
     "EvolutionEngine",
     "HeartbeatMonitor",
     "LatencyReductionPolicy",
+    "LoadConstraint",
     "MinComponentsGlobal",
     "MinComponentsInRegion",
     "ResourceAdvertiser",

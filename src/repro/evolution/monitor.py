@@ -3,7 +3,11 @@
 Nodes that stop advertising are suspected after ``suspect_after_s`` and a
 ``node-failed`` event is published on their behalf: "the loss may eventually
 be detected by other monitoring components, which will publish events on
-their behalf."
+their behalf."  The inverse transition is announced too: a suspected node
+whose ``resource`` events resume is flipped back alive and a
+``node-recovered`` event is published, so downstream consumers (the
+evolution engine above all) can un-discount its deployments instead of
+over-deploying forever.
 """
 
 from __future__ import annotations
@@ -23,10 +27,18 @@ class NodeView:
     load: float
     last_seen: float
     alive: bool = True
+    lat: float = 0.0
+    lon: float = 0.0
+    capacity: float = 1.0
+    # Mean age of the publications the node processed in its last metrics
+    # interval (seconds; ``None`` when the node reported no samples).  High
+    # age means matching traffic is old by the time it arrives — the
+    # latency signal LoadConstraint migrations key on.
+    event_age: float | None = None
 
 
 class HeartbeatMonitor:
-    """Consumes resource events, emits failure events."""
+    """Consumes resource events, emits failure and recovery events."""
 
     def __init__(
         self,
@@ -40,6 +52,7 @@ class HeartbeatMonitor:
         self.suspect_after_s = suspect_after_s
         self.nodes: dict[str, NodeView] = {}
         self.failures_detected: list[tuple[float, str]] = []
+        self.recoveries_detected: list[tuple[float, str]] = []
         self._task = PeriodicTask(sim, check_interval_s, self._check)
 
     # ------------------------------------------------------------------
@@ -47,13 +60,34 @@ class HeartbeatMonitor:
         """Feed with resource / node-leaving notifications."""
         if event.event_type == "resource":
             node_id = str(event["node"])
+            previous = self.nodes.get(node_id)
+            recovered = previous is not None and not previous.alive
+            age = event.get("event_age")
             self.nodes[node_id] = NodeView(
                 node_id=node_id,
                 addr=int(event["addr"]),
                 region=str(event["region"]),
                 load=float(event["load"]),
                 last_seen=self.sim.now,
+                lat=float(event.get("lat", 0.0)),
+                lon=float(event.get("lon", 0.0)),
+                capacity=float(event.get("capacity", 1.0)),
+                event_age=float(age) if age is not None else None,
             )
+            if recovered:
+                # A suspected-dead node resumed publishing: flipping the
+                # view back alive silently would leave every consumer that
+                # acted on the node-failed event (the evolution engine
+                # discounting its deployments) desynchronised forever.
+                self.recoveries_detected.append((self.sim.now, node_id))
+                self.publish(
+                    make_event(
+                        "node-recovered",
+                        time=self.sim.now,
+                        node=node_id,
+                        addr=int(event["addr"]),
+                    )
+                )
         elif event.event_type == "node-leaving":
             node_id = str(event["node"])
             view = self.nodes.get(node_id)
@@ -71,7 +105,11 @@ class HeartbeatMonitor:
 
     def _check(self) -> None:
         cutoff = self.sim.now - self.suspect_after_s
-        for view in self.nodes.values():
+        # Snapshot before iterating: publish() fans out synchronously, and
+        # a subscriber reacting to node-failed may feed new resource or
+        # node-leaving events straight back into on_event, mutating
+        # self.nodes mid-iteration.
+        for view in list(self.nodes.values()):
             if view.alive and view.last_seen < cutoff:
                 view.alive = False
                 self.failures_detected.append((self.sim.now, view.node_id))

@@ -136,10 +136,12 @@ class DiurnalPrefetchPolicy:
         sim: Simulator,
         services_by_region: dict[str, list[StorageService]],
         lead_time_s: float = 300.0,
+        max_bucket_size: int = 256,
     ):
         self.sim = sim
         self.services_by_region = services_by_region
         self.lead_time_s = lead_time_s
+        self.max_bucket_size = max_bucket_size
         # (hour, region) -> {guid: access count}
         self.history: dict[tuple[int, str], dict[Guid, int]] = {}
         self.prefetches: list[SeedAction] = []
@@ -149,6 +151,26 @@ class DiurnalPrefetchPolicy:
         hour = int(self.sim.now % 86400.0 // 3600.0)
         bucket = self.history.setdefault((hour, region), {})
         bucket[guid] = bucket.get(guid, 0) + 1
+        if len(bucket) > self.max_bucket_size:
+            self._decay(bucket)
+
+    def _decay(self, bucket: dict[Guid, int]) -> None:
+        """Halve counts and drop the long tail, bounding bucket memory.
+
+        Long simulations touch an unbounded stream of one-off guids; without
+        decay each ``(hour, region)`` bucket grows forever.  Halving on
+        overflow ages out cold entries (count 1 -> 0 -> dropped) while the
+        genuinely popular guids keep dominating the prefetch ranking — the
+        same aging trick frequency sketches use.
+        """
+        for guid in list(bucket):
+            bucket[guid] //= 2
+            if bucket[guid] <= 0:
+                del bucket[guid]
+        if len(bucket) > self.max_bucket_size:
+            keep = sorted(bucket.items(), key=lambda kv: -kv[1])[: self.max_bucket_size]
+            bucket.clear()
+            bucket.update(keep)
 
     def _prefetch_next_hour(self) -> None:
         next_hour = int((self.sim.now + self.lead_time_s) % 86400.0 // 3600.0)

@@ -16,6 +16,8 @@ from repro.cingal.messages import (
     ConnectRemote,
     DeployAck,
     Fire,
+    Undeploy,
+    UndeployAck,
 )
 from repro.net.geo import Position
 from repro.net.host import Host
@@ -30,6 +32,7 @@ class DeploymentAgent(Host):
     def __init__(self, sim: Simulator, network: Network, position: Position):
         super().__init__(sim, network, position)
         self._pending_deploys: dict[str, Future] = {}
+        self._pending_undeploys: dict[str, Future] = {}
         self._pending_connects: dict[int, Future] = {}
         self._next_req = 0
 
@@ -38,6 +41,13 @@ class DeploymentAgent(Host):
         future = Future()
         self._pending_deploys[bundle.name] = future
         self.send(target, Fire(bundle), size_bytes=bundle.wire_size())
+        return future
+
+    def undeploy(self, target: Address, component_name: str) -> Future:
+        """Tear down a deployed component; resolves to the UndeployAck."""
+        future = Future()
+        self._pending_undeploys[component_name] = future
+        self.send(target, Undeploy(component_name), size_bytes=128)
         return future
 
     def connect_local(self, target: Address, src: str, dst: str) -> Future:
@@ -59,6 +69,10 @@ class DeploymentAgent(Host):
     def handle_message(self, src: Address, payload) -> None:
         if isinstance(payload, DeployAck):
             future = self._pending_deploys.pop(payload.bundle_name, None)
+            if future is not None:
+                future.set_result(payload)
+        elif isinstance(payload, UndeployAck):
+            future = self._pending_undeploys.pop(payload.component_name, None)
             if future is not None:
                 future.set_result(payload)
         elif isinstance(payload, ConnectAck):

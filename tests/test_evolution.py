@@ -5,8 +5,10 @@ import pytest
 from repro.cingal import ThinServer
 from repro.events.model import make_event
 from repro.evolution import (
+    DiurnalPrefetchPolicy,
     EvolutionEngine,
     HeartbeatMonitor,
+    LoadConstraint,
     MinComponentsGlobal,
     MinComponentsInRegion,
     ResourceAdvertiser,
@@ -218,6 +220,193 @@ class TestEvolutionEngine:
         assert all(a.region == "scotland" for a in engine.actions)
 
 
+class TestShortfallBookkeeping:
+    """Open shortfalls re-trigger on new capacity; repaired ones go quiet."""
+
+    def test_open_shortfall_reevaluates_on_resource_events(self):
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS]
+        )
+        engine.register_template("replicator", BundleTemplate(component="probe"))
+        sim.run_for(40.0)
+        engine.add_constraint(MinComponentsInRegion("replicator", "scotland", 2))
+        sim.run_for(30.0)
+        assert engine.unsatisfiable  # one host cannot satisfy min-2
+        before = engine.evaluations
+        engine.on_event(
+            make_event(
+                "resource",
+                time=sim.now,
+                node="node-0",
+                addr=int(servers[0].addr),
+                region="scotland",
+                load=0.1,
+            )
+        )
+        assert engine.evaluations == before + 1  # capacity news: re-check
+
+    def test_repaired_shortfall_stops_reevaluating(self):
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS]
+        )
+        engine.register_template("replicator", BundleTemplate(component="probe"))
+        sim.run_for(40.0)
+        engine.add_constraint(MinComponentsInRegion("replicator", "scotland", 2))
+        sim.run_for(30.0)
+        assert engine.unsatisfiable
+
+        def bus(event):
+            monitor.on_event(event)
+            engine.on_event(event)
+
+        # Capacity arrives: a second scotland host starts advertising.
+        server2 = ThinServer(sim, network, SCOTLAND_POS.offset_km(4.0, 4.0), KEY)
+        advertisers.append(
+            ResourceAdvertiser(
+                sim,
+                node_id="node-99",
+                addr=server2.addr,
+                position=server2.position,
+                publish=bus,
+                period_s=20.0,
+            )
+        )
+        assert run_until(sim, engine.satisfied, timeout=120.0)
+        assert run_until(sim, lambda: not engine.unsatisfiable, timeout=60.0)
+        # The repaired violation must stop condemning every future
+        # resource event to a re-evaluation: freeze the periodic sweep
+        # and show events alone no longer drive the counter.
+        engine.stop()
+        before = engine.evaluations
+        for _ in range(5):
+            bus(
+                make_event(
+                    "resource",
+                    time=sim.now,
+                    node="node-99",
+                    addr=int(server2.addr),
+                    region="scotland",
+                    load=0.1,
+                )
+            )
+        assert engine.evaluations == before
+
+
+class TestRecoveryDesync:
+    def test_node_recovered_revives_deployments_via_the_bus(self):
+        """A suspected (not crashed) host resumes publishing: the monitor
+        announces node-recovered and the engine un-discounts everything
+        deployed there instead of treating it as lost forever."""
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS, SCOTLAND_POS.offset_km(6.0, 0.0)]
+        )
+        sim.run_for(50.0)
+        engine.state.record(
+            Deployment(
+                component_type="replicator",
+                instance_name="replicator-1@node-0",
+                node_id="node-0",
+                addr=int(servers[0].addr),
+                region="scotland",
+            )
+        )
+        advertisers[0].stop()  # silent, not crashed: the host still runs
+        assert run_until(
+            sim, lambda: not monitor.nodes["node-0"].alive, timeout=300.0
+        )
+        assert engine.state.live("replicator") == []  # node-failed arrived
+        # The node resumes publishing; monitor.publish fans the
+        # node-recovered event to the engine.
+        monitor.on_event(
+            make_event(
+                "resource",
+                time=sim.now,
+                node="node-0",
+                addr=int(servers[0].addr),
+                region="scotland",
+                load=0.1,
+            )
+        )
+        assert monitor.nodes["node-0"].alive
+        assert monitor.recoveries_detected
+        live = engine.state.live("replicator")
+        assert [d.instance_name for d in live] == ["replicator-1@node-0"]
+
+
+class TestLoadMigration:
+    def test_overloaded_host_triggers_migration(self):
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            [SCOTLAND_POS, SCOTLAND_POS.offset_km(8.0, 0.0)]
+        )
+        engine.register_template("replicator", BundleTemplate(component="probe"))
+        sim.run_for(50.0)  # both hosts known to the monitor
+        engine.state.record(
+            Deployment(
+                component_type="replicator",
+                instance_name="replicator-0@node-0",
+                node_id="node-0",
+                addr=int(servers[0].addr),
+                region="scotland",
+            )
+        )
+        handoffs = []
+
+        def on_migrate(old, new):
+            handoffs.append((old.node_id, new.node_id))
+
+        engine.on_migrate = on_migrate
+        monitor.nodes["node-0"].load = 0.95
+        monitor.nodes["node-1"].load = 0.10
+        engine.add_constraint(LoadConstraint("replicator", monitor, max_load=0.8))
+        assert run_until(sim, lambda: engine.migrations, timeout=60.0)
+        [record] = engine.migrations
+        assert record.old_node == "node-0"
+        assert record.new_node == "node-1"
+        # The handoff hook fired with both sides, the original is gone
+        # from the state, and a real bundle landed on the new host.
+        assert handoffs == [("node-0", "node-1")]
+        assert engine.state.get("replicator-0@node-0") is None
+        assert [d.node_id for d in engine.state.live("replicator")] == ["node-1"]
+        assert record.new_instance in servers[1].components
+        # Cooldown: an immediately re-overloaded replacement is not
+        # bounced straight back — the previous move's metrics settle first.
+        monitor.nodes["node-1"].load = 0.95
+        engine.evaluate_now()
+        assert len(engine.migrations) == 1
+
+    def test_freshness_ranking_prefers_young_traffic(self):
+        """Migration placement keys on event age: the candidate that sees
+        the component's traffic youngest wins, and candidates that never
+        saw it rank last."""
+        positions = [SCOTLAND_POS.offset_km(i * 3.0, 0.0) for i in range(4)]
+        sim, network, servers, advertisers, monitor, engine = make_control_plane(
+            positions
+        )
+        engine.register_template("replicator", BundleTemplate(component="probe"))
+        sim.run_for(50.0)
+        engine.state.record(
+            Deployment(
+                component_type="replicator",
+                instance_name="replicator-0@node-0",
+                node_id="node-0",
+                addr=int(servers[0].addr),
+                region="scotland",
+            )
+        )
+        monitor.nodes["node-0"].event_age = 0.5  # far from demand
+        monitor.nodes["node-1"].event_age = None  # never saw the traffic
+        monitor.nodes["node-1"].load = 0.0
+        monitor.nodes["node-2"].event_age = 0.002  # sits next to demand
+        monitor.nodes["node-2"].load = 0.4
+        monitor.nodes["node-3"].event_age = 0.08
+        monitor.nodes["node-3"].load = 0.0
+        engine.add_constraint(
+            LoadConstraint("replicator", monitor, max_load=None, max_age_s=0.1)
+        )
+        assert run_until(sim, lambda: engine.migrations, timeout=60.0)
+        assert engine.migrations[0].new_node == "node-2"
+
+
 class TestPolicies:
     def make_storage_world(self):
         from repro.overlay import fast_build
@@ -276,3 +465,39 @@ class TestPolicies:
                 sim.now,
             )
         assert guid in remote.cache
+
+
+class TestDiurnalHistoryBounds:
+    def test_history_bounded_across_days(self):
+        """Multi-day streams of one-off guids must not grow the history
+        without bound: each (hour, region) bucket stays under its cap,
+        decay ages the cold tail out, and the genuinely hot guids keep
+        dominating the ranking across days."""
+        from repro.ids import guid_from_content
+
+        sim = Simulator(seed=3)
+        policy = DiurnalPrefetchPolicy(sim, {}, max_bucket_size=32)
+        hot = [guid_from_content(f"hot-{i}".encode()) for i in range(4)]
+        for day in range(3):
+            nine_am = day * 86400.0 + 9 * 3600.0 + 1.0
+            sim.run_for(nine_am - sim.now)
+            for i in range(300):
+                policy.record_access(
+                    guid_from_content(f"cold-{day}-{i}".encode()), "scotland"
+                )
+                if i % 10 == 0:
+                    for guid in hot:
+                        policy.record_access(guid, "scotland")
+            assert all(
+                len(bucket) <= 32 for bucket in policy.history.values()
+            ), f"bucket overflow on day {day}"
+        bucket = policy.history[(9, "scotland")]
+        assert len(bucket) <= 32
+        # Recurring guids survive three days of decay...
+        assert all(guid in bucket for guid in hot)
+        # ...while every day-0 one-off has been aged out.
+        assert all(
+            guid_from_content(f"cold-0-{i}".encode()) not in bucket
+            for i in range(300)
+        )
+        policy.stop()

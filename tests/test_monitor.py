@@ -1,0 +1,194 @@
+"""Direct tests for the HeartbeatMonitor (§4.4).
+
+The monitor is driven straight through ``on_event`` — no network, no
+brokers — so these tests pin its state machine exactly: when silence
+becomes suspicion, what graceful departure does, how a suspected node
+recovers, and that the periodic check survives publish callbacks that
+mutate the node table mid-iteration.
+"""
+
+import itertools
+
+from repro.events.model import make_event
+from repro.evolution import HeartbeatMonitor
+from repro.simulation import Simulator
+
+
+def make_monitor(suspect_after_s=60.0, check_interval_s=10.0):
+    sim = Simulator(seed=0)
+    published = []
+    monitor = HeartbeatMonitor(
+        sim,
+        published.append,
+        suspect_after_s=suspect_after_s,
+        check_interval_s=check_interval_s,
+    )
+    return sim, published, monitor
+
+
+def resource(sim, node="node-a", addr=7, load=0.2, **extra):
+    return make_event(
+        "resource",
+        time=sim.now,
+        node=node,
+        addr=addr,
+        region="scotland",
+        load=load,
+        **extra,
+    )
+
+
+class TestSuspectTiming:
+    def test_silence_is_tolerated_up_to_the_threshold(self):
+        sim, published, monitor = make_monitor()
+        monitor.on_event(resource(sim))
+        sim.run_for(59.0)  # silent, but not yet past suspect_after_s
+        assert monitor.nodes["node-a"].alive
+        assert monitor.failures_detected == []
+        assert published == []
+
+    def test_suspected_on_the_first_check_past_the_threshold(self):
+        sim, published, monitor = make_monitor()
+        monitor.on_event(resource(sim))
+        sim.run_for(80.0)
+        view = monitor.nodes["node-a"]
+        assert not view.alive
+        assert len(monitor.failures_detected) == 1
+        when, node_id = monitor.failures_detected[0]
+        assert node_id == "node-a"
+        # Checks run every 10s; the first strictly past last_seen + 60s
+        # is the one that fires.
+        assert 60.0 < when <= 70.0
+        [failure] = published
+        assert failure.event_type == "node-failed"
+        assert failure["node"] == "node-a"
+        assert failure["addr"] == 7
+        assert failure["reason"] == "suspected"
+
+    def test_refreshed_node_is_never_suspected(self):
+        sim, published, monitor = make_monitor()
+        for _ in range(10):
+            monitor.on_event(resource(sim))
+            sim.run_for(20.0)  # well inside suspect_after_s
+        assert monitor.nodes["node-a"].alive
+        assert monitor.failures_detected == []
+
+    def test_resource_attributes_land_in_the_view(self):
+        sim, published, monitor = make_monitor()
+        monitor.on_event(resource(sim, load=0.4, event_age=0.25, capacity=2.0))
+        view = monitor.nodes["node-a"]
+        assert view.load == 0.4
+        assert view.event_age == 0.25
+        assert view.capacity == 2.0
+        monitor.on_event(resource(sim, node="node-b", addr=8))
+        assert monitor.nodes["node-b"].event_age is None  # no samples reported
+
+
+class TestGracefulLeaving:
+    def test_node_leaving_marks_dead_and_announces(self):
+        sim, published, monitor = make_monitor()
+        monitor.on_event(resource(sim))
+        monitor.on_event(make_event("node-leaving", time=sim.now, node="node-a", addr=7))
+        assert not monitor.nodes["node-a"].alive
+        [failure] = published
+        assert failure.event_type == "node-failed"
+        assert failure["reason"] == "graceful"
+        # A graceful departure is an announcement, not a suspicion.
+        assert monitor.failures_detected == []
+
+    def test_unknown_and_repeated_leaving_are_noops(self):
+        sim, published, monitor = make_monitor()
+        monitor.on_event(make_event("node-leaving", time=sim.now, node="ghost", addr=1))
+        assert published == []
+        monitor.on_event(resource(sim))
+        leaving = make_event("node-leaving", time=sim.now, node="node-a", addr=7)
+        monitor.on_event(leaving)
+        monitor.on_event(leaving)  # duplicate announcement
+        assert sum(1 for e in published if e.event_type == "node-failed") == 1
+
+    def test_live_nodes_excludes_the_departed(self):
+        sim, published, monitor = make_monitor()
+        monitor.on_event(resource(sim, node="node-a", addr=1))
+        monitor.on_event(resource(sim, node="node-b", addr=2))
+        monitor.on_event(make_event("node-leaving", time=sim.now, node="node-a", addr=1))
+        assert [v.node_id for v in monitor.live_nodes()] == ["node-b"]
+
+
+class TestRecovery:
+    def test_suspected_node_resuming_publishes_node_recovered(self):
+        sim, published, monitor = make_monitor()
+        monitor.on_event(resource(sim))
+        sim.run_for(80.0)  # suspected
+        assert not monitor.nodes["node-a"].alive
+        monitor.on_event(resource(sim, load=0.3))
+        view = monitor.nodes["node-a"]
+        assert view.alive
+        assert view.load == 0.3
+        assert monitor.recoveries_detected == [(sim.now, "node-a")]
+        recovered = [e for e in published if e.event_type == "node-recovered"]
+        assert len(recovered) == 1
+        assert recovered[0]["node"] == "node-a"
+        assert recovered[0]["addr"] == 7
+
+    def test_first_sighting_is_not_a_recovery(self):
+        sim, published, monitor = make_monitor()
+        monitor.on_event(resource(sim))
+        monitor.on_event(resource(sim))  # refresh of a live node
+        assert monitor.recoveries_detected == []
+        assert not any(e.event_type == "node-recovered" for e in published)
+
+    def test_graceful_leave_then_resume_is_a_recovery(self):
+        sim, published, monitor = make_monitor()
+        monitor.on_event(resource(sim))
+        monitor.on_event(make_event("node-leaving", time=sim.now, node="node-a", addr=7))
+        monitor.on_event(resource(sim))
+        assert monitor.nodes["node-a"].alive
+        assert any(e.event_type == "node-recovered" for e in published)
+
+
+class TestCheckIterationSafety:
+    def test_publish_callback_may_mutate_nodes_mid_check(self):
+        """A node-failed consumer that reacts by registering replacement
+        nodes feeds resource events straight back into ``on_event`` while
+        ``_check`` is still iterating — the table grows mid-sweep and the
+        sweep must neither crash nor miss a suspect."""
+        sim = Simulator(seed=0)
+        published = []
+        spares = itertools.count()
+        monitor = None
+
+        def publish(event):
+            published.append(event)
+            if event.event_type == "node-failed":
+                monitor.on_event(
+                    make_event(
+                        "resource",
+                        time=sim.now,
+                        node=f"spare-{next(spares)}",
+                        addr=99,
+                        region="scotland",
+                        load=0.0,
+                    )
+                )
+
+        monitor = HeartbeatMonitor(sim, publish, suspect_after_s=30.0, check_interval_s=10.0)
+        for i in range(4):
+            monitor.on_event(
+                make_event(
+                    "resource",
+                    time=sim.now,
+                    node=f"node-{i}",
+                    addr=i,
+                    region="scotland",
+                    load=0.1,
+                )
+            )
+        sim.run_for(45.0)  # one check suspects all four silent nodes at once
+        failures = [e for e in published if e.event_type == "node-failed"]
+        assert len(failures) == 4
+        assert {e["node"] for e in failures} == {f"node-{i}" for i in range(4)}
+        # Each failure registered one spare, and every spare is alive.
+        assert len(monitor.nodes) == 8
+        assert sorted(v.node_id for v in monitor.live_nodes()) == [
+            f"spare-{i}" for i in range(4)
+        ]
