@@ -46,6 +46,13 @@ deliveries lost during the disturbance, the steady-state loss after it
 heals (always zero), the time to reconvergence and the detector's
 control-message bill.
 
+The eighth phase scales the rendezvous mode (``routing="dht"``) against
+flooding and adv_pruned on the same deterministic workload at 100–2000
+brokers: per-broker control state (which must grow sublinearly in the
+broker count for dht while flooding grows with population) and the hop
+stretch rendezvous paths pay relative to direct tree flooding, with
+exact zero-delivery-loss invariants across all three modes.
+
 Set ``E5_SMOKE=1`` to run the reduced CI sweep of the broker phases.
 """
 
@@ -57,7 +64,12 @@ import os
 import pytest
 
 from repro.events import placement
-from repro.events.broker import SienaClient, build_broker_mesh, build_broker_tree
+from repro.events.broker import (
+    SienaClient,
+    build_broker_mesh,
+    build_broker_tree,
+    build_dht_fleet,
+)
 from repro.events.failure import HeartbeatConfig
 from repro.events.filters import Filter, gt, type_is
 from repro.events.model import make_event
@@ -80,6 +92,11 @@ SELFHEAL_SWEEP = [(15, 2)] if SMOKE else [(15, 2), (31, 2)]
 PLACEMENT_SWEEP = [(15, 4)] if SMOKE else [(15, 4), (31, 6)]
 # brokers per adversarial scenario
 ADVERSARIAL_SWEEP = [15] if SMOKE else [15, 31]
+# broker counts for the dht rendezvous scale phase; the smallest point
+# is shared between smoke and full sweeps so the gate can compare runs
+DHT_SCALE_SWEEP = [100, 200] if SMOKE else [100, 500, 1000, 2000]
+DHT_SCALE_TOPICS = 8
+DHT_SCALE_PUBS = 24
 
 
 class _Collector(OverlayApplication):
@@ -907,3 +924,129 @@ def test_e5_freenet_retrieval_degrades(benchmark):
     # Non-deterministic: success is partial and degrades with scale.
     assert rows[0]["success_rate"] > rows[-1]["success_rate"]
     assert rows[-1]["success_rate"] < 1.0
+
+
+def dht_scale_stats(count: int, mode: str) -> dict:
+    """One routing mode over the shared deterministic scale workload.
+
+    The workload never reads the topology: producer/subscriber homes and
+    topic assignments are pure functions of ``(index, count)``, so the
+    flood, adv_pruned and dht runs see identical traffic and their
+    delivered counts are directly comparable (the zero-loss gate).
+    Publications carry ``time=sim.now`` and the network runs a fixed
+    per-hop latency, so ``recv_time - time`` measures path length — the
+    hop-stretch metric — without instrumenting any broker.
+    """
+    sim = Simulator(seed=91)
+    network = Network(sim, latency=FixedLatency(0.005))
+    if mode == "dht":
+        brokers = build_dht_fleet(sim, network, count)
+    else:
+        brokers = build_broker_tree(
+            sim,
+            network,
+            count,
+            branching=3,
+            indexed=True,
+            adv_pruned=(mode == "adv_pruned"),
+        )
+    topics = [f"topic-{i}" for i in range(DHT_SCALE_TOPICS)]
+    producers = []
+    for slot in range(4):
+        home = brokers[(slot * 104729 + 11) % count]
+        client = SienaClient(sim, network, Position(5.0, float(slot)), home)
+        # Producer ``slot`` publishes the seqs with seq % 4 == slot,
+        # whose topics cycle through {slot, slot + 4}.
+        for topic in (topics[slot], topics[slot + 4]):
+            client.advertise(Filter(type_is(topic)))
+        producers.append(client)
+    sim.run_for(5.0)  # advertisements settle before interest arrives
+    subscribers = []
+    for index in range(max(8, count // 10)):
+        home = brokers[(index * 7919 + 3) % count]
+        client = SienaClient(
+            sim, network, Position(6.0, float(index % 180)), home
+        )
+        client.subscribe(Filter(type_is(topics[index % DHT_SCALE_TOPICS])))
+        subscribers.append(client)
+    sim.run_for(10.0)  # subscription propagation / tree grafting converges
+    for seq in range(DHT_SCALE_PUBS):
+        producers[seq % 4].publish(
+            make_event(topics[seq % DHT_SCALE_TOPICS], time=sim.now, seq=seq)
+        )
+        sim.run_for(0.5)
+    sim.run_for(10.0)
+    states = [b.control_state_size() for b in brokers]
+    ages = [
+        recv_time - n["time"]
+        for client in subscribers
+        for recv_time, n in client.received
+    ]
+    return {
+        "mode": mode,
+        "brokers": count,
+        "delivered": sum(len(c.received) for c in subscribers),
+        "mean_state": sum(states) / len(states),
+        "max_state": max(states),
+        "mean_age": sum(ages) / len(ages) if ages else float("nan"),
+    }
+
+
+@pytest.mark.benchmark(group="e5")
+def test_e5_dht_rendezvous_scale(benchmark):
+    def sweep():
+        return [
+            {
+                mode: dht_scale_stats(count, mode)
+                for mode in ("flood", "adv_pruned", "dht")
+            }
+            for count in DHT_SCALE_SWEEP
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = []
+    json_rows = []
+    for per_mode in rows:
+        flood = per_mode["flood"]
+        dht = per_mode["dht"]
+        stretch = dht["mean_age"] / flood["mean_age"]
+        json_rows.append(
+            {
+                "brokers": flood["brokers"],
+                "flood": flood,
+                "adv_pruned": per_mode["adv_pruned"],
+                "dht": dht,
+                "hop_stretch": stretch,
+            }
+        )
+        for stats in (flood, per_mode["adv_pruned"], dht):
+            table.append(
+                [
+                    stats["brokers"],
+                    stats["mode"],
+                    stats["delivered"],
+                    fmt(stats["mean_state"], 1),
+                    stats["max_state"],
+                    fmt(stats["mean_age"] * 1000, 2),
+                    fmt(stretch, 2) if stats is dht else "",
+                ]
+            )
+    emit(
+        "e5_dht_scale",
+        "E5/dht: rendezvous routing vs flooding — control state and hop "
+        f"stretch ({'smoke' if SMOKE else 'full'} sweep)",
+        ["brokers", "mode", "delivered", "mean state", "max state",
+         "mean age (ms)", "stretch vs flood"],
+        table,
+    )
+    emit_json("e5_dht_scale", {"smoke": SMOKE, "rows": json_rows})
+    for row in json_rows:
+        # Zero loss: rendezvous delivers exactly what flooding delivers.
+        assert row["dht"]["delivered"] == row["flood"]["delivered"]
+        assert row["adv_pruned"]["delivered"] == row["flood"]["delivered"]
+        assert row["flood"]["delivered"] > 0
+    # Per-broker control state grows strictly sublinearly in broker count
+    # under dht routing — the whole point of rendezvous trees.
+    first, last = json_rows[0], json_rows[-1]
+    state_ratio = last["dht"]["mean_state"] / first["dht"]["mean_state"]
+    assert state_ratio < last["brokers"] / first["brokers"]

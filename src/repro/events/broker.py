@@ -117,7 +117,9 @@ from repro.events.filters import Filter, eq, exists, filters_intersect
 from repro.events.index import CoveringPoset, PredicateIndex
 from repro.events.placement import plan_extra_links
 from repro.events.model import Notification, make_event
+from repro.events.rendezvous import RendezvousEngine
 from repro.events.subscriptions import Subscription
+from repro.ids import GUID_DIGITS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.events.failure import FailureDetector, HeartbeatConfig
@@ -294,11 +296,22 @@ class BrokerNode(Host):
         batched: bool = False,
         advert_on_first_publish: bool = False,
         seen_ttl: float = 30.0,
+        routing: str = "flood",
+        rv_refresh: float = 1.0,
     ):
         super().__init__(sim, network, position)
+        if routing not in ("flood", "dht"):
+            raise ValueError(f"unknown routing mode: {routing!r}")
         self.covering_enabled = covering_enabled
         self.indexed = indexed
         self.adv_pruned = adv_pruned
+        # Routing mode: "flood" is Siena's subscription flooding (with
+        # or without adv_pruned); "dht" replaces the control-state flood
+        # with Scribe-style rendezvous trees on Pastry routing state
+        # (repro.events.rendezvous) — overlay links then only carry the
+        # membership gossip and heartbeats, while subscriptions stay
+        # local and publications travel point-to-point along the DHT.
+        self.routing = routing
         # Batched publication fast path: inbound PublishBatch bursts are
         # matched through PredicateIndex.match_batch and forwarded as
         # per-destination batches.  Off, a batch is unbundled and walked
@@ -386,6 +399,13 @@ class BrokerNode(Host):
         # Set by an attached BrokerMetrics; the publication paths feed it
         # every processed notification so it can age the traffic.
         self.metrics: "BrokerMetrics | None" = None
+        # The rendezvous engine exists only in dht mode; every flood
+        # suppression below keys off it.
+        self.rv: RendezvousEngine | None = (
+            RendezvousEngine(self, refresh_interval=rv_refresh)
+            if routing == "dht"
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Topology
@@ -453,6 +473,8 @@ class BrokerNode(Host):
             return
         self.neighbours.discard(neighbour)
         self._forget_neighbour(neighbour)
+        if self.rv is not None:
+            self.rv.on_link_down(neighbour)
 
     def restore_link(self, neighbour: Address) -> None:
         """One-sided link (re-)establishment with full state push.
@@ -469,6 +491,12 @@ class BrokerNode(Host):
         self._sync_new_neighbour(neighbour)
 
     def _sync_new_neighbour(self, neighbour: Address) -> None:
+        if self.rv is not None:
+            # No filter state crosses links in dht mode; a new/restored
+            # link instead exchanges membership snapshots, from which
+            # both sides re-graft their rendezvous trees.
+            self.rv.hello(neighbour)
+            return
         for source, filters in list(self.adverts_by_source.items()):
             if source == neighbour:
                 continue
@@ -546,6 +574,8 @@ class BrokerNode(Host):
             self._sub_sources.setdefault(filter, set()).add(source)
         self._sub_paths[(source, filter)] = path
         self._propagate_subscription(source, filter, path)
+        if self.rv is not None:
+            self.rv.on_subscribe(filter)
 
     def _narrow_stored(
         self,
@@ -634,6 +664,8 @@ class BrokerNode(Host):
         ]
 
     def _propagate_sub_widening(self, filter: Filter) -> None:
+        if self.rv is not None:
+            return
         for neighbour in self.neighbours:
             self._rewiden_forwarded(
                 neighbour, filter, self._sub_source_paths(filter, neighbour),
@@ -641,6 +673,8 @@ class BrokerNode(Host):
             )
 
     def _propagate_adv_widening(self, filter: Filter) -> None:
+        if self.rv is not None:
+            return
         for neighbour in self.neighbours:
             self._rewiden_forwarded(
                 neighbour, filter, self._adv_source_paths(filter, neighbour),
@@ -690,6 +724,8 @@ class BrokerNode(Host):
     def _propagate_subscription(
         self, source: Address, filter: Filter, path: tuple[Address, ...]
     ) -> None:
+        if self.rv is not None:
+            return  # dht mode: interest is grafted, never flooded
         for neighbour in self.neighbours:
             if neighbour == source:
                 continue
@@ -702,6 +738,8 @@ class BrokerNode(Host):
 
     def _remove_subscription(self, source: Address, filter: Filter) -> None:
         subs = self.subs_by_source.get(source, [])
+        if self.rv is not None and any(s.filter == filter for s in subs):
+            self.rv.on_unsubscribe(filter)
         self.subs_by_source[source] = [s for s in subs if s.filter != filter]
         if not self.subs_by_source[source]:
             del self.subs_by_source[source]
@@ -1038,6 +1076,8 @@ class BrokerNode(Host):
             self._adv_sources.setdefault(filter, set()).add(source)
         self._adv_paths[(source, filter)] = path
         self._propagate_advertisement(source, filter, path)
+        if self.rv is not None:
+            self.rv.on_advertise(source, filter)
         if self.adv_pruned and source in self.neighbours:
             # Deferred re-propagation: the new advertisement may unblock
             # subscriptions previously pruned toward its source.
@@ -1046,6 +1086,8 @@ class BrokerNode(Host):
     def _propagate_advertisement(
         self, source: Address, filter: Filter, path: tuple[Address, ...]
     ) -> None:
+        if self.rv is not None:
+            return  # dht mode: adverts register at their discovery root
         for neighbour in self.neighbours:
             if neighbour == source:
                 continue
@@ -1073,6 +1115,8 @@ class BrokerNode(Host):
                     poset.remove(self._adv_in_ids.pop(key))
                     if not len(poset):
                         del self._adv_in[source]
+        if removed and self.rv is not None:
+            self.rv.on_unadvertise(source, filter)
         if removed and self.adv_pruned and source in self.neighbours:
             # Symmetric retraction: subscriptions only this advertisement
             # justified are withdrawn from its source again.
@@ -1135,6 +1179,24 @@ class BrokerNode(Host):
         if self.indexed:
             return bool(self._adv_index.match(notification))
         return any(f.matches(notification) for f in self.advertisements())
+
+    def control_state_size(self) -> int:
+        """Routing-relevant control entries held by this broker.
+
+        The E5 scale phase's comparison metric.  Flood modes count every
+        stored and forwarded filter (subscriptions and advertisements) —
+        the O(global filters) burden rendezvous routing exists to shed.
+        dht mode counts the rendezvous engine's membership, tree, and
+        registry entries plus the broker's own local filter store.
+        """
+        local = sum(len(subs) for subs in self.subs_by_source.values()) + sum(
+            len(filters) for filters in self.adverts_by_source.values()
+        )
+        if self.rv is not None:
+            return local + self.rv.state_size()
+        return local + sum(
+            len(filters) for filters in self.forwarded.values()
+        ) + sum(len(filters) for filters in self.adverts_forwarded.values())
 
     # ------------------------------------------------------------------
     # Publication
@@ -1270,11 +1332,39 @@ class BrokerNode(Host):
         burst is unbundled through the one-at-a-time path instead.
         """
         items = [(notification, None) for notification in notifications]
+        if self.rv is not None:
+            for notification, pub_id in items:
+                self.inject_publication(source, notification, pub_id)
+            return
         if self.batched:
             self._process_publication_batch(source, items)
         else:
             for notification, pub_id in items:
                 self._process_publication(source, notification, pub_id)
+
+    def inject_publication(
+        self,
+        source: Address | None,
+        notification: Notification,
+        pub_id: tuple[Address, int] | None = None,
+    ) -> None:
+        """Entry point for first-hop traffic (clients, local producers).
+
+        Flood modes process in place — matching and neighbour forwarding
+        are one step.  In dht mode the publication is *also* handed to
+        the rendezvous engine, which routes a copy toward each key's
+        root for tree multicast; the local processing step still runs
+        first so attached subscribers hear about it without a round
+        trip, with ``OriginFloorCache`` dedup collapsing any echo.
+        """
+        if self.rv is None:
+            self._process_publication(source, notification, pub_id)
+            return
+        if pub_id is None:
+            pub_id = (self.addr, self._pub_seq)
+            self._pub_seq += 1
+        self._process_publication(source, notification, pub_id)
+        self.rv.publish(notification, pub_id)
 
     def _deliver(
         self,
@@ -1416,9 +1506,14 @@ class BrokerNode(Host):
         elif isinstance(payload, Unadvertise):
             self._remove_advertisement(src, payload.filter)
         elif isinstance(payload, Publish):
-            self._process_publication(src, payload.notification, payload.pub_id)
+            self.inject_publication(src, payload.notification, payload.pub_id)
         elif isinstance(payload, PublishBatch):
-            if self.batched:
+            if self.rv is not None:
+                # dht mode: unbundle through the rendezvous entry point —
+                # each publication keys its own tree.
+                for notification, pub_id in payload.items:
+                    self.inject_publication(src, notification, pub_id)
+            elif self.batched:
                 self._process_publication_batch(src, payload.items)
             else:
                 # Unbundle: a batch is just its publications in order.
@@ -1437,6 +1532,8 @@ class BrokerNode(Host):
             self._handle_transfer_request(payload)
         elif isinstance(payload, Transfer):
             self._handle_transfer(payload)
+        elif self.rv is not None and self.rv.handle(src, payload):
+            pass
         else:
             raise TypeError(f"unknown broker message: {payload!r}")
 
@@ -1547,7 +1644,7 @@ class BrokerMetrics:
         self.published += 1
         # Injected as a locally-originated publication: the digest routes
         # through the overlay exactly like the traffic it measures.
-        broker._process_publication(None, make_event("resource", time=broker.sim.now, **attrs))
+        broker.inject_publication(None, make_event("resource", time=broker.sim.now, **attrs))
 
     def stop(self) -> None:
         self._task.stop()
@@ -1636,6 +1733,8 @@ def build_broker_tree(
     advert_on_first_publish: bool = False,
     seen_ttl: float = 30.0,
     heartbeat: "HeartbeatConfig | None" = None,
+    routing: str = "flood",
+    rv_refresh: float = 1.0,
 ) -> list[BrokerNode]:
     """A tree-shaped (hence acyclic) broker overlay spread across regions.
 
@@ -1655,6 +1754,8 @@ def build_broker_tree(
             batched=batched,
             advert_on_first_publish=advert_on_first_publish,
             seen_ttl=seen_ttl,
+            routing=routing,
+            rv_refresh=rv_refresh,
         )
         for i in range(count)
     ]
@@ -1681,6 +1782,8 @@ def build_broker_mesh(
     heartbeat: "HeartbeatConfig | None" = None,
     placement: str = "latency",
     stretch_bound: float = 3.0,
+    routing: str = "flood",
+    rv_refresh: float = 1.0,
 ) -> list[BrokerNode]:
     """A broker mesh: the :func:`build_broker_tree` overlay plus
     ``extra_links`` redundant links between non-adjacent brokers.
@@ -1713,6 +1816,8 @@ def build_broker_mesh(
         advert_on_first_publish=advert_on_first_publish,
         seen_ttl=seen_ttl,
         heartbeat=heartbeat,
+        routing=routing,
+        rv_refresh=rv_refresh,
     )
     if placement == "latency":
         tree_edges = [(index, (index - 1) // branching) for index in range(1, count)]
@@ -1738,4 +1843,69 @@ def build_broker_mesh(
     rng.shuffle(candidates)
     for i, j in candidates[:extra_links]:
         brokers[i].connect(brokers[j])
+    return brokers
+
+
+def build_dht_fleet(
+    sim: Simulator,
+    network: Network,
+    count: int,
+    indexed: bool = True,
+    seen_ttl: float = 30.0,
+    rv_refresh: float = 1.0,
+    prefix_depth: int = 8,
+) -> list[BrokerNode]:
+    """A converged ``routing="dht"`` fleet built from global knowledge.
+
+    Mirrors :func:`repro.overlay.pastry.fast_build`: leaf sets come from
+    the sorted guid ring, prefix tables from geographically-closest
+    candidates per (row, digit) bucket — the state Pastry's join
+    protocol converges to, at O(N log N) build cost.  No overlay links
+    are created (rendezvous routing addresses peers directly through
+    the ring view), so the membership ``directory`` stays empty and the
+    per-broker control state the scale benchmark measures is the honest
+    O(log N) Pastry footprint.
+    """
+    rng = sim.rng_for("dht-fleet-build")
+    brokers = [
+        BrokerNode(
+            sim,
+            network,
+            WORLD_REGIONS[i % len(WORLD_REGIONS)].random_position(rng),
+            indexed=indexed,
+            seen_ttl=seen_ttl,
+            routing="dht",
+            rv_refresh=rv_refresh,
+        )
+        for i in range(count)
+    ]
+    ordered = sorted(brokers, key=lambda b: b.rv.guid.value)
+    total = len(ordered)
+    half = ordered[0].rv.leaf_size // 2
+    for index, broker in enumerate(ordered):
+        for offset in range(1, min(half, total - 1) + 1):
+            broker.rv.leaf.add(ordered[(index + offset) % total].rv.descriptor)
+            broker.rv.leaf.add(ordered[(index - offset) % total].rv.descriptor)
+
+    by_prefix: dict[str, list[BrokerNode]] = {}
+    for broker in brokers:
+        hex_id = broker.rv.guid.hex
+        for depth in range(1, prefix_depth + 1):
+            by_prefix.setdefault(hex_id[:depth], []).append(broker)
+
+    for broker in brokers:
+        hex_id = broker.rv.guid.hex
+        for row in range(min(prefix_depth, GUID_DIGITS)):
+            own_digit = broker.rv.guid.digit(row)
+            for col in range(16):
+                if col == own_digit:
+                    continue
+                candidates = by_prefix.get(hex_id[:row] + f"{col:x}")
+                if not candidates:
+                    continue
+                best = min(
+                    candidates[:16],
+                    key=lambda c: broker.position.distance_km(c.position),
+                )
+                broker.rv.table.add(best.rv.descriptor)
     return brokers

@@ -256,11 +256,20 @@ class PastryNode(Host):
                 hook(self)
 
     def leave(self) -> None:
-        """Graceful departure: tell everyone we know, then go dark (§4.4)."""
+        """Graceful departure: tell everyone we know, then go dark (§4.4).
+
+        The teardown also purges the node from the network's host table
+        (so liveness probes see it gone, not merely dead) and stops the
+        maintenance timer — a departed node must not linger as a
+        routable entry anywhere, or keys whose root it was would never
+        re-root.
+        """
         notice = Leave(self.node_id)
         for descriptor in set(list(self.routing_table) + self.leaf_set.members()):
             self.send(descriptor.addr, notice)
+        self._maintenance.stop()
         self.crash()
+        self.network.unregister(self.addr)
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -35,6 +35,7 @@ MODES = {
     "naive": dict(indexed=False),
     "indexed": dict(indexed=True),
     "adv_pruned": dict(indexed=True, adv_pruned=True),
+    "dht": dict(indexed=True, routing="dht"),
 }
 
 EVENT_TYPES = ["presence", "weather", "rfid", "gps"]
@@ -262,6 +263,7 @@ class TestRandomizedTreeEquivalence:
         results = {name: run_scenario(scenario, kw) for name, kw in MODES.items()}
         assert results["indexed"]["deliveries"] == results["naive"]["deliveries"]
         assert results["adv_pruned"]["deliveries"] == results["naive"]["deliveries"]
+        assert results["dht"]["deliveries"] == results["naive"]["deliveries"]
         for name, result in results.items():
             assert result["duplicates_ok"], name
         # Pruning must never forward *more* subscription traffic.
