@@ -262,27 +262,55 @@ class Transfer:
 
 
 class BrokerNode(Host):
-    """One broker in the acyclic overlay.
+    """One broker in the overlay (tree or mesh).
 
-    ``covering_enabled`` switches Siena's covering optimisation; disabling
-    it (exact-duplicate suppression only) is the ablation baseline measured
-    in benchmark A1.  ``indexed`` switches the predicate-indexed matching
-    fabric; disabling it restores the seed's linear scans (the baseline
-    measured in benchmark E13).  Both switches preserve delivery
-    semantics exactly — they only change what the dispatch path costs.
-    ``adv_pruned`` switches advertisement-pruned subscription forwarding
-    (benchmark E5's ablation): deliveries stay identical for traffic
-    whose producers advertise before publishing; unadvertised traffic is
-    only guaranteed to reach subscribers sharing the producer's broker.
-    All three switches compose with mesh overlays — cycles are handled
-    by path-tagged control state and per-origin publication dedup
-    (:class:`~repro.events.failure.OriginFloorCache`): ``seen_ttl`` is
-    the one knob, and it only has to exceed a publication's worst
-    transit through the overlay for exactly-once processing to hold.
-    They also compose with an attached
-    :class:`~repro.events.failure.FailureDetector`, which drives the
-    one-sided :meth:`drop_link`/:meth:`restore_link` primitives when
-    heartbeats stop (or resume) crossing a link.
+    Every optimisation is a constructor knob, each preserving delivery
+    semantics exactly (the equivalence suites pin this) while changing
+    what the hot paths cost.  Knob by knob:
+
+    ``covering_enabled`` (default ``True``) — Siena's covering
+      optimisation on forwarded control state; ``False`` (exact-duplicate
+      suppression only) is the ablation measured in benchmark A1.
+    ``indexed`` (default ``True``) — the counting
+      :class:`~repro.events.index.PredicateIndex` matching fabric;
+      ``False`` restores the seed's linear scans, the "naive" ablation
+      measured in benchmark E13.
+    ``adv_pruned`` (default ``False``) — advertisement-pruned
+      subscription forwarding, benchmark E5's ablation: subscriptions
+      travel only toward advertising subtrees.  Deliveries stay
+      identical for producers that advertise before publishing;
+      unadvertised traffic is only guaranteed local delivery (see
+      ``advert_on_first_publish``).
+    ``batched`` (default ``False``) — the PublishBatch fast path:
+      inbound bursts share one ``match_batch`` sweep and forward as
+      per-destination batches (benchmark E13's batch rows).  Off, bursts
+      unbundle through the one-at-a-time path, identically.
+    ``advert_on_first_publish`` (default ``False``) — legacy-producer
+      escape hatch under ``adv_pruned``: synthesise an advertisement
+      from the first unadvertised publication's shape.
+    ``seen_ttl`` (default ``30.0`` s) — per-origin publication dedup
+      horizon (:class:`~repro.events.failure.OriginFloorCache`); must
+      exceed a publication's worst transit for exactly-once processing
+      on cyclic overlays.
+    ``routing`` (default ``"flood"``) — ``"flood"`` is Siena's
+      subscription flooding; ``"dht"`` replaces the control-state flood
+      with Scribe-style rendezvous trees on Pastry state
+      (:mod:`repro.events.rendezvous`), measured against flooding in
+      benchmark E5's ``dht_scale`` phase.
+    ``rv_refresh`` (default ``1.0`` s) — rendezvous soft-state refresh
+      period; only meaningful under ``routing="dht"``.
+    ``shards`` (default ``1``) — partitioned local matching
+      (:class:`~repro.events.sharding.ShardedSubscriptionIndex`): the
+      subscription table splits across this many subject shards so each
+      event pays only its shard's candidate pools (benchmark E14;
+      2.67× at 4 shards on the city workload).  Requires ``indexed``;
+      ``1`` keeps the monolithic index — the E14 ablation baseline.
+
+    All knobs compose with mesh overlays — cycles are handled by
+    path-tagged control state and the per-origin dedup floor — and with
+    an attached :class:`~repro.events.failure.FailureDetector`, which
+    drives the one-sided :meth:`drop_link`/:meth:`restore_link`
+    primitives when heartbeats stop (or resume) crossing a link.
     """
 
     def __init__(
@@ -298,10 +326,15 @@ class BrokerNode(Host):
         seen_ttl: float = 30.0,
         routing: str = "flood",
         rv_refresh: float = 1.0,
+        shards: int = 1,
     ):
         super().__init__(sim, network, position)
         if routing not in ("flood", "dht"):
             raise ValueError(f"unknown routing mode: {routing!r}")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shards > 1 and not indexed:
+            raise ValueError("sharded matching requires indexed=True")
         self.covering_enabled = covering_enabled
         self.indexed = indexed
         self.adv_pruned = adv_pruned
@@ -346,8 +379,21 @@ class BrokerNode(Host):
         # The matching-fabric structures exist regardless of the switch
         # (they are cheap when empty); only the indexed path consults them.
         # Counting index over every stored subscription (payload: the
-        # source it arrived from) — drives _process_publication.
-        self._sub_index = PredicateIndex()
+        # source it arrived from) — drives _process_publication.  With
+        # shards > 1 the index is partitioned by event subject so each
+        # publication sweeps only its partition's candidate pools
+        # (repro.events.sharding); deliveries are identical either way.
+        self.shards = shards
+        if shards > 1:
+            # Imported lazily: sharding.py uses this module's wire
+            # dataclasses, so a top-level import would be circular.
+            from repro.events.sharding import ShardedSubscriptionIndex, ShardPlan
+
+            self._sub_index: PredicateIndex = ShardedSubscriptionIndex(
+                ShardPlan(shards)
+            )
+        else:
+            self._sub_index = PredicateIndex()
         self._sub_entry_ids: dict[tuple[Address, Filter], int] = {}
         # Covering poset over the same store — drives the "what was
         # the removed filter masking?" query on unsubscribe.
@@ -1651,7 +1697,19 @@ class BrokerMetrics:
 
 
 class SienaClient(Host):
-    """An event producer/consumer attached to one broker."""
+    """An event producer/consumer attached to one broker.
+
+    The client side of the paper's access protocol: :meth:`subscribe` /
+    :meth:`unsubscribe` register interest, :meth:`advertise` /
+    :meth:`unadvertise` declare publication shapes (what ``adv_pruned``
+    brokers route by), :meth:`publish` stamps a per-client sequence id
+    (the overlay's exactly-once dedup key) and :meth:`publish_batch`
+    sends a burst as one wire message for the broker's ``batched``
+    path.  Deliveries land in :attr:`received` as ``(sim-time,
+    notification)`` pairs and fan out to any registered
+    :attr:`handlers`.  Mobility (MoveIn/MoveOut hand-off between
+    brokers) lives in :class:`~repro.events.mobility.MobileClient`.
+    """
 
     def __init__(
         self,
@@ -1735,6 +1793,7 @@ def build_broker_tree(
     heartbeat: "HeartbeatConfig | None" = None,
     routing: str = "flood",
     rv_refresh: float = 1.0,
+    shards: int = 1,
 ) -> list[BrokerNode]:
     """A tree-shaped (hence acyclic) broker overlay spread across regions.
 
@@ -1756,6 +1815,7 @@ def build_broker_tree(
             seen_ttl=seen_ttl,
             routing=routing,
             rv_refresh=rv_refresh,
+            shards=shards,
         )
         for i in range(count)
     ]
@@ -1784,6 +1844,7 @@ def build_broker_mesh(
     stretch_bound: float = 3.0,
     routing: str = "flood",
     rv_refresh: float = 1.0,
+    shards: int = 1,
 ) -> list[BrokerNode]:
     """A broker mesh: the :func:`build_broker_tree` overlay plus
     ``extra_links`` redundant links between non-adjacent brokers.
@@ -1803,6 +1864,16 @@ def build_broker_mesh(
     * ``"random"`` — uniformly random non-adjacent pairs, seeded
       through ``sim.rng_for``; the ablation the E5 placement phase
       prices the planner against.
+
+    ``branching`` (default 3) shapes the underlying tree and
+    ``extra_links`` (default 2) counts the chords; passing a
+    :class:`~repro.events.failure.HeartbeatConfig` as ``heartbeat``
+    attaches a failure detector to every broker, making the mesh
+    self-healing.  The remaining keywords (``covering_enabled``,
+    ``indexed``, ``adv_pruned``, ``batched``, ``advert_on_first_publish``,
+    ``seen_ttl``, ``routing``, ``rv_refresh``, ``shards``) pass through
+    to every :class:`BrokerNode` — see its docstring for what each
+    ablates and its default.
     """
     brokers = build_broker_tree(
         sim,
@@ -1818,6 +1889,7 @@ def build_broker_mesh(
         heartbeat=heartbeat,
         routing=routing,
         rv_refresh=rv_refresh,
+        shards=shards,
     )
     if placement == "latency":
         tree_edges = [(index, (index - 1) // branching) for index in range(1, count)]
@@ -1865,6 +1937,18 @@ def build_dht_fleet(
     the ring view), so the membership ``directory`` stays empty and the
     per-broker control state the scale benchmark measures is the honest
     O(log N) Pastry footprint.
+
+    Knobs: ``indexed`` (default ``True``) selects the predicate-indexed
+    matching fabric as on :class:`BrokerNode`; ``seen_ttl`` (default
+    ``30.0`` s) bounds the per-origin dedup floor; ``rv_refresh``
+    (default ``1.0`` s) is the rendezvous soft-state refresh period —
+    lower heals faster, higher sends less control traffic;
+    ``prefix_depth`` (default ``8``) caps the prefix-table rows built
+    per broker, trading routing-table size against hop count at the
+    bench's fleet sizes.  Use this builder for scale measurements
+    (bench E5 ``dht_scale``); for protocol-level join/heal behaviour
+    build small fleets organically via ``BrokerNode(routing="dht")``
+    plus :meth:`BrokerNode.connect`.
     """
     rng = sim.rng_for("dht-fleet-build")
     brokers = [

@@ -20,9 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.events.filters import Filter
+from repro.events.filters import Filter, Op
 from repro.events.index import PredicateIndex
 from repro.events.model import Notification
+from repro.events.rendezvous import canonical_subject
 from repro.net.geo import Position
 from repro.net.host import Host
 from repro.net.network import Address, Network
@@ -49,6 +50,39 @@ class ElvinPublishBatch:
     """A burst of publications in one wire message, in publish order."""
 
     notifications: tuple
+
+
+@dataclass
+class ElvinSubscribeBatch:
+    """Several subscription changes applied as one wire message.
+
+    ``subscribes`` are added and ``unsubscribes`` removed in order; the
+    server recomputes and pushes its quench snapshot once for the whole
+    batch instead of once per individual change.
+    """
+
+    subscribes: tuple = ()
+    unsubscribes: tuple = ()
+
+
+@dataclass
+class ElvinQuenchRequest:
+    """A publisher opting in to quench snapshots from the server."""
+
+
+@dataclass
+class ElvinQuench:
+    """The server's suppression snapshot, pushed to opted-in publishers.
+
+    ``types`` holds the canonical ``type`` values some subscription is
+    pinned to (via a ``type`` equality constraint); ``any_wildcard`` is
+    set when at least one subscription is not pinned and so could match
+    any event.  A publisher may drop a notification client-side exactly
+    when no filter on the server could possibly match it.
+    """
+
+    types: frozenset
+    any_wildcard: bool
 
 
 @dataclass
@@ -85,9 +119,50 @@ class ElvinServer(Host):
         self.notifications_processed = 0
         self.notifications_delivered = 0
         self.match_operations = 0
+        # Elvin's quench mechanism: publishers may opt in to receive a
+        # suppression snapshot so they can drop traffic no subscription
+        # could match before it ever reaches the server.
+        self._quenchers: set[Address] = set()
+        self._last_quench: ElvinQuench | None = None
+        self.quench_pushes = 0
         if indexed:
             self._index = PredicateIndex()
             self._entry_ids: dict[tuple[Address, Filter], int] = {}
+
+    def _quench_snapshot(self) -> ElvinQuench:
+        """The current suppression snapshot over all subscriptions.
+
+        Mirrors the rendezvous layer's ``filter_key`` logic: a ``type``
+        equality constraint pins the only subject a filter can match, so
+        it contributes that canonical value; any filter without one
+        could match anything and raises ``any_wildcard``.
+        """
+        types: set[str] = set()
+        any_wildcard = False
+        for filters in self.subscriptions.values():
+            for filter in filters:
+                pinned = None
+                for constraint in filter.constraints:
+                    if constraint.name == "type" and constraint.op is Op.EQ:
+                        pinned = canonical_subject(constraint.value)
+                        break
+                if pinned is None:
+                    any_wildcard = True
+                else:
+                    types.add(pinned)
+        return ElvinQuench(frozenset(types), any_wildcard)
+
+    def _push_quench(self) -> None:
+        """Push the snapshot to opted-in publishers if it changed."""
+        if not self._quenchers:
+            return
+        snapshot = self._quench_snapshot()
+        if snapshot == self._last_quench:
+            return
+        self._last_quench = snapshot
+        self.quench_pushes += 1
+        for client in self._quenchers:
+            self.send(client, snapshot, size_bytes=64 + 16 * len(snapshot.types))
 
     def _subscribe(self, src: Address, filter: Filter) -> None:
         filters = self.subscriptions.setdefault(src, [])
@@ -158,8 +233,24 @@ class ElvinServer(Host):
     def handle_message(self, src: Address, payload) -> None:
         if isinstance(payload, ElvinSubscribe):
             self._subscribe(src, payload.filter)
+            self._push_quench()
         elif isinstance(payload, ElvinUnsubscribe):
             self._unsubscribe(src, payload.filter)
+            self._push_quench()
+        elif isinstance(payload, ElvinSubscribeBatch):
+            # Apply every change first so opted-in publishers see one
+            # snapshot push for the whole batch, not one per filter.
+            for filter in payload.subscribes:
+                self._subscribe(src, filter)
+            for filter in payload.unsubscribes:
+                self._unsubscribe(src, filter)
+            self._push_quench()
+        elif isinstance(payload, ElvinQuenchRequest):
+            self._quenchers.add(src)
+            snapshot = self._quench_snapshot()
+            self._last_quench = snapshot
+            self.quench_pushes += 1
+            self.send(src, snapshot, size_bytes=64 + 16 * len(snapshot.types))
         elif isinstance(payload, ElvinPublish):
             self._publish(payload.notification)
         elif isinstance(payload, ElvinPublishBatch):
@@ -182,6 +273,11 @@ class ElvinClient(Host):
         self.server_addr = server.addr
         self.received: list[tuple[float, Notification]] = []
         self.handlers: list[Callable[[Notification], None]] = []
+        # Quench state: None until the server pushes a snapshot (after
+        # request_quench); while set, publishes no subscription could
+        # match are dropped here instead of loading the server.
+        self.quench: ElvinQuench | None = None
+        self.quenched = 0
 
     def subscribe(self, filter: Filter) -> None:
         self.send(self.server_addr, ElvinSubscribe(filter), size_bytes=128)
@@ -189,21 +285,51 @@ class ElvinClient(Host):
     def unsubscribe(self, filter: Filter) -> None:
         self.send(self.server_addr, ElvinUnsubscribe(filter), size_bytes=128)
 
+    def subscribe_batch(self, subscribes: list, unsubscribes: list = ()) -> None:
+        """Apply several subscription changes as one wire message."""
+        self.send(
+            self.server_addr,
+            ElvinSubscribeBatch(tuple(subscribes), tuple(unsubscribes)),
+            size_bytes=128 * (len(subscribes) + len(unsubscribes)),
+        )
+
+    def request_quench(self) -> None:
+        """Opt in to server quench snapshots for client-side suppression."""
+        self.send(self.server_addr, ElvinQuenchRequest(), size_bytes=32)
+
+    def _wants(self, notification: Notification) -> bool:
+        """Could any subscription in the last snapshot match this?"""
+        if self.quench is None or self.quench.any_wildcard:
+            return True
+        subject = notification.get("type")
+        if subject is None:
+            return False
+        return canonical_subject(subject) in self.quench.types
+
     def publish(self, notification: Notification) -> None:
+        if not self._wants(notification):
+            self.quenched += 1
+            return
         self.send(
             self.server_addr, ElvinPublish(notification), size_bytes=notification.size_bytes()
         )
 
     def publish_batch(self, notifications: list) -> None:
-        """Publish a burst as one wire message."""
+        """Publish a burst as one wire message, quenching dead traffic."""
+        wanted = [n for n in notifications if self._wants(n)]
+        self.quenched += len(notifications) - len(wanted)
+        if not wanted:
+            return
         self.send(
             self.server_addr,
-            ElvinPublishBatch(tuple(notifications)),
-            size_bytes=sum(n.size_bytes() for n in notifications),
+            ElvinPublishBatch(tuple(wanted)),
+            size_bytes=sum(n.size_bytes() for n in wanted),
         )
 
     def handle_message(self, src: Address, payload) -> None:
-        if isinstance(payload, ElvinNotify):
+        if isinstance(payload, ElvinQuench):
+            self.quench = payload
+        elif isinstance(payload, ElvinNotify):
             self.received.append((self.sim.now, payload.notification))
             for handler in list(self.handlers):
                 handler(payload.notification)

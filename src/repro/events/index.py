@@ -482,6 +482,13 @@ class _AttributeIndex:
         return ops
 
 
+# Bound on the persistent heavy-signature cache of the pure-python
+# match_batch fallback; on overflow the whole cache resets (entries are
+# cheap to rebuild and workloads with > this many live shapes churn
+# anyway).
+_PY_BASE_CACHE_MAX = 128
+
+
 class PredicateIndex:
     """Counting-algorithm index: ``match`` returns every matching filter.
 
@@ -511,6 +518,13 @@ class PredicateIndex:
         self._counts: list[int] = []
         self._touched: list[int] = []
         self._np_needs = None  # lazily rebuilt numpy mirror of _needs
+        # Persistent cross-batch cache for the pure-python match_batch
+        # fallback: heavy-key signature -> (base counts, base matches).
+        # Entries are read-only once built, so they stay valid until the
+        # subscription table changes (add/remove clear the cache).
+        self._py_bases: dict[frozenset, tuple[list[int], frozenset]] = {}
+        self.batch_cache_hits = 0
+        self.batch_cache_misses = 0
 
     def __len__(self) -> int:
         return len(self._filters)
@@ -527,6 +541,7 @@ class PredicateIndex:
                 constraint, fid
             )
         self._np_needs = None
+        self._py_bases.clear()
         return fid
 
     def remove(self, fid: int) -> Any:
@@ -535,6 +550,7 @@ class PredicateIndex:
         for constraint in filter.constraints:
             self._attributes[constraint.name].remove(constraint, fid)
         self._np_needs = None
+        self._py_bases.clear()
         return self._payloads.pop(fid)
 
     def payload(self, fid: int) -> Any:
@@ -652,13 +668,18 @@ class PredicateIndex:
             return fids
 
         # Keys shared by >= heavy_min notifications are folded into one
-        # base counter array per distinct heavy-key signature; each
-        # notification then only walks its rare keys.
-        bases: dict[frozenset, tuple[list[int], frozenset]] = {}
+        # base counter array per distinct heavy-key signature.  The map
+        # persists across calls: steady workloads (same attribute shapes
+        # batch after batch) reuse base arrays instead of rebuilding them,
+        # until a subscription change clears the cache.
+        bases = self._py_bases
 
         def base_for(sig: frozenset, attrs: dict) -> tuple[list[int], frozenset]:
             entry = bases.get(sig)
             if entry is None:
+                self.batch_cache_misses += 1
+                if len(bases) >= _PY_BASE_CACHE_MAX:
+                    bases.clear()
                 counts = [0] * n_ids
                 for key in sig:
                     for fid in candidates(attrs[key], key):
@@ -670,6 +691,8 @@ class PredicateIndex:
                     if counts[fid] == needs[fid]
                 )
                 entry = bases[sig] = (counts, matched)
+            else:
+                self.batch_cache_hits += 1
             return entry
 
         results: list[set[int]] = []

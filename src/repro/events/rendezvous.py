@@ -250,7 +250,26 @@ class _KeyState:
 
 
 class RendezvousEngine:
-    """Per-broker rendezvous state machine (one per ``routing="dht"`` broker)."""
+    """Per-broker rendezvous state machine (one per ``routing="dht"`` broker).
+
+    Owns the broker's Pastry view (leaf set + prefix routing table +
+    membership directory), its per-key multicast tree state, and the
+    soft-state refresh loop that keeps both alive under churn.  The
+    owning :class:`~repro.events.broker.BrokerNode` delegates here
+    instead of flooding: subscriptions join their subject key's tree,
+    advertisements register at the key's root, publications route
+    point-to-point toward the root and fan down the tree.
+
+    Knobs: ``leaf_size`` (default ``8``) is the Pastry leaf-set radius —
+    larger tolerates more simultaneous adjacent failures at more state
+    per broker; ``refresh_interval`` (default ``1.0`` s, surfaced as
+    ``rv_refresh`` on the broker) paces tree re-join / advert
+    re-registration and sets the child expiry ``child_ttl`` to 3.5×
+    itself — lower heals partitions and crashed roots faster, higher
+    cuts steady-state control traffic.  The flooding ablation is simply
+    ``routing="flood"`` on the broker; E5's ``dht_scale`` phase prices
+    the two against each other.
+    """
 
     def __init__(
         self,

@@ -1,0 +1,494 @@
+"""Sharded subscription matching: partitioned indexes behind a thin router.
+
+The monolithic :class:`~repro.events.index.PredicateIndex` pays for the
+*whole* population on every event: range thresholds, EXISTS lists and NE
+pools are keyed only by attribute name, so an event carrying
+``strength`` sweeps every subscription constraining ``strength`` —
+regardless of the event's subject.  This module partitions the
+subscription space by the event subject (the ``type`` attribute, the
+same key rendezvous routing hashes) so each shard owns its own
+``PredicateIndex`` over roughly ``1/n`` of the population, and a
+publication visits **exactly one** shard:
+
+* A filter that pins the partition attribute with an ``EQ`` constraint
+  is stored only on the owner shard of that value (consistent hashing
+  over :func:`~repro.events.rendezvous.canonical_subject`, so ``2`` and
+  ``2.0`` land together exactly as matching equality folds them).
+* Every other filter — no partition constraint, or a non-``EQ`` one —
+  is a *wildcard* with respect to the partition and is replicated to
+  all shards.  Replication is the correctness backstop: whichever shard
+  an event visits, the wildcards are there.
+* A publication routes to the owner shard of its subject value, or to a
+  dedicated absent-subject bucket when the attribute is missing (only
+  wildcards can match such an event, and those are everywhere).
+
+Every matching subscription is therefore found on the one visited shard,
+once — no cross-shard deduplication, and deliveries are identical to the
+monolith by construction (the randomized equivalence suites pin this).
+
+Three layers share the plan:
+
+* :class:`ShardedSubscriptionIndex` — an in-process drop-in for
+  ``PredicateIndex`` (``add``/``remove``/``match``/``match_batch``/
+  ``payload``), selected by ``BrokerNode(shards=n)``.
+* :class:`ShardRouter` + :class:`ShardEndpoint` — the message-passing
+  fleet: a thin front that fans ``Publish``/``PublishBatch`` to only
+  the shard whose partition can match, with consistent-hash client
+  placement (each client has a *home* shard responsible for its
+  deliveries).  Both are transport-agnostic: the same objects run on
+  the simulated kernel (``repro.simulation.transport.SimTransport``)
+  and on real sockets (``repro.net.transport.AsyncioTransport``).
+* :class:`FleetClient` — a minimal client for either transport.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.events.broker import (
+    NotifyBatch,
+    Publish,
+    PublishBatch,
+    Subscribe,
+    Unsubscribe,
+)
+from repro.events.filters import Filter, Op
+from repro.events.index import PredicateIndex
+from repro.events.model import Notification
+from repro.events.rendezvous import canonical_subject
+
+Address = Hashable
+
+# Canonical token for "the event has no partition attribute".  Family
+# tags from canonical_subject are single letters followed by ':', so no
+# real subject canonicalises to this.
+_ABSENT = "\x00absent"
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit hash (process-independent, unlike ``hash``)."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class ShardPlan:
+    """Consistent-hash placement of subjects and clients onto shards.
+
+    The ring carries ``vnodes`` virtual points per shard so both subject
+    ownership and client homes stay balanced, and growing the shard
+    count moves only ``~1/n`` of the keys.  The plan is a pure function
+    of ``(n_shards, partition_attr, vnodes)``: every router, shard and
+    client can compute placement locally with no coordination.
+    """
+
+    def __init__(
+        self, n_shards: int, partition_attr: str = "type", vnodes: int = 32
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+        self.partition_attr = partition_attr
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(n_shards):
+            for v in range(vnodes):
+                points.append((_hash64(f"shard:{shard}:{v}"), shard))
+        points.sort()
+        self._ring_keys = [p[0] for p in points]
+        self._ring_shards = [p[1] for p in points]
+        self._owner_cache: dict[str, int] = {}
+
+    def _locate(self, h: int) -> int:
+        i = bisect.bisect_right(self._ring_keys, h)
+        if i == len(self._ring_keys):
+            i = 0
+        return self._ring_shards[i]
+
+    def owner(self, canon: str) -> int:
+        """Owner shard of one canonical subject string."""
+        shard = self._owner_cache.get(canon)
+        if shard is None:
+            shard = self._locate(_hash64("subject:" + canon))
+            self._owner_cache[canon] = shard
+        return shard
+
+    def shard_of_value(self, value: Any) -> int:
+        """Owner shard of one partition-attribute value."""
+        return self.owner(canonical_subject(value))
+
+    def shard_of_event(self, notification: Notification) -> int:
+        """The single shard a publication must visit."""
+        value = notification.get(self.partition_attr)
+        if value is None and self.partition_attr not in notification:
+            return self.owner(_ABSENT)
+        return self.owner(canonical_subject(value))
+
+    def shard_of_filter(self, filter: Filter) -> int | None:
+        """Owner shard of a filter, or ``None`` for wildcards.
+
+        ``None`` means "replicate to every shard": the filter has no
+        ``EQ`` constraint on the partition attribute, so it could match
+        events routed to any shard.  A filter with *several* partition
+        equalities can only match events satisfying all of them, so any
+        one pins a sound owner (mirrors ``rendezvous.filter_key``).
+        """
+        name = self.partition_attr
+        for constraint in filter.constraints:
+            if constraint.name == name and constraint.op is Op.EQ:
+                return self.owner(canonical_subject(constraint.value))
+        return None
+
+    def home(self, client: Address) -> int:
+        """The shard responsible for delivering to ``client``.
+
+        Consistent-hash client placement spreads delivery fan-out work
+        across the fleet instead of funnelling it through the router.
+        """
+        return self._locate(_hash64(f"client:{client!r}"))
+
+
+class ShardedSubscriptionIndex:
+    """Drop-in for :class:`PredicateIndex`, partitioned across shards.
+
+    Same surface — ``add(filter, payload) -> rid``, ``remove(rid)``,
+    ``match(n) -> set[rid]``, ``match_batch``, ``payload(rid)``,
+    ``filter_of(rid)`` — so ``BrokerNode`` swaps it in unchanged.  Each
+    shard is a private ``PredicateIndex``; a match visits exactly one,
+    so per-event candidate work (threshold windows, EXISTS lists, NE
+    pools) shrinks by roughly the shard count on balanced workloads.
+    """
+
+    def __init__(self, plan: ShardPlan) -> None:
+        self.plan = plan
+        self.shards = [PredicateIndex() for _ in range(plan.n_shards)]
+        # rid -> ((shard, fid), ...); one pair for pinned filters, one
+        # per shard for replicated wildcards.
+        self._entries: dict[int, tuple[tuple[int, int], ...]] = {}
+        self._filters: dict[int, Filter] = {}
+        self._payloads: dict[int, Any] = {}
+        # Per-shard reverse map: local fid -> global rid.  A dense list,
+        # not a dict — PredicateIndex allocates fids monotonically, and
+        # this lookup runs once per *match*, the hottest spot here.
+        # Removed fids leave a stale slot that no match can return.
+        self._rid_of: list[list[int]] = [[] for _ in range(plan.n_shards)]
+        self._next_rid = 0
+        self.replicated = 0  # live wildcard registrations
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    @property
+    def ops(self) -> int:
+        """Total candidate-inspection work across all shards."""
+        return sum(shard.ops for shard in self.shards)
+
+    def add(self, filter: Filter, payload: Any = None) -> int:
+        rid = self._next_rid
+        self._next_rid += 1
+        target = self.plan.shard_of_filter(filter)
+        if target is None:
+            shard_ids: Iterable[int] = range(self.plan.n_shards)
+            self.replicated += 1
+        else:
+            shard_ids = (target,)
+        entries = []
+        for sid in shard_ids:
+            fid = self.shards[sid].add(filter, payload=payload)
+            rid_of = self._rid_of[sid]
+            assert fid == len(rid_of)
+            rid_of.append(rid)
+            entries.append((sid, fid))
+        self._entries[rid] = tuple(entries)
+        self._filters[rid] = filter
+        self._payloads[rid] = payload
+        return rid
+
+    def remove(self, rid: int) -> Any:
+        entries = self._entries.pop(rid)
+        if len(entries) > 1:
+            self.replicated -= 1
+        for sid, fid in entries:
+            self.shards[sid].remove(fid)
+        del self._filters[rid]
+        return self._payloads.pop(rid)
+
+    def payload(self, rid: int) -> Any:
+        return self._payloads[rid]
+
+    def filter_of(self, rid: int) -> Filter:
+        return self._filters[rid]
+
+    def match(self, notification: Notification) -> set[int]:
+        sid = self.plan.shard_of_event(notification)
+        rid_of = self._rid_of[sid]
+        return {rid_of[fid] for fid in self.shards[sid].match(notification)}
+
+    def match_batch(
+        self, notifications: list, vectorized: bool | None = None
+    ) -> list[set[int]]:
+        groups: dict[int, list[int]] = {}
+        for i, notification in enumerate(notifications):
+            groups.setdefault(self.plan.shard_of_event(notification), []).append(i)
+        results: list[set[int] | None] = [None] * len(notifications)
+        for sid, positions in groups.items():
+            rid_of = self._rid_of[sid]
+            matched = self.shards[sid].match_batch(
+                [notifications[i] for i in positions], vectorized=vectorized
+            )
+            for i, fids in zip(positions, matched):
+                results[i] = {rid_of[fid] for fid in fids}
+        return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Fleet plane: router + shard endpoints over an abstract transport
+# ----------------------------------------------------------------------
+# The fleet speaks the broker wire dataclasses (Subscribe, Publish,
+# PublishBatch, NotifyBatch, ...) plus four shard-plane envelopes:
+
+
+@dataclass(slots=True)
+class Routed:
+    """Router->shard envelope preserving the originating client."""
+
+    source: Address
+    message: Any
+
+
+@dataclass(slots=True)
+class Attach:
+    """Tell a shard it is the home (delivery owner) of ``client``."""
+
+    client: Address
+
+
+@dataclass(slots=True)
+class Detach:
+    client: Address
+
+
+@dataclass(slots=True)
+class Deliver:
+    """Matching shard -> home shard: notifications grouped per client.
+
+    ``items`` is ``((client, (notification, ...)), ...)``.  The home
+    shard unwraps each group into a client-facing :class:`NotifyBatch`.
+    """
+
+    items: tuple
+
+
+SendFn = Callable[[Address, Address, Any], None]
+
+
+class ShardEndpoint:
+    """One worker shard: a partition of the subscription space.
+
+    Holds its own :class:`PredicateIndex`, matches the publications the
+    router fans to it, and groups matched deliveries by each subscriber's
+    *home* shard (``plan.home``) so fan-out work spreads over the fleet.
+    Transport-agnostic: ``send(src, dst, payload)`` is the only effect.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        plan: ShardPlan,
+        addr: Address,
+        send: SendFn,
+        shard_addrs: dict[int, Address],
+    ) -> None:
+        self.shard_id = shard_id
+        self.plan = plan
+        self.addr = addr
+        self._send = send
+        self.shard_addrs = shard_addrs
+        self.index = PredicateIndex()
+        self._entry_ids: dict[tuple[Address, Filter], int] = {}
+        self.local_clients: set[Address] = set()
+        self.notifications_processed = 0
+        self.notifications_delivered = 0
+
+    def handle(self, src: Address, payload: Any) -> None:
+        if isinstance(payload, Routed):
+            self._handle_routed(payload.source, payload.message)
+        elif isinstance(payload, Attach):
+            self.local_clients.add(payload.client)
+        elif isinstance(payload, Detach):
+            self.local_clients.discard(payload.client)
+        elif isinstance(payload, Deliver):
+            for client, notifications in payload.items:
+                if client in self.local_clients:
+                    self.notifications_delivered += len(notifications)
+                    self._send(self.addr, client, NotifyBatch(tuple(notifications)))
+
+    def _handle_routed(self, source: Address, message: Any) -> None:
+        if isinstance(message, Subscribe):
+            key = (source, message.filter)
+            if key not in self._entry_ids:
+                self._entry_ids[key] = self.index.add(message.filter, payload=source)
+        elif isinstance(message, Unsubscribe):
+            fid = self._entry_ids.pop((source, message.filter), None)
+            if fid is not None:
+                self.index.remove(fid)
+        elif isinstance(message, Publish):
+            self._match_batch(source, [(message.notification, message.pub_id)])
+        elif isinstance(message, PublishBatch):
+            self._match_batch(source, message.items)
+
+    def _match_batch(self, source: Address, items: Iterable[tuple]) -> None:
+        notifications = [notification for notification, _ in items]
+        if not notifications:
+            return
+        self.notifications_processed += len(notifications)
+        matched_sets = self.index.match_batch(notifications)
+        payload = self.index.payload
+        per_client: dict[Address, list[Notification]] = {}
+        for notification, fids in zip(notifications, matched_sets):
+            if not fids:
+                continue
+            for client in {payload(fid) for fid in fids}:
+                if client == source:
+                    continue
+                per_client.setdefault(client, []).append(notification)
+        if not per_client:
+            return
+        # Group deliveries by the subscriber's home shard; local ones
+        # short-circuit without a wire hop.
+        per_home: dict[int, list[tuple[Address, tuple]]] = {}
+        for client, batch in per_client.items():
+            per_home.setdefault(self.plan.home(client), []).append(
+                (client, tuple(batch))
+            )
+        for home, groups in per_home.items():
+            deliver = Deliver(tuple(groups))
+            if home == self.shard_id:
+                self.handle(self.addr, deliver)
+            else:
+                self._send(self.addr, self.shard_addrs[home], deliver)
+
+
+class ShardRouter:
+    """The thin front of the sharded broker fleet.
+
+    Clients address the router like a broker; it owns no subscription
+    state beyond attachment bookkeeping.  Control messages fan to the
+    owner shard (or all shards for wildcards); each publication fans to
+    **exactly one** shard — the owner of its subject partition — so the
+    fleet's total matching work per event is one shard's worth.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        addr: Address,
+        send: SendFn,
+        shard_addrs: dict[int, Address],
+    ) -> None:
+        self.plan = plan
+        self.addr = addr
+        self._send = send
+        self.shard_addrs = shard_addrs
+        self.clients: set[Address] = set()
+        self.messages_routed = 0
+
+    def attach_client(self, client: Address) -> None:
+        self.clients.add(client)
+        home = self.plan.home(client)
+        self._send(self.addr, self.shard_addrs[home], Attach(client))
+
+    def detach_client(self, client: Address) -> None:
+        self.clients.discard(client)
+        home = self.plan.home(client)
+        self._send(self.addr, self.shard_addrs[home], Detach(client))
+
+    def _fan_control(self, source: Address, message: Any, filter: Filter) -> None:
+        target = self.plan.shard_of_filter(filter)
+        routed = Routed(source, message)
+        if target is None:
+            for addr in self.shard_addrs.values():
+                self._send(self.addr, addr, routed)
+        else:
+            self._send(self.addr, self.shard_addrs[target], routed)
+
+    def handle(self, src: Address, payload: Any) -> None:
+        self.messages_routed += 1
+        if isinstance(payload, (Subscribe, Unsubscribe)):
+            self._fan_control(src, payload, payload.filter)
+        elif isinstance(payload, Publish):
+            sid = self.plan.shard_of_event(payload.notification)
+            self._send(self.addr, self.shard_addrs[sid], Routed(src, payload))
+        elif isinstance(payload, PublishBatch):
+            groups: dict[int, list[tuple]] = {}
+            for item in payload.items:
+                sid = self.plan.shard_of_event(item[0])
+                groups.setdefault(sid, []).append(item)
+            for sid, items in groups.items():
+                self._send(
+                    self.addr,
+                    self.shard_addrs[sid],
+                    Routed(src, PublishBatch(tuple(items))),
+                )
+
+
+class FleetClient:
+    """Minimal pub/sub client for the sharded fleet, transport-agnostic.
+
+    Mirrors the :class:`~repro.events.broker.SienaClient` surface the
+    tests exercise (subscribe / unsubscribe / publish / publish_batch /
+    ``received``) but speaks to a :class:`ShardRouter` over a plain
+    ``send`` callable, so the same client code runs on the simulated
+    kernel and on real asyncio sockets.
+    """
+
+    def __init__(self, addr: Address, router_addr: Address, send: SendFn) -> None:
+        self.addr = addr
+        self.router_addr = router_addr
+        self._send = send
+        self.received: list[Notification] = []
+        self._pub_seq = 0
+
+    def handle(self, src: Address, payload: Any) -> None:
+        if isinstance(payload, NotifyBatch):
+            self.received.extend(payload.notifications)
+
+    def subscribe(self, filter: Filter) -> None:
+        self._send(self.addr, self.router_addr, Subscribe(filter))
+
+    def unsubscribe(self, filter: Filter) -> None:
+        self._send(self.addr, self.router_addr, Unsubscribe(filter))
+
+    def publish(self, notification: Notification) -> None:
+        pub_id = (self.addr, self._pub_seq)
+        self._pub_seq += 1
+        self._send(self.addr, self.router_addr, Publish(notification, pub_id))
+
+    def publish_batch(self, notifications: Iterable[Notification]) -> None:
+        items = []
+        for notification in notifications:
+            items.append((notification, (self.addr, self._pub_seq)))
+            self._pub_seq += 1
+        if items:
+            self._send(self.addr, self.router_addr, PublishBatch(tuple(items)))
+
+
+def build_shard_fleet(
+    plan: ShardPlan,
+    send: SendFn,
+    router_addr: Address = "router",
+    shard_addr: Callable[[int], Address] = "shard-{}".format,
+) -> tuple[ShardRouter, list[ShardEndpoint]]:
+    """Wire a router and its shard endpoints over one ``send`` callable.
+
+    The caller registers each returned component's ``handle`` with its
+    transport under the matching address.
+    """
+    shard_addrs = {sid: shard_addr(sid) for sid in range(plan.n_shards)}
+    shards = [
+        ShardEndpoint(sid, plan, shard_addrs[sid], send, shard_addrs)
+        for sid in range(plan.n_shards)
+    ]
+    router = ShardRouter(plan, router_addr, send, shard_addrs)
+    return router, shards

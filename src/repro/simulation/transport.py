@@ -1,0 +1,75 @@
+"""The simulated-kernel side of the fleet transport interface.
+
+The sharded fleet (:mod:`repro.events.sharding`) is written against one
+tiny surface — ``register(addr, handler)`` plus
+``send(src, dst, payload)`` — so the same router/shard/client objects
+run unchanged on the discrete-event kernel here and on real sockets
+(:class:`repro.net.transport.AsyncioTransport`).  This shim maps each
+registered handler onto a :class:`~repro.net.host.Host`, so fleet
+traffic inherits everything the simulated network models: latency by
+geography, loss, partitions, per-(src, dst) FIFO ordering and crash
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.net.geo import Position
+from repro.net.host import Host
+from repro.net.network import Network
+
+Address = Hashable
+Handler = Callable[[Address, Any], None]
+
+
+class _TransportHost(Host):
+    """One registered endpoint: forwards received payloads to a handler."""
+
+    def __init__(self, sim, network, position, addr, handler: Handler):
+        super().__init__(sim, network, position, addr=addr)
+        self._handler = handler
+
+    def handle_message(self, src: Address, payload: Any) -> None:
+        self._handler(src, payload)
+
+
+class SimTransport:
+    """Fleet transport over the simulated kernel and network.
+
+    ``register`` attaches a handler at an address (creating a host on
+    the simulated network); ``send`` is the :class:`SendFn` the fleet
+    components close over.  Unknown destination addresses are passed to
+    the network untouched — it already models them as silent drops,
+    matching what a real socket fleet sees for a vanished peer.
+    """
+
+    def __init__(self, sim, network: Network, position: Position | None = None):
+        self.sim = sim
+        self.network = network
+        self._default_position = position or Position(0.0, 0.0)
+        self.hosts: dict[Address, _TransportHost] = {}
+
+    def register(
+        self, addr: Address, handler: Handler, position: Position | None = None
+    ) -> _TransportHost:
+        host = _TransportHost(
+            self.sim,
+            self.network,
+            position or self._default_position,
+            addr,
+            handler,
+        )
+        self.hosts[addr] = host
+        return host
+
+    def send(self, src: Address, dst: Address, payload: Any) -> None:
+        host = self.hosts.get(src)
+        if host is not None:
+            host.send(dst, payload)
+        else:
+            self.network.send(src, dst, payload, 256)
+
+    def run(self, for_s: float = 10.0) -> None:
+        """Drain in-flight traffic by advancing the kernel."""
+        self.sim.run_for(for_s)

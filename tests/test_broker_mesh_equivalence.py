@@ -48,6 +48,9 @@ MODES = {
     "indexed": dict(indexed=True),
     "adv_pruned": dict(indexed=True, adv_pruned=True),
     "dht": dict(indexed=True, routing="dht"),
+    # Partitioned matching (repro.events.sharding): the subscription
+    # index is split across 3 subject shards; flood routing otherwise.
+    "sharded": dict(indexed=True, shards=3),
 }
 
 # Flood-routing modes only: tests of flood-specific machinery (cycle

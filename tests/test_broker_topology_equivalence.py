@@ -36,6 +36,10 @@ MODES = {
     "indexed": dict(indexed=True),
     "adv_pruned": dict(indexed=True, adv_pruned=True),
     "dht": dict(indexed=True, routing="dht"),
+    # Partitioned matching (repro.events.sharding): same broker, but the
+    # subscription index is split across 3 subject shards — deliveries
+    # must stay identical to the monolithic index.
+    "sharded": dict(indexed=True, shards=3),
 }
 
 EVENT_TYPES = ["presence", "weather", "rfid", "gps"]

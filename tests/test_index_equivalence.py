@@ -454,3 +454,62 @@ class TestEngineEquivalence:
             return out, engine.stats.matches, engine.stats.events_in
 
         assert run(True) == run(False)
+
+
+class TestPersistentBatchCache:
+    """The pure-python match_batch keeps heavy-signature base arrays
+    across calls; steady workloads hit the cache batch after batch, and
+    any subscription change invalidates it."""
+
+    @staticmethod
+    def _index():
+        index = PredicateIndex()
+        index.add(Filter(Constraint("type", Op.EQ, "news")))
+        index.add(Filter(Constraint("type", Op.EQ, "news"), Constraint("level", Op.GT, 3)))
+        index.add(Filter(Constraint("level", Op.LT, 2)))
+        return index
+
+    @staticmethod
+    def _batch():
+        # Six identical-shape events: every key appears >= heavy_min
+        # times, so the whole batch shares one heavy signature.
+        return [make_event("news", level=5) for _ in range(6)]
+
+    def test_second_batch_hits_without_rebuilding(self):
+        index = self._index()
+        batch = self._batch()
+        first = index.match_batch(batch, vectorized=False)
+        misses_after_first = index.batch_cache_misses
+        assert misses_after_first == 1  # one signature built once
+        assert index.batch_cache_hits == len(batch) - 1
+        second = index.match_batch(batch, vectorized=False)
+        assert index.batch_cache_misses == misses_after_first  # no rebuild
+        assert index.batch_cache_hits == 2 * len(batch) - 1
+        assert second == first
+        # And the cached path still agrees with one-at-a-time matching.
+        assert second == [index.match(n) for n in batch]
+
+    def test_subscription_change_invalidates(self):
+        index = self._index()
+        batch = self._batch()
+        index.match_batch(batch, vectorized=False)
+        fid = index.add(Filter(Constraint("level", Op.GT, 4)))
+        assert not index._py_bases
+        result = index.match_batch(batch, vectorized=False)
+        assert index.batch_cache_misses == 2  # rebuilt once after the add
+        assert all(fid in matched for matched in result)
+        index.remove(fid)
+        assert not index._py_bases
+        assert index.match_batch(batch, vectorized=False) == [
+            index.match(n) for n in batch
+        ]
+
+    def test_cache_stays_bounded(self):
+        from repro.events.index import _PY_BASE_CACHE_MAX
+
+        index = self._index()
+        for i in range(_PY_BASE_CACHE_MAX + 10):
+            index.match_batch([make_event(f"shape-{i}") for _ in range(4)], vectorized=False)
+        assert len(index._py_bases) <= _PY_BASE_CACHE_MAX
+        # Overflow resets rather than evicts, so the newest shape is live.
+        assert index.batch_cache_misses == _PY_BASE_CACHE_MAX + 10

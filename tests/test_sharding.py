@@ -1,0 +1,441 @@
+"""Sharded matching: plan placement, index equivalence, fleet transports.
+
+The contract under test everywhere: partitioning the subscription space
+by event subject must never change *what* is delivered — only how much
+work each event costs.  The monolithic ``PredicateIndex`` (or plain
+filter evaluation) is always the reference.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.events.broker import (
+    BrokerNode,
+    NotifyBatch,
+    Publish,
+    PublishBatch,
+    SienaClient,
+    Subscribe,
+)
+from repro.events.filters import Filter, eq, exists, gt, lt, prefix
+from repro.events.index import PredicateIndex
+from repro.events.model import Notification, make_event
+from repro.events.sharding import (
+    FleetClient,
+    Routed,
+    ShardPlan,
+    ShardedSubscriptionIndex,
+    build_shard_fleet,
+)
+from repro.net import FixedLatency, Network, Position
+from repro.net.serialization import (
+    FrameDecoder,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+from repro.net.transport import AsyncioTransport, spawn_shard_workers
+from repro.simulation import Simulator
+from repro.simulation.transport import SimTransport
+
+TYPES = [f"sensor-{i}" for i in range(24)]
+
+
+def random_filter(rng: random.Random) -> Filter:
+    """Mostly type-pinned filters, a sprinkle of partition wildcards."""
+    constraints = []
+    roll = rng.random()
+    if roll < 0.8:
+        constraints.append(eq("type", rng.choice(TYPES)))
+    elif roll < 0.9:
+        constraints.append(gt("strength", rng.uniform(0.0, 8.0)))
+    else:
+        constraints.append(exists("zone"))
+    if rng.random() < 0.6:
+        constraints.append(gt("strength", rng.uniform(0.0, 8.0)))
+    if rng.random() < 0.25:
+        constraints.append(lt("strength", rng.uniform(4.0, 12.0)))
+    if rng.random() < 0.2:
+        constraints.append(prefix("zone", rng.choice(["z", "a"])))
+    return Filter(*constraints)
+
+
+def random_event(rng: random.Random) -> Notification:
+    attrs = {"strength": rng.uniform(0.0, 12.0)}
+    if rng.random() < 0.4:
+        attrs["zone"] = rng.choice(["z1", "z9", "alpha"])
+    if rng.random() < 0.92:
+        return make_event(rng.choice(TYPES), **attrs)
+    return Notification(attrs)
+
+
+# ----------------------------------------------------------------------
+# ShardPlan: placement rules
+# ----------------------------------------------------------------------
+class TestShardPlan:
+    def test_deterministic_across_instances(self):
+        a, b = ShardPlan(4), ShardPlan(4)
+        for t in TYPES:
+            assert a.shard_of_value(t) == b.shard_of_value(t)
+        for client in range(50):
+            assert a.home(f"c{client}") == b.home(f"c{client}")
+
+    def test_event_and_filter_agree_on_owner(self):
+        plan = ShardPlan(8)
+        for t in TYPES:
+            event = make_event(t, strength=1.0)
+            pinned = Filter(eq("type", t), gt("strength", 0.0))
+            assert plan.shard_of_event(event) == plan.shard_of_filter(pinned)
+
+    def test_numeric_subjects_fold_like_matching_equality(self):
+        # 2 == 2.0 in the matching families, so they must co-locate;
+        # True is its own family and must not fold into 1.
+        plan = ShardPlan(16)
+        assert plan.shard_of_value(2) == plan.shard_of_value(2.0)
+        assert plan.shard_of_filter(Filter(eq("type", 1))) == plan.shard_of_event(
+            make_event(1.0)
+        )
+
+    def test_wildcards_have_no_owner(self):
+        plan = ShardPlan(4)
+        assert plan.shard_of_filter(Filter(gt("strength", 1.0))) is None
+        # A non-EQ constraint on the partition attribute is still a wildcard.
+        assert plan.shard_of_filter(Filter(prefix("type", "sensor"))) is None
+
+    def test_absent_subject_routes_consistently(self):
+        plan = ShardPlan(4)
+        untyped = Notification({"strength": 1.0})
+        assert plan.shard_of_event(untyped) == plan.shard_of_event(
+            Notification({"zone": "z1"})
+        )
+
+    def test_balance(self):
+        # Consistent hashing with vnodes keeps both subjects and client
+        # homes spread: no shard owns more than half of either.
+        plan = ShardPlan(4)
+        subjects = [plan.shard_of_value(f"t{i}") for i in range(400)]
+        homes = [plan.home(f"client-{i}") for i in range(400)]
+        for population in (subjects, homes):
+            counts = [population.count(s) for s in range(4)]
+            assert min(counts) > 0
+            assert max(counts) < 200
+
+
+# ----------------------------------------------------------------------
+# ShardedSubscriptionIndex: drop-in equivalence with PredicateIndex
+# ----------------------------------------------------------------------
+class TestShardedIndexEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("n_shards", [2, 4, 7])
+    def test_match_and_batch_equal_monolith_under_churn(self, seed, n_shards):
+        rng = random.Random(seed)
+        mono = PredicateIndex()
+        sharded = ShardedSubscriptionIndex(ShardPlan(n_shards))
+        live = []
+        for i in range(300):
+            f = random_filter(rng)
+            live.append((mono.add(f, payload=i), sharded.add(f, payload=i)))
+        for _ in range(120):
+            mid, rid = live.pop(rng.randrange(len(live)))
+            assert mono.remove(mid) == sharded.remove(rid)
+        assert len(mono) == len(sharded)
+
+        events = [random_event(rng) for _ in range(300)]
+        for event in events:
+            expect = {mono.payload(fid) for fid in mono.match(event)}
+            got = {sharded.payload(rid) for rid in sharded.match(event)}
+            assert got == expect
+        for vectorized in (False, None):
+            mono_sets = mono.match_batch(events, vectorized=vectorized)
+            shard_sets = sharded.match_batch(events, vectorized=vectorized)
+            assert [
+                {mono.payload(fid) for fid in fids} for fids in mono_sets
+            ] == [{sharded.payload(rid) for rid in rids} for rids in shard_sets]
+
+    def test_partitioning_reduces_candidate_work(self):
+        # The point of sharding on one core: an event only sweeps its
+        # own partition's threshold/exists pools.
+        rng = random.Random(99)
+        mono = PredicateIndex()
+        sharded = ShardedSubscriptionIndex(ShardPlan(4))
+        for i in range(2000):
+            f = Filter(eq("type", rng.choice(TYPES)), gt("strength", rng.uniform(0, 8)))
+            mono.add(f, payload=i)
+            sharded.add(f, payload=i)
+        events = [
+            make_event(rng.choice(TYPES), strength=rng.uniform(0, 12))
+            for _ in range(200)
+        ]
+        for event in events:
+            assert {mono.payload(f) for f in mono.match(event)} == {
+                sharded.payload(r) for r in sharded.match(event)
+            }
+        assert sharded.ops * 2 < mono.ops
+
+    def test_broker_shards_knob_end_to_end(self):
+        # BrokerNode(shards=4) must deliver exactly what shards=1 does.
+        received = {}
+        for shards in (1, 4):
+            sim = Simulator(seed=5)
+            network = Network(sim, FixedLatency(0.01))
+            broker = BrokerNode(sim, network, Position(0, 0), shards=shards)
+            rng = random.Random(11)
+            clients = []
+            for i in range(6):
+                client = SienaClient(sim, network, Position(0, i), broker)
+                client.subscribe(random_filter(rng))
+                client.subscribe(random_filter(rng))
+                clients.append(client)
+            sim.run_for(1.0)
+            publisher = SienaClient(sim, network, Position(1, 0), broker)
+            for _ in range(80):
+                publisher.publish(random_event(rng))
+            sim.run_for(5.0)
+            received[shards] = [
+                sorted(tuple(sorted(n.items())) for _, n in c.received)
+                for c in clients
+            ]
+        assert received[1] == received[4]
+
+    def test_shards_require_indexed(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatency(0.01))
+        with pytest.raises(ValueError):
+            BrokerNode(sim, network, Position(0, 0), indexed=False, shards=2)
+
+
+# ----------------------------------------------------------------------
+# Wire serialization
+# ----------------------------------------------------------------------
+class TestSerialization:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_message_round_trip(self, seed):
+        rng = random.Random(seed)
+        f = random_filter(rng)
+        n = random_event(rng)
+        messages = [
+            Subscribe(f),
+            Publish(n, ("client-1", 7)),
+            Publish(n, None),
+            PublishBatch(((n, ("c", 0)), (random_event(rng), ("c", 1)))),
+            NotifyBatch((n, random_event(rng))),
+            Routed("client-9", Subscribe(f)),
+        ]
+        for message in messages:
+            decoded = decode_message(encode_message(message))
+            assert type(decoded) is type(message)
+        round_tripped = decode_message(encode_message(Subscribe(f)))
+        assert round_tripped.filter == f
+        pub = decode_message(encode_message(Publish(n, ("client-1", 7))))
+        assert dict(pub.notification) == dict(n)
+        assert pub.pub_id == ("client-1", 7)
+
+    def test_decoded_filter_matches_identically(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            f = random_filter(rng)
+            g = decode_message(encode_message(Subscribe(f))).filter
+            for _ in range(20):
+                event = random_event(rng)
+                assert f.matches(event) == g.matches(event)
+
+    def test_frame_decoder_handles_partial_and_coalesced_frames(self):
+        frames = b"".join(
+            encode_frame("a", "b", Subscribe(Filter(eq("type", f"t{i}"))))
+            for i in range(5)
+        )
+        decoder = FrameDecoder()
+        out = []
+        # Feed one byte at a time: every split point must reassemble.
+        for i in range(0, len(frames), 3):
+            out.extend(decoder.feed(frames[i : i + 3]))
+        assert len(out) == 5
+        assert [m.filter for _, _, m in out] == [
+            Filter(eq("type", f"t{i}")) for i in range(5)
+        ]
+
+    def test_int_float_and_bool_survive_the_wire(self):
+        n = Notification({"i": 2, "f": 2.0, "b": True, "s": "2"})
+        back = decode_message(encode_message(Publish(n))).notification
+        assert [type(back[k]) for k in ("i", "f", "b", "s")] == [
+            int,
+            float,
+            bool,
+            str,
+        ]
+
+
+# ----------------------------------------------------------------------
+# Fleet: one scenario, three transports, identical deliveries
+# ----------------------------------------------------------------------
+def fleet_scenario(seed: int, n_clients: int = 8, n_events: int = 120):
+    rng = random.Random(seed)
+    subs = {
+        f"client-{i}": [random_filter(rng) for _ in range(rng.randint(1, 3))]
+        for i in range(n_clients)
+    }
+    publishes = [
+        (f"client-{rng.randrange(n_clients)}", [random_event(rng) for _ in range(rng.randint(1, 6))])
+        for _ in range(n_events // 4)
+    ]
+    return subs, publishes
+
+
+def expected_deliveries(subs, publishes):
+    """Reference semantics: plain filter evaluation, no self-delivery."""
+    out = {client: [] for client in subs}
+    for publisher, events in publishes:
+        for event in events:
+            for client, filters in subs.items():
+                if client == publisher:
+                    continue
+                if any(f.matches(event) for f in filters):
+                    out[client].append(event)
+    return {
+        client: sorted(tuple(sorted(n.items())) for n in events)
+        for client, events in out.items()
+    }
+
+
+def canonical(received):
+    return {
+        client: sorted(tuple(sorted(n.items())) for n in events)
+        for client, events in received.items()
+    }
+
+
+class TestFleetSimTransport:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_deliveries_match_reference(self, seed):
+        subs, publishes = fleet_scenario(seed)
+        sim = Simulator(seed=seed)
+        network = Network(sim, FixedLatency(0.005))
+        transport = SimTransport(sim, network)
+        plan = ShardPlan(4)
+        router, shards = build_shard_fleet(plan, transport.send)
+        transport.register(router.addr, router.handle)
+        for shard in shards:
+            transport.register(shard.addr, shard.handle)
+        clients = {}
+        for name in subs:
+            client = FleetClient(name, router.addr, transport.send)
+            transport.register(name, client.handle)
+            router.attach_client(name)
+            clients[name] = client
+        for name, filters in subs.items():
+            for f in filters:
+                clients[name].subscribe(f)
+        transport.run(2.0)
+        for publisher, events in publishes:
+            clients[publisher].publish_batch(events)
+        transport.run(10.0)
+        got = canonical({name: c.received for name, c in clients.items()})
+        assert got == expected_deliveries(subs, publishes)
+        # The router fans each publish batch to only matching shards;
+        # every shard processed something on this workload.
+        assert sum(s.notifications_processed for s in shards) == sum(
+            len(events) for _, events in publishes
+        )
+
+
+class TestFleetAsyncioLoopback:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_deliveries_match_reference(self, seed):
+        subs, publishes = fleet_scenario(seed)
+        expect = expected_deliveries(subs, publishes)
+
+        async def main():
+            transport = AsyncioTransport()
+            await transport.start()
+            plan = ShardPlan(4)
+            router, shards = build_shard_fleet(plan, transport.send)
+            transport.register(router.addr, router.handle)
+            for shard in shards:
+                transport.register(shard.addr, shard.handle)
+            clients = {}
+            for name in subs:
+                client = FleetClient(name, router.addr, transport.send)
+                transport.register(name, client.handle)
+                router.attach_client(name)
+                clients[name] = client
+            for name, filters in subs.items():
+                for f in filters:
+                    clients[name].subscribe(f)
+            await transport.drain()
+            for publisher, events in publishes:
+                clients[publisher].publish_batch(events)
+            wanted = {name: len(v) for name, v in expect.items()}
+            try:
+                await transport.wait_until(
+                    lambda: all(
+                        len(clients[name].received) >= wanted[name]
+                        for name in clients
+                    ),
+                    timeout=10.0,
+                )
+            except TimeoutError:
+                pass  # fall through to the assertion for a real diff
+            await transport.drain()
+            await transport.stop()
+            return canonical({name: c.received for name, c in clients.items()})
+
+        assert asyncio.run(main()) == expect
+
+
+class TestFleetMultiprocess:
+    def test_two_worker_processes_over_unix_sockets(self, tmp_path):
+        subs, publishes = fleet_scenario(7, n_clients=4, n_events=40)
+        expect = expected_deliveries(subs, publishes)
+        path = str(tmp_path / "fleet.sock")
+        plan = ShardPlan(4)
+        # Fork before any event loop exists in this process.
+        workers = spawn_shard_workers(path, plan, [(0, 1), (2, 3)])
+
+        async def main():
+            transport = AsyncioTransport(path)
+            await transport.start()
+            shard_addrs = {sid: f"shard-{sid}" for sid in range(4)}
+            from repro.events.sharding import ShardRouter
+
+            router = ShardRouter(plan, "router", transport.send, shard_addrs)
+            transport.register(router.addr, router.handle)
+            await transport.wait_until(
+                lambda: all(transport.known(a) for a in shard_addrs.values()),
+                timeout=15.0,
+            )
+            clients = {}
+            for name in subs:
+                client = FleetClient(name, "router", transport.send)
+                transport.register(name, client.handle)
+                router.attach_client(name)
+                clients[name] = client
+            for name, filters in subs.items():
+                for f in filters:
+                    clients[name].subscribe(f)
+            await transport.drain()
+            await asyncio.sleep(0.2)  # let workers apply subscriptions
+            for publisher, events in publishes:
+                clients[publisher].publish_batch(events)
+            wanted = {name: len(v) for name, v in expect.items()}
+            try:
+                await transport.wait_until(
+                    lambda: all(
+                        len(clients[name].received) >= wanted[name]
+                        for name in clients
+                    ),
+                    timeout=15.0,
+                )
+            except TimeoutError:
+                pass
+            await transport.stop()
+            return canonical({name: c.received for name, c in clients.items()})
+
+        try:
+            assert asyncio.run(main()) == expect
+        finally:
+            for worker in workers:
+                worker.terminate()
+            for worker in workers:
+                worker.join(timeout=5.0)
